@@ -1,0 +1,72 @@
+//! Server-side aggregation cost: SEAFL's adaptive weighting (staleness +
+//! cosine importance, Eqs. 4–6) vs FedBuff's uniform weighting vs
+//! FedAsync's per-update mixing, across buffer sizes.
+//!
+//! This quantifies the paper's implicit claim that SEAFL's extra weighting
+//! work is negligible next to training/communication.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seafl_core::{Aggregator, FedAsyncAggregator, FedBuffAggregator, ModelUpdate, SeaflAggregator};
+use std::time::Duration;
+
+/// LeNet-5-sized model.
+const DIM: usize = 61_706;
+
+fn updates(k: usize) -> (Vec<f32>, Vec<ModelUpdate>) {
+    let mut s = 1u64;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) as f32 - 0.5
+    };
+    let global: Vec<f32> = (0..DIM).map(|_| rnd()).collect();
+    let ups = (0..k)
+        .map(|i| ModelUpdate {
+            client_id: i,
+            params: (0..DIM).map(|_| rnd()).collect(),
+            num_samples: 40 + i,
+            born_round: (10 - i as u64 % 5).max(1),
+            epochs_completed: 5,
+            train_loss: 1.0,
+        })
+        .collect();
+    (global, ups)
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate_lenet_sized");
+    for &k in &[5usize, 10, 20] {
+        let (global, ups) = updates(k);
+        g.bench_function(format!("seafl/K{k}"), |b| {
+            let mut agg = SeaflAggregator::paper_default(Some(10));
+            b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+        });
+        g.bench_function(format!("fedbuff/K{k}"), |b| {
+            let mut agg = FedBuffAggregator::paper_default();
+            b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+        });
+    }
+    // FedAsync folds one update per aggregation but aggregates K× as often:
+    // compare one fold.
+    let (global, ups) = updates(1);
+    g.bench_function("fedasync/single_update", |b| {
+        let mut agg = FedAsyncAggregator::paper_default();
+        b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_aggregators
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end cost of a complete (small) federated run per algorithm —
+//! the engine overhead on top of raw training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seafl_core::{run_experiment, Algorithm, ExperimentConfig};
+use seafl_nn::ModelKind;
+use seafl_sim::FleetConfig;
+use std::time::Duration;
+
+fn tiny(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(seed, algorithm);
+    c.num_clients = 8;
+    c.fleet = FleetConfig::pareto_fleet(8);
+    c.train_per_class = 16;
+    c.test_per_class = 4;
+    c.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 16, num_classes: 10 };
+    c.max_rounds = 5;
+    c.local_epochs = 2;
+    c.stop_at_accuracy = None;
+    c
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("five_round_run");
+    for (name, alg) in [
+        ("seafl", Algorithm::seafl(4, 2, Some(5))),
+        ("seafl2", Algorithm::seafl2(4, 2, 2)),
+        ("fedbuff", Algorithm::fedbuff(4, 2)),
+        ("fedavg", Algorithm::FedAvg { clients_per_round: 4 }),
+    ] {
+        g.bench_function(name, |b| b.iter(|| run_experiment(&tiny(1, alg))));
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runs
+}
+criterion_main!(benches);

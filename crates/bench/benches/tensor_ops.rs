@@ -1,0 +1,73 @@
+//! Microbenchmarks for the tensor substrate's hot kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seafl_tensor::conv::{conv2d_forward, Conv2dGeom};
+use seafl_tensor::{cosine_similarity, matmul, Shape, Tensor};
+use std::time::Duration;
+
+fn rng_tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+    Tensor::from_vec(
+        shape,
+        (0..shape.len())
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) as f32 - 0.5
+            })
+            .collect(),
+    )
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = rng_tensor(Shape::d2(n, n), 1);
+        let b = rng_tensor(Shape::d2(n, n), 2);
+        g.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // The LeNet-5 first layer geometry on a batch of 20 (the profiles'
+    // local batch size).
+    let geom = Conv2dGeom { in_c: 1, in_h: 28, in_w: 28, k_h: 5, k_w: 5, stride: 1, pad: 2 };
+    let x = rng_tensor(Shape::d4(20, 1, 28, 28), 3);
+    let w = rng_tensor(Shape::d2(6, geom.patch_len()), 4);
+    let bias = vec![0.0f32; 6];
+    c.bench_function("conv2d_forward/lenet_c1_b20", |bench| {
+        bench.iter(|| conv2d_forward(black_box(&x), black_box(&w), black_box(&bias), &geom))
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    // Model-sized vectors: LeNet-5 (61.7k) and a 1M-parameter model — the
+    // per-update cost of SEAFL's importance factor (Eq. 5).
+    let mut g = c.benchmark_group("cosine_similarity");
+    for &n in &[61_706usize, 1_000_000] {
+        let a = rng_tensor(Shape::d1(n), 5).into_vec();
+        let b = rng_tensor(Shape::d1(n), 6).into_vec();
+        g.bench_function(format!("{n}"), |bench| {
+            bench.iter(|| cosine_similarity(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_conv, bench_cosine
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! One SGD step (forward + backward + update) per model family — the unit
+//! of simulated client work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use seafl_data::SyntheticSpec;
+use seafl_nn::{ModelKind, Sgd};
+use std::time::Duration;
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train_batch20");
+
+    let em = SyntheticSpec::emnist_like().generate(4, 1, 0);
+    let idx: Vec<usize> = (0..20).collect();
+    let (x28, y28) = em.train.batch(&idx);
+
+    let ci = SyntheticSpec::cifar10_like().generate(4, 1, 0);
+    let (x32, y32) = ci.train.batch(&idx);
+
+    let cases: Vec<(&str, ModelKind, bool)> = vec![
+        ("mlp_784_64", ModelKind::Mlp { in_features: 784, hidden: 64, num_classes: 10 }, true),
+        ("lenet5", ModelKind::LeNet5 { num_classes: 10 }, true),
+        ("resnet18_w2", ModelKind::ResNet18 { num_classes: 10, width_base: 2 }, false),
+        ("vgg16_w2", ModelKind::Vgg16 { num_classes: 10, width_base: 2 }, false),
+    ];
+
+    for (name, kind, is28) in cases {
+        let mut model = kind.build(0);
+        let mut opt = Sgd::new(0.05);
+        let (x, y) = if is28 { (&x28, &y28) } else { (&x32, &y32) };
+        g.bench_function(name, |b| {
+            b.iter(|| model.train_batch(black_box(x.clone()), black_box(y), &mut opt))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training_step
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablation studies over SEAFL's design choices (DESIGN.md §4 extras):
+//!
+//! 1. **Staleness policy** — SEAFL-wait (Algorithm 1) vs SEAFL²-notify
+//!    (Algorithm 2) vs SAFA-style drop vs no limit, all with identical
+//!    adaptive weighting. The paper argues discarding wastes training
+//!    effort; this quantifies it.
+//! 2. **Importance measurement** — cosine-vs-global (the paper's Eq. 5),
+//!    delta-cosine (the literal Δ reading), dot product (the §IV-B
+//!    alternative), and none.
+//! 3. **Server mixing ϑ** — the Eq. 8 coefficient (paper uses 0.8).
+//!
+//! Run: `cargo run --release -p seafl-bench --bin ablation [-- --part policy|importance|theta] [--scale smoke|std]`
+
+use seafl_bench::profiles::{insights_config, CONCURRENCY, INSIGHTS_TARGET};
+use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::{Algorithm, ImportanceMode};
+
+fn main() {
+    let scale = scale_from_args();
+    let part = arg_value("part");
+    let seed = 42;
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (CONCURRENCY, 10),
+    };
+
+    if part.as_deref().is_none_or(|p| p == "policy") {
+        println!("=== Ablation: staleness policy at beta=3 (same adaptive weights) ===");
+        let arms = vec![
+            Arm {
+                label: "wait (SEAFL)".into(),
+                config: insights_config(seed, Algorithm::seafl(m, k, Some(3)), scale),
+            },
+            Arm {
+                label: "notify (SEAFL2)".into(),
+                config: insights_config(seed, Algorithm::seafl2(m, k, 3), scale),
+            },
+            Arm {
+                label: "drop (SAFA-like)".into(),
+                config: insights_config(seed, Algorithm::seafl_drop(m, k, 3), scale),
+            },
+            Arm {
+                label: "ignore (beta=inf)".into(),
+                config: insights_config(seed, Algorithm::seafl(m, k, None), scale),
+            },
+        ];
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        for (label, r) in &results {
+            if r.dropped_updates > 0 || r.partial_updates > 0 {
+                println!(
+                    "  {label}: dropped={} partial={} notifications={}",
+                    r.dropped_updates, r.partial_updates, r.notifications
+                );
+            }
+        }
+        report::write_accuracy_csv("ablation_policy", &results);
+        println!();
+    }
+
+    if part.as_deref().is_none_or(|p| p == "importance") {
+        println!("=== Ablation: importance measurement (K={k}, beta=10) ===");
+        let mk = |mode: ImportanceMode, mu: f32| {
+            let mut alg = Algorithm::seafl(m, k, Some(10));
+            if let Algorithm::Seafl { importance, mu: mu_, .. } = &mut alg {
+                *importance = mode;
+                *mu_ = mu;
+            }
+            insights_config(seed, alg, scale)
+        };
+        let arms = vec![
+            Arm { label: "model-cosine".into(), config: mk(ImportanceMode::ModelCosine, 1.0) },
+            Arm { label: "delta-cosine".into(), config: mk(ImportanceMode::DeltaCosine, 1.0) },
+            Arm { label: "dot-product".into(), config: mk(ImportanceMode::DotProduct, 1.0) },
+            Arm { label: "none (mu=0)".into(), config: mk(ImportanceMode::ModelCosine, 0.0) },
+        ];
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::write_accuracy_csv("ablation_importance", &results);
+        println!();
+    }
+
+    if part.as_deref().is_none_or(|p| p == "prox") {
+        println!("=== Ablation: FedProx proximal term on local training (beyond paper) ===");
+        let arms: Vec<Arm> = [0.0f32, 0.1, 1.0]
+            .iter()
+            .map(|&mu| {
+                let mut cfg = insights_config(seed, Algorithm::seafl(m, k, Some(10)), scale);
+                cfg.prox_mu = mu;
+                Arm { label: format!("prox_mu={mu}"), config: cfg }
+            })
+            .collect();
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::write_accuracy_csv("ablation_prox", &results);
+        println!();
+    }
+
+    if part.as_deref().is_none_or(|p| p == "theta") {
+        println!("=== Ablation: server mixing theta (Eq. 8; paper uses 0.8) ===");
+        let thetas: &[f32] = if scale == Scale::Smoke { &[0.8] } else { &[0.2, 0.5, 0.8, 1.0] };
+        let arms: Vec<Arm> = thetas
+            .iter()
+            .map(|&theta| {
+                let mut alg = Algorithm::seafl(m, k, Some(10));
+                if let Algorithm::Seafl { theta: t, .. } = &mut alg {
+                    *t = theta;
+                }
+                Arm {
+                    label: format!("theta={theta}"),
+                    config: insights_config(seed, alg, scale),
+                }
+            })
+            .collect();
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::write_accuracy_csv("ablation_theta", &results);
+    }
+}

@@ -1,0 +1,31 @@
+//! Scratch calibration utility: prints per-batch step times for each model
+//! family and a quick difficulty probe of the synthetic tasks. Handy when
+//! re-tuning the bench profiles for new hardware.
+use seafl_data::SyntheticSpec;
+use seafl_nn::{ModelKind, Sgd};
+use std::time::Instant;
+
+fn main() {
+    let em = SyntheticSpec::emnist_like().generate(4, 1, 0);
+    let ci = SyntheticSpec::cifar10_like().generate(4, 1, 0);
+    let idx: Vec<usize> = (0..20).collect();
+    let (x28, y28) = em.train.batch(&idx);
+    let (x32, y32) = ci.train.batch(&idx);
+    let mut opt = Sgd::new(0.05);
+
+    for (name, kind, is28, iters) in [
+        ("mlp_784_64", ModelKind::Mlp { in_features: 784, hidden: 64, num_classes: 10 }, true, 50u32),
+        ("lenet5", ModelKind::LeNet5 { num_classes: 10 }, true, 20),
+        ("resnet18_w2", ModelKind::ResNet18 { num_classes: 10, width_base: 2 }, false, 10),
+        ("resnet18gn_w2", ModelKind::ResNet18Gn { num_classes: 10, width_base: 2 }, false, 10),
+        ("vgg16_w2", ModelKind::Vgg16 { num_classes: 10, width_base: 2 }, false, 10),
+    ] {
+        let mut m = kind.build(0);
+        let (x, y) = if is28 { (&x28, &y28) } else { (&x32, &y32) };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            m.train_batch(x.clone(), y, &mut opt);
+        }
+        println!("{name:<14} batch20 step: {:?} ({} params)", t0.elapsed() / iters, m.num_params());
+    }
+}

@@ -1,0 +1,66 @@
+//! Corollary 1 empirical check — mean ‖∇f(w_t)‖² trajectories for varying
+//! buffer size K and staleness limit β.
+//!
+//! Theory (Eq. 12): larger K speeds the 1/√(TKE) term but inflates the
+//! K²β²σ²/T variance term; a loose β inflates the same term. Empirically we
+//! expect the gradient-norm trajectory to descend fastest for moderate K
+//! with a finite β — consistent with Fig. 2's wall-clock findings.
+//!
+//! Run: `cargo run --release -p seafl-bench --bin convergence [-- --scale smoke|std]`
+
+use seafl_bench::profiles::{insights_config, CONCURRENCY};
+use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::Algorithm;
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = 42;
+    let m = match scale {
+        Scale::Smoke => 6,
+        Scale::Std => CONCURRENCY,
+    };
+
+    let combos: &[(usize, Option<u64>)] = if scale == Scale::Smoke {
+        &[(3, Some(10))]
+    } else {
+        &[(2, Some(10)), (5, Some(10)), (10, Some(10)), (10, Some(1)), (10, None)]
+    };
+
+    println!("=== Corollary 1: gradient-norm trajectories vs (K, beta) ===");
+    let arms: Vec<Arm> = combos
+        .iter()
+        .map(|&(k, beta)| {
+            let mut cfg = insights_config(seed, Algorithm::seafl(m, k, beta), scale);
+            cfg.grad_norm_probe = true;
+            Arm {
+                label: match beta {
+                    Some(b) => format!("K={k},beta={b}"),
+                    None => format!("K={k},beta=inf"),
+                },
+                config: cfg,
+            }
+        })
+        .collect();
+
+    let results = run_arms(arms);
+
+    println!("{:<16} | mean ||grad||^2 (first 1/3) | (last 1/3) | decay ratio", "arm");
+    println!("{}", "-".repeat(72));
+    for (label, r) in &results {
+        let g = &r.grad_norms;
+        if g.len() < 3 {
+            println!("{label:<16} | insufficient data");
+            continue;
+        }
+        let third = g.len() / 3;
+        let head: f64 = g[..third].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
+        let tail: f64 =
+            g[g.len() - third..].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
+        println!(
+            "{label:<16} | {head:>26.4e} | {tail:>10.4e} | {:>10.3}",
+            tail / head
+        );
+    }
+    report::write_grad_norm_csv("convergence_grad_norms", &results);
+    report::print_time_to_target(&results, &[0.7, 0.85]);
+}

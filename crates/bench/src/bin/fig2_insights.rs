@@ -1,0 +1,108 @@
+//! Fig. 2 — preliminary insights (§III of the paper).
+//!
+//! * part a: buffer-size sweep (K = 1 fully async … K = M synchronous);
+//!   paper finding: K = 1 fails to converge, K = 10 is fastest to target,
+//!   synchronous is slowest.
+//! * part b: staleness-limit sweep at K = 10; paper finding: β = 1 is slow
+//!   (778 s), β = 10 best (357 s).
+//! * part c: importance weighting on/off; paper finding: with importance
+//!   210 s vs 278 s without.
+//!
+//! Run: `cargo run --release -p seafl-bench --bin fig2_insights [-- --part a|b|c] [--scale smoke|std]`
+
+use seafl_bench::profiles::{insights_config, CONCURRENCY, INSIGHTS_TARGET};
+use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::{Algorithm, StalenessPolicy};
+
+fn main() {
+    let scale = scale_from_args();
+    let part = arg_value("part");
+    let seed = 42;
+    let m = match scale {
+        Scale::Smoke => 6,
+        Scale::Std => CONCURRENCY,
+    };
+
+    if part.as_deref().is_none_or(|p| p == "a") {
+        println!("=== Fig. 2a: buffer size K (staleness handling off, beta=inf) ===");
+        let ks: &[usize] = if scale == Scale::Smoke { &[1, 3, 6] } else { &[1, 5, 10, 15, 20] };
+        let mut arms: Vec<Arm> = ks
+            .iter()
+            .map(|&k| Arm {
+                label: if k == 1 { "K=1 (async)".into() } else { format!("K={k}") },
+                config: insights_config(
+                    seed,
+                    if k == 1 {
+                        Algorithm::fedasync_constant(m)
+                    } else {
+                        Algorithm::seafl(m, k, None)
+                    },
+                    scale,
+                ),
+            })
+            .collect();
+        // K = M synchronous reference.
+        arms.push(Arm {
+            label: format!("K={m} (sync)"),
+            config: insights_config(seed, Algorithm::FedAvg { clients_per_round: m }, scale),
+        });
+        // Per-update aggregation needs a bigger round budget to cover the
+        // same number of client sessions.
+        for arm in arms.iter_mut() {
+            if arm.label.contains("async") {
+                arm.config.max_rounds *= 10;
+                arm.config.eval_every = 10;
+            }
+        }
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::print_curves(&results, 8);
+        report::write_accuracy_csv("fig2a_buffer_size", &results);
+        println!();
+    }
+
+    if part.as_deref().is_none_or(|p| p == "b") {
+        println!("=== Fig. 2b: staleness limit beta (K=10) ===");
+        let k = if scale == Scale::Smoke { 3 } else { 10 };
+        let betas: &[u64] = if scale == Scale::Smoke { &[1, 10] } else { &[1, 2, 5, 10, 20] };
+        let arms: Vec<Arm> = betas
+            .iter()
+            .map(|&b| Arm {
+                label: format!("beta={b}"),
+                config: insights_config(seed, Algorithm::seafl(m, k, Some(b)), scale),
+            })
+            .chain(std::iter::once(Arm {
+                label: "beta=inf".into(),
+                config: insights_config(seed, Algorithm::seafl(m, k, None), scale),
+            }))
+            .collect();
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::print_curves(&results, 8);
+        report::write_accuracy_csv("fig2b_staleness_limit", &results);
+        println!();
+    }
+
+    if part.as_deref().is_none_or(|p| p == "c") {
+        println!("=== Fig. 2c: importance weighting on/off (K=10, beta=10) ===");
+        let k = if scale == Scale::Smoke { 3 } else { 10 };
+        let mk = |mu: f32| {
+            let mut alg = Algorithm::seafl(m, k, Some(10));
+            if let Algorithm::Seafl { mu: m_, .. } = &mut alg {
+                *m_ = mu;
+            }
+            insights_config(seed, alg, scale)
+        };
+        let arms = vec![
+            Arm { label: "gamma+importance".into(), config: mk(1.0) },
+            Arm { label: "gamma only".into(), config: mk(0.0) },
+        ];
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+        report::print_curves(&results, 8);
+        report::write_accuracy_csv("fig2c_importance", &results);
+    }
+
+    // Silence unused import when parts are filtered.
+    let _ = StalenessPolicy::Ignore;
+}

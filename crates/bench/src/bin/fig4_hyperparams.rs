@@ -1,0 +1,47 @@
+//! Fig. 4 — hyperparameter grid over (α, μ) for the adaptive weighting.
+//!
+//! Paper finding: (α = 3, μ = 1) gives a modest edge over the other
+//! representative pairs (values explored in 0..10).
+//!
+//! Run: `cargo run --release -p seafl-bench --bin fig4_hyperparams [-- --scale smoke|std]`
+
+use seafl_bench::profiles::{insights_config, BETA, BUFFER_K, CONCURRENCY, INSIGHTS_TARGET};
+use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::Algorithm;
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = 42;
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (CONCURRENCY, BUFFER_K),
+    };
+
+    // Representative (α, μ) pairs, mirroring the paper's Fig. 4 panel.
+    let pairs: &[(f32, f32)] = if scale == Scale::Smoke {
+        &[(3.0, 1.0), (1.0, 1.0)]
+    } else {
+        &[(0.0, 1.0), (1.0, 0.0), (1.0, 1.0), (3.0, 1.0), (5.0, 1.0), (3.0, 3.0), (10.0, 1.0)]
+    };
+
+    println!("=== Fig. 4: (alpha, mu) grid, K={k}, beta={BETA} ===");
+    let arms: Vec<Arm> = pairs
+        .iter()
+        .map(|&(alpha, mu)| {
+            let mut alg = Algorithm::seafl(m, k, Some(BETA));
+            if let Algorithm::Seafl { alpha: a, mu: mu_, .. } = &mut alg {
+                *a = alpha;
+                *mu_ = mu;
+            }
+            Arm {
+                label: format!("a={alpha},mu={mu}"),
+                config: insights_config(seed, alg, scale),
+            }
+        })
+        .collect();
+
+    let results = run_arms(arms);
+    report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
+    report::print_curves(&results, 8);
+    report::write_accuracy_csv("fig4_hyperparams", &results);
+}

@@ -1,0 +1,52 @@
+//! Fig. 5 — SEAFL (without partial training) vs. FedBuff, FedAsync, FedAvg
+//! on the three datasets; accuracy-vs-wall-clock curves.
+//!
+//! Paper findings to reproduce in shape:
+//! * FedAsync fails to converge on all datasets;
+//! * FedAvg converges but needs much more wall-clock time;
+//! * SEAFL(β=10) ≥ SEAFL(β=∞) ≈ FedBuff, with SEAFL fastest to target.
+//!
+//! Run: `cargo run --release -p seafl-bench --bin fig5_baselines
+//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std]`
+
+use seafl_bench::profiles::{fig5_arms, Workload};
+use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm};
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = 42;
+    let only = arg_value("workload");
+
+    let workloads: Vec<Workload> = match only.as_deref() {
+        Some("emnist") => vec![Workload::Emnist],
+        Some("cifar") => vec![Workload::Cifar],
+        Some("cinic") => vec![Workload::Cinic],
+        None => vec![Workload::Emnist, Workload::Cifar, Workload::Cinic],
+        Some(other) => panic!("unknown --workload {other}"),
+    };
+
+    for w in workloads {
+        println!("=== Fig. 5 ({}): SEAFL vs baselines ===", w.name());
+        let arms: Vec<Arm> = fig5_arms(seed, w, scale)
+            .into_iter()
+            .map(|(label, config)| Arm { label, config })
+            .collect();
+        let results = run_arms(arms);
+        report::print_time_to_target(&results, w.targets());
+        report::print_curves(&results, 8);
+        report::write_accuracy_csv(&format!("fig5_{}", w.name().replace('-', "_")), &results);
+
+        // Headline comparison: SEAFL(β) vs FedBuff.
+        let seafl = &results[0].1;
+        let fedbuff = &results[2].1;
+        for &t in w.targets() {
+            if let Some(s) = report::speedup_pct(seafl, fedbuff, t) {
+                println!(
+                    "SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock",
+                    t * 100.0
+                );
+            }
+        }
+        println!();
+    }
+}

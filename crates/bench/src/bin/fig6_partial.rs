@@ -1,0 +1,95 @@
+//! Fig. 6 — SEAFL² (partial training) vs. baselines.
+//!
+//! * part a: CIFAR-10-like, tight staleness limit β = 3. Paper: SEAFL²
+//!   reaches 50 % in 745 s and 70 % in 1105 s vs FedBuff's 905 s / 1341 s —
+//!   up to ~22 % faster.
+//! * part b: CINIC-10-like, loose limit β = 12 and little data per device.
+//!   Paper: SEAFL² only edges out FedBuff near convergence (high device
+//!   turnover makes staleness handling less impactful).
+//!
+//! Run: `cargo run --release -p seafl-bench --bin fig6_partial
+//!       [-- --part a|b] [--scale smoke|std]`
+
+use seafl_bench::profiles::{evaluation_config, Workload, BUFFER_K, CONCURRENCY};
+use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::Algorithm;
+
+fn run_part(workload: Workload, beta: u64, scale: Scale, seed: u64) {
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (CONCURRENCY, BUFFER_K),
+    };
+    println!(
+        "=== Fig. 6 ({}): SEAFL^2 with beta={beta} vs baselines ===",
+        workload.name()
+    );
+    let mut arms = vec![
+        Arm {
+            label: format!("seafl2(beta={beta})"),
+            config: evaluation_config(seed, workload, Algorithm::seafl2(m, k, beta), scale),
+        },
+        Arm {
+            label: format!("seafl(beta={beta})"),
+            config: evaluation_config(seed, workload, Algorithm::seafl(m, k, Some(beta)), scale),
+        },
+        Arm {
+            label: "fedbuff".into(),
+            config: evaluation_config(seed, workload, Algorithm::fedbuff(m, k), scale),
+        },
+        Arm {
+            label: "fedasync".into(),
+            config: evaluation_config(seed, workload, Algorithm::fedasync_constant(m), scale),
+        },
+        Arm {
+            label: "fedavg".into(),
+            config: evaluation_config(
+                seed,
+                workload,
+                Algorithm::FedAvg { clients_per_round: m },
+                scale,
+            ),
+        },
+    ];
+    for arm in arms.iter_mut() {
+        if arm.label == "fedasync" {
+            arm.config.max_rounds *= k as u64;
+            arm.config.eval_every = k as u64;
+        }
+        if arm.label == "fedavg" {
+            arm.config.max_rounds = arm.config.max_rounds * k as u64 / m as u64 + 1;
+        }
+    }
+    let results = run_arms(arms);
+    report::print_time_to_target(&results, workload.targets());
+    report::print_curves(&results, 8);
+    report::write_accuracy_csv(
+        &format!("fig6_{}_beta{beta}", workload.name().replace('-', "_")),
+        &results,
+    );
+
+    let seafl2 = &results[0].1;
+    let fedbuff = &results[2].1;
+    println!(
+        "SEAFL^2 sent {} notifications, {} partial updates",
+        seafl2.notifications, seafl2.partial_updates
+    );
+    for &t in workload.targets() {
+        if let Some(s) = report::speedup_pct(seafl2, fedbuff, t) {
+            println!("SEAFL^2 vs FedBuff at {:.0}%: {s:+.1}% wall-clock", t * 100.0);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let part = arg_value("part");
+    let seed = 42;
+
+    if part.as_deref().is_none_or(|p| p == "a") {
+        run_part(Workload::Cifar, 3, scale, seed);
+    }
+    if part.as_deref().is_none_or(|p| p == "b") {
+        run_part(Workload::Cinic, 12, scale, seed);
+    }
+}

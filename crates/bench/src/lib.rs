@@ -1,0 +1,88 @@
+//! # seafl-bench
+//!
+//! The figure-regeneration harness for the SEAFL reproduction. Each binary
+//! under `src/bin/` regenerates one figure of the paper (see DESIGN.md §4
+//! for the index); this library holds the shared experiment profiles,
+//! result tables and CSV output.
+//!
+//! Scale notes: the session runs on a single CPU core, so the profiles are
+//! scaled-down versions of the paper's workloads — fewer devices, fewer
+//! samples per device, width-scaled ResNet/VGG — chosen so every figure
+//! regenerates in minutes while preserving the paper's comparisons (who
+//! wins, roughly by how much, where the crossovers are). Pass `--scale
+//! smoke` for a seconds-long sanity run of any binary.
+
+pub mod profiles;
+pub mod report;
+
+use seafl_core::{run_experiment, ExperimentConfig, RunResult};
+use std::time::Instant;
+
+/// One experiment arm: a label plus its config.
+pub struct Arm {
+    pub label: String,
+    pub config: ExperimentConfig,
+}
+
+/// Run a set of arms sequentially, printing progress to stderr.
+pub fn run_arms(arms: Vec<Arm>) -> Vec<(String, RunResult)> {
+    let total = arms.len();
+    arms.into_iter()
+        .enumerate()
+        .map(|(i, arm)| {
+            let t0 = Instant::now();
+            eprint!("[{}/{}] running {} ... ", i + 1, total, arm.label);
+            let result = run_experiment(&arm.config);
+            eprintln!(
+                "done in {:.1}s (rounds={}, best acc={:.3})",
+                t0.elapsed().as_secs_f64(),
+                result.rounds,
+                result.best_accuracy()
+            );
+            (arm.label, result)
+        })
+        .collect()
+}
+
+/// Experiment scale selector parsed from `--scale`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity run.
+    Smoke,
+    /// The default profile used for EXPERIMENTS.md (minutes).
+    Std,
+}
+
+/// Minimal CLI parsing shared by the figure binaries: returns the value
+/// following `--<name>` if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &format!("--{name}"))
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse `--scale` (default `std`).
+pub fn scale_from_args() -> Scale {
+    match arg_value("scale").as_deref() {
+        Some("smoke") => Scale::Smoke,
+        None | Some("std") => Scale::Std,
+        Some(other) => panic!("unknown --scale {other} (expected smoke|std)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_std() {
+        assert_eq!(scale_from_args(), Scale::Std);
+    }
+
+    #[test]
+    fn arg_value_absent_is_none() {
+        assert_eq!(arg_value("definitely-not-passed"), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Shared experiment profiles for the figure binaries.
+//!
+//! Paper → profile scaling (single-CPU budget; see lib-level docs):
+//!
+//! | Paper | Here (std scale) |
+//! |---|---|
+//! | 100 devices, 600 samples each | 40–50 devices, 40–60 samples each |
+//! | LeNet-5 on MNIST/EMNIST | LeNet-5 (Fig. 5) / MLP (Fig. 2 & 4 sweeps) |
+//! | ResNet-18 on CIFAR-10 | ResNet-18 topology, width 2 |
+//! | VGG-16 on CINIC-10 | VGG-16 topology, width 2 |
+//! | 96 % target (MNIST) | 85 % target (synthetic EMNIST-like) |
+//! | 50 % / 70 % targets (CIFAR-10) | same targets |
+
+use crate::Scale;
+use seafl_core::{Algorithm, ExperimentConfig};
+use seafl_data::SyntheticSpec;
+use seafl_nn::ModelKind;
+use seafl_sim::FleetConfig;
+
+/// Concurrency M: the paper samples up to 20 % of 100 devices.
+pub const CONCURRENCY: usize = 20;
+/// Default buffer size K (the paper's best from Fig. 2a).
+pub const BUFFER_K: usize = 10;
+/// Default staleness limit β (the paper's best from Fig. 2b).
+pub const BETA: u64 = 10;
+
+/// §III insights testbed: Zipf(1.7, 60 s) idle periods, Dirichlet 0.3,
+/// MNIST-like task. The model is an MLP rather than LeNet-5: the insights
+/// sweeps measure *scheduler* behaviour (buffer size, staleness limit,
+/// weighting), and the MLP makes the 11-arm sweep tractable on one core.
+pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> ExperimentConfig {
+    let (clients, per_class, rounds, time) = match scale {
+        Scale::Smoke => (12, 36, 15, 2_000.0),
+        Scale::Std => (50, 300, 200, 20_000.0),
+    };
+    // Harder variant of the EMNIST-like task: the stock preset saturates in
+    // a couple of rounds, which leaves nothing for the scheduler to
+    // differentiate. Heavier noise + class confusion put the plateau near
+    // 0.9 and stretch convergence over tens of rounds, the regime Fig. 2
+    // actually studies.
+    let mut spec = SyntheticSpec::emnist_like();
+    spec.noise_std = 1.3;
+    spec.confusion = 0.45;
+    spec.amp_jitter = 0.6;
+    ExperimentConfig {
+        seed,
+        model: ModelKind::Mlp { in_features: 28 * 28, hidden: 64, num_classes: 10 },
+        spec,
+        train_per_class: per_class,
+        test_per_class: 30,
+        num_clients: clients,
+        partition: seafl_core::PartitionStrategy::Dirichlet { alpha: 0.1 },
+        selection: seafl_core::SelectionPolicy::Uniform,
+        feature_shift_sigma: 0.0,
+        fleet: FleetConfig::zipf_idle_fleet(clients),
+        local_epochs: 5,
+        batch_size: 20,
+        lr: 0.03,
+        momentum: 0.0,
+        prox_mu: 0.0,
+        algorithm,
+        max_sim_time: time,
+        max_rounds: rounds,
+        eval_every: 1,
+        stop_at_accuracy: Some(INSIGHTS_TARGET + 0.02),
+        grad_norm_probe: false,
+    }
+}
+
+/// Accuracy target for the insights task (the paper's 96 % on MNIST maps to
+/// 85 % on the synthetic EMNIST-like task).
+pub const INSIGHTS_TARGET: f64 = 0.85;
+
+/// Which dataset/model pairing a Fig. 5/6 arm runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// EMNIST-like + LeNet-5.
+    Emnist,
+    /// CIFAR-10-like + ResNet-18 (width 2).
+    Cifar,
+    /// CINIC-10-like + VGG-16 (width 2).
+    Cinic,
+}
+
+impl Workload {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Emnist => "emnist-like",
+            Workload::Cifar => "cifar10-like",
+            Workload::Cinic => "cinic10-like",
+        }
+    }
+
+    /// Accuracy targets reported for this dataset (the paper's 50 %/70 %
+    /// CIFAR-10 targets; EMNIST/CINIC targets mapped to the synthetic
+    /// tasks' plateaus).
+    pub fn targets(&self) -> &'static [f64] {
+        match self {
+            Workload::Emnist => &[0.70, 0.82],
+            Workload::Cifar => &[0.50, 0.70],
+            Workload::Cinic => &[0.45, 0.60],
+        }
+    }
+}
+
+/// §VI main-evaluation testbed: Pareto client speeds, Dirichlet 5,
+/// 40-device fleet with M = 20 concurrent trainers.
+pub fn evaluation_config(
+    seed: u64,
+    workload: Workload,
+    algorithm: Algorithm,
+    scale: Scale,
+) -> ExperimentConfig {
+    // Spec hardening mirrors the insights profile: the stock presets
+    // saturate in a handful of rounds at this scale, which would leave the
+    // 50 %/70 % targets undiscriminating. The overrides put each task's
+    // plateau a little above its top target.
+    let (model, spec) = match workload {
+        Workload::Emnist => {
+            // LeNet-5 has far more capacity than the task demands; heavier
+            // noise/confusion put the plateau near 0.86 so the 0.70/0.82
+            // targets discriminate between schedulers.
+            let mut s = SyntheticSpec::emnist_like();
+            s.noise_std = 1.5;
+            s.confusion = 0.5;
+            s.amp_jitter = 0.6;
+            (ModelKind::LeNet5 { num_classes: 10 }, s)
+        }
+        Workload::Cifar => (
+            ModelKind::ResNet18 { num_classes: 10, width_base: 2 },
+            SyntheticSpec::cifar10_like(),
+        ),
+        Workload::Cinic => {
+            let mut s = SyntheticSpec::cinic10_like();
+            s.noise_std = 1.1;
+            s.confusion = 0.45;
+            (ModelKind::Vgg16 { num_classes: 10, width_base: 2 }, s)
+        }
+    };
+    let (clients, per_class, rounds, time) = match scale {
+        Scale::Smoke => (12, 36, 8, 2_000.0),
+        // CINIC: each device holds ~3 % of what a CIFAR device holds in the
+        // paper; mirror that with fewer samples per device.
+        Scale::Std => match workload {
+            Workload::Emnist => (40, 160, 80, 20_000.0),
+            Workload::Cifar => (40, 160, 60, 20_000.0),
+            Workload::Cinic => (40, 120, 60, 20_000.0),
+        },
+    };
+    let top_target = workload.targets().last().copied().unwrap_or(0.9);
+    // Straggler-dominated fleet: Pareto compute-speed factors (§VI) plus
+    // Zipf idle periods. The paper's α = 5 Dirichlet split on natural
+    // images still leaves substantial inter-client heterogeneity; the
+    // synthetic prototypes at α = 5 are effectively interchangeable, which
+    // removes the staleness phenomenon under study — α = 0.15 lands the
+    // synthetic tasks in the same effective-skew regime (DESIGN.md §2).
+    let mut fleet = FleetConfig::pareto_fleet(clients);
+    fleet.zipf_idle = FleetConfig::zipf_idle_fleet(clients).zipf_idle;
+    ExperimentConfig {
+        seed,
+        model,
+        spec,
+        train_per_class: per_class,
+        test_per_class: 20,
+        num_clients: clients,
+        partition: seafl_core::PartitionStrategy::Dirichlet { alpha: 0.15 },
+        selection: seafl_core::SelectionPolicy::Uniform,
+        feature_shift_sigma: 0.0,
+        fleet,
+        local_epochs: 5,
+        batch_size: 20,
+        lr: 0.03,
+        momentum: 0.0,
+        prox_mu: 0.0,
+        algorithm,
+        max_sim_time: time,
+        max_rounds: rounds,
+        eval_every: 1,
+        stop_at_accuracy: Some(top_target + 0.04),
+        grad_norm_probe: false,
+    }
+}
+
+/// The five Fig. 5 arms on a workload: SEAFL(β=10), SEAFL(β=∞), FedBuff,
+/// FedAsync, FedAvg.
+pub fn fig5_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, ExperimentConfig)> {
+    let m = CONCURRENCY.min(match scale {
+        Scale::Smoke => 6,
+        Scale::Std => CONCURRENCY,
+    });
+    let k = BUFFER_K.min(m / 2);
+    let mut arms = vec![
+        (
+            format!("seafl(beta={BETA})"),
+            evaluation_config(seed, workload, Algorithm::seafl(m, k, Some(BETA)), scale),
+        ),
+        (
+            "seafl(beta=inf)".to_string(),
+            evaluation_config(seed, workload, Algorithm::seafl(m, k, None), scale),
+        ),
+        (
+            "fedbuff".to_string(),
+            evaluation_config(seed, workload, Algorithm::fedbuff(m, k), scale),
+        ),
+        (
+            // Constant-α mixing — FedAsync's baseline strategy and the
+            // aggressive configuration whose divergence Fig. 5 reports.
+            "fedasync".to_string(),
+            evaluation_config(seed, workload, Algorithm::fedasync_constant(m), scale),
+        ),
+        (
+            "fedavg".to_string(),
+            evaluation_config(seed, workload, Algorithm::FedAvg { clients_per_round: m }, scale),
+        ),
+    ];
+    // FedAsync aggregates per update: give it the same *session* budget as
+    // the buffered arms (rounds × K sessions), evaluated more sparsely.
+    for (label, cfg) in arms.iter_mut() {
+        if label == "fedasync" {
+            cfg.max_rounds *= k as u64;
+            cfg.eval_every = k as u64;
+        }
+        // FedAvg trains M clients per round but aggregates once: give it
+        // the same session budget too.
+        if label == "fedavg" {
+            cfg.max_rounds = cfg.max_rounds * k as u64 / m as u64 + 1;
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn all_profiles_validate() {
+        insights_config(0, Algorithm::seafl(20, 10, Some(10)), Scale::Std).validate();
+        insights_config(0, Algorithm::fedasync(6), Scale::Smoke).validate();
+        for w in [Workload::Emnist, Workload::Cifar, Workload::Cinic] {
+            for (_, cfg) in fig5_arms(0, w, Scale::Smoke) {
+                cfg.validate();
+            }
+            for (_, cfg) in fig5_arms(0, w, Scale::Std) {
+                cfg.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_has_five_arms() {
+        let arms = fig5_arms(0, Workload::Emnist, Scale::Smoke);
+        assert_eq!(arms.len(), 5);
+        let names: Vec<&str> = arms.iter().map(|(_, c)| c.algorithm.name()).collect();
+        assert_eq!(names, vec!["seafl", "seafl", "fedbuff", "fedasync", "fedavg"]);
+    }
+
+    #[test]
+    fn workload_targets_nonempty() {
+        for w in [Workload::Emnist, Workload::Cifar, Workload::Cinic] {
+            assert!(!w.targets().is_empty());
+            assert!(!w.name().is_empty());
+        }
+    }
+}

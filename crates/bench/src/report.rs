@@ -1,0 +1,127 @@
+//! Result tables and CSV output for the figure binaries.
+
+use seafl_core::{metrics, RunResult};
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory the binaries write CSVs into.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Print the headline table: time (simulated seconds) to reach each target
+/// accuracy, per arm — the quantity every figure in the paper reports.
+pub fn print_time_to_target(results: &[(String, RunResult)], targets: &[f64]) {
+    print!("{:<18}", "arm");
+    for t in targets {
+        print!(" | t→{:.0}% (s)", t * 100.0);
+    }
+    println!(" | best acc | rounds | updates");
+    let width = 18 + targets.len() * 14 + 30;
+    println!("{}", "-".repeat(width));
+    for (label, r) in results {
+        print!("{label:<18}");
+        for &t in targets {
+            match r.time_to_accuracy(t) {
+                Some(secs) => print!(" | {secs:>10.0}"),
+                None => print!(" | {:>10}", "—"),
+            }
+        }
+        println!(
+            " | {:>8.3} | {:>6} | {:>7}",
+            r.best_accuracy(),
+            r.rounds,
+            r.total_updates
+        );
+    }
+}
+
+/// Print compact accuracy-vs-time curves (downsampled).
+pub fn print_curves(results: &[(String, RunResult)], points: usize) {
+    for (label, r) in results {
+        let d = metrics::downsample(&r.accuracy, points.max(2));
+        let line: Vec<String> =
+            d.iter().map(|(t, a)| format!("{t:.0}s:{:.0}%", a * 100.0)).collect();
+        println!("  {label:<18} {}", line.join("  "));
+    }
+}
+
+/// Write every arm's full accuracy series into one long-format CSV:
+/// `arm,sim_seconds,accuracy`.
+pub fn write_accuracy_csv(name: &str, results: &[(String, RunResult)]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "arm,sim_seconds,accuracy").unwrap();
+    for (label, r) in results {
+        for (t, a) in &r.accuracy {
+            writeln!(f, "{label},{t:.3},{a:.5}").unwrap();
+        }
+    }
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// Write `(arm, sim_seconds, grad_norm_sq)` rows.
+pub fn write_grad_norm_csv(name: &str, results: &[(String, RunResult)]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "arm,sim_seconds,grad_norm_sq").unwrap();
+    for (label, r) in results {
+        for (t, g) in &r.grad_norms {
+            writeln!(f, "{label},{t:.3},{g:.6e}").unwrap();
+        }
+    }
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// Render a percentage speedup of `a` over `b` for a given target
+/// ("x% faster"), if both reached it.
+pub fn speedup_pct(a: &RunResult, b: &RunResult, target: f64) -> Option<f64> {
+    let ta = a.time_to_accuracy(target)?;
+    let tb = b.time_to_accuracy(target)?;
+    Some((tb - ta) / tb * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seafl_sim::TraceLog;
+
+    fn dummy(series: Vec<(f64, f64)>) -> RunResult {
+        RunResult {
+            algorithm: "test",
+            accuracy: series,
+            grad_norms: vec![],
+            rounds: 3,
+            total_updates: 9,
+            partial_updates: 0,
+            dropped_updates: 0,
+            notifications: 0,
+            sim_time_end: 100.0,
+            trace: TraceLog::new(),
+        }
+    }
+
+    #[test]
+    fn speedup_positive_when_a_faster() {
+        let a = dummy(vec![(0.0, 0.0), (50.0, 0.9)]);
+        let b = dummy(vec![(0.0, 0.0), (100.0, 0.9)]);
+        let s = speedup_pct(&a, &b, 0.9).unwrap();
+        assert!((s - 50.0).abs() < 1e-9);
+        assert!(speedup_pct(&a, &b, 0.99).is_none());
+    }
+
+    #[test]
+    fn csv_written_and_parsable() {
+        let rs = vec![("x".to_string(), dummy(vec![(0.0, 0.1), (10.0, 0.5)]))];
+        let p = write_accuracy_csv("unit_test_tmp", &rs);
+        let body = fs::read_to_string(&p).unwrap();
+        assert!(body.starts_with("arm,sim_seconds,accuracy"));
+        assert_eq!(body.lines().count(), 3);
+        fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,262 @@
+//! Server-side aggregation rules.
+
+use crate::update::ModelUpdate;
+use crate::weighting::{aggregation_weights, ImportanceMode};
+
+/// A server aggregation rule: combine buffered updates with the current
+/// global parameters into the next global parameters.
+///
+/// Implementations must not assume a fixed buffer size — SEAFL's
+/// wait-for-stale policy can deliver more than `K` updates.
+pub trait Aggregator: Send {
+    fn name(&self) -> &'static str;
+
+    /// Produce the next global parameter vector.
+    ///
+    /// * `global`: current global parameters `w_t`
+    /// * `updates`: drained buffer (non-empty)
+    /// * `round`: current server round `t` (staleness reference)
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32>;
+}
+
+/// Weighted average of `updates` with weights `w` (Σw = 1).
+fn weighted_average(updates: &[ModelUpdate], weights: &[f32]) -> Vec<f32> {
+    let dim = updates[0].params.len();
+    let mut out = vec![0.0f32; dim];
+    for (u, &w) in updates.iter().zip(weights.iter()) {
+        assert_eq!(u.params.len(), dim, "weighted_average: mixed model sizes");
+        for (o, &p) in out.iter_mut().zip(u.params.iter()) {
+            *o += w * p;
+        }
+    }
+    out
+}
+
+/// `w ← (1−ϑ)·w + ϑ·w_new` (Eq. 8).
+fn mix(global: &[f32], new: &[f32], theta: f32) -> Vec<f32> {
+    global
+        .iter()
+        .zip(new.iter())
+        .map(|(&g, &n)| (1.0 - theta) * g + theta * n)
+        .collect()
+}
+
+/// SEAFL's adaptive aggregation (Eqs. 4–8): staleness- and
+/// importance-weighted buffer average followed by ϑ-mixing into the global
+/// model.
+pub struct SeaflAggregator {
+    /// Staleness-factor weight α (paper's best: 3).
+    pub alpha: f32,
+    /// Importance-factor weight μ (paper's best: 1).
+    pub mu: f32,
+    /// Staleness limit β; `None` = ∞ (the Fig. 5 ablation arm).
+    pub beta: Option<u64>,
+    /// Server mixing coefficient ϑ ∈ (0, 1) (paper: 0.8).
+    pub theta: f32,
+    /// Importance measurement variant (paper default: model cosine).
+    pub mode: ImportanceMode,
+}
+
+impl SeaflAggregator {
+    /// The paper's tuned hyperparameters: α = 3, μ = 1, ϑ = 0.8.
+    pub fn paper_default(beta: Option<u64>) -> Self {
+        SeaflAggregator { alpha: 3.0, mu: 1.0, beta, theta: 0.8, mode: ImportanceMode::ModelCosine }
+    }
+}
+
+impl Aggregator for SeaflAggregator {
+    fn name(&self) -> &'static str {
+        "seafl"
+    }
+
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "seafl: empty buffer");
+        assert!((0.0..=1.0).contains(&self.theta), "seafl: theta out of (0,1]");
+        let w = aggregation_weights(
+            updates, global, round, self.alpha, self.mu, self.beta, self.mode,
+        );
+        let w_new = weighted_average(updates, &w);
+        mix(global, &w_new, self.theta)
+    }
+}
+
+/// FedBuff-style aggregation: uniform `1/K` weights over the buffer, no
+/// staleness limit, then the same ϑ-mixing. This is exactly the degenerate
+/// SEAFL the paper describes in §V ("setting consistent weights p = 1/K").
+pub struct FedBuffAggregator {
+    pub theta: f32,
+}
+
+impl FedBuffAggregator {
+    pub fn paper_default() -> Self {
+        FedBuffAggregator { theta: 0.8 }
+    }
+}
+
+impl Aggregator for FedBuffAggregator {
+    fn name(&self) -> &'static str {
+        "fedbuff"
+    }
+
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], _round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "fedbuff: empty buffer");
+        let w = vec![1.0 / updates.len() as f32; updates.len()];
+        let w_new = weighted_average(updates, &w);
+        mix(global, &w_new, self.theta)
+    }
+}
+
+/// FedAsync (Xie et al. 2019): aggregate each single update on arrival with
+/// mixing weight `α_t = α · (S_k + 1)^{-a}` (polynomial staleness function):
+/// `w ← (1 − α_t)·w + α_t·w_k`.
+pub struct FedAsyncAggregator {
+    /// Base mixing rate (paper default 0.6).
+    pub mixing_alpha: f32,
+    /// Polynomial staleness exponent `a` (paper default 0.5).
+    pub poly_a: f32,
+}
+
+impl FedAsyncAggregator {
+    pub fn paper_default() -> Self {
+        FedAsyncAggregator { mixing_alpha: 0.6, poly_a: 0.5 }
+    }
+}
+
+impl Aggregator for FedAsyncAggregator {
+    fn name(&self) -> &'static str {
+        "fedasync"
+    }
+
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "fedasync: empty buffer");
+        // K = 1 in fully asynchronous operation, but fold sequentially if
+        // more than one ever arrives together.
+        let mut w = global.to_vec();
+        for u in updates {
+            let s = u.staleness(round) as f32;
+            let a_t = self.mixing_alpha * (s + 1.0).powf(-self.poly_a);
+            for (wi, &p) in w.iter_mut().zip(u.params.iter()) {
+                *wi = (1.0 - a_t) * *wi + a_t * p;
+            }
+        }
+        w
+    }
+}
+
+/// FedAvg aggregation (Eq. 3): data-size weighted average of the round's
+/// updates, replacing the global model outright. Used by the synchronous
+/// engine.
+pub struct FedAvgAggregator;
+
+impl Aggregator for FedAvgAggregator {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&mut self, _global: &[f32], updates: &[ModelUpdate], _round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "fedavg: empty round");
+        let total: usize = updates.iter().map(|u| u.num_samples).sum();
+        let w: Vec<f32> =
+            updates.iter().map(|u| u.num_samples as f32 / total as f32).collect();
+        weighted_average(updates, &w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, born: u64, samples: usize, params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate {
+            client_id: client,
+            params,
+            num_samples: samples,
+            born_round: born,
+            epochs_completed: 5,
+            train_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn seafl_equals_fedbuff_for_uniform_buffer() {
+        // Identical data sizes, staleness and parameters ⇒ SEAFL's weights
+        // collapse to 1/K and the two aggregators agree (§V degeneration).
+        let global = vec![0.0, 0.0, 0.0];
+        let updates: Vec<ModelUpdate> = (0..4)
+            .map(|c| upd(c, 2, 10, vec![1.0, 2.0, 3.0]))
+            .collect();
+        let mut seafl = SeaflAggregator::paper_default(Some(10));
+        let mut fedbuff = FedBuffAggregator::paper_default();
+        let a = seafl.aggregate(&global, &updates, 3);
+        let b = fedbuff.aggregate(&global, &updates, 3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn seafl_theta_mixing() {
+        // Single fresh update identical across clients: w_new = u, so
+        // result = (1-ϑ)·g + ϑ·u.
+        let global = vec![1.0];
+        let updates = vec![upd(0, 5, 10, vec![2.0])];
+        let mut agg = SeaflAggregator::paper_default(Some(10));
+        let out = agg.aggregate(&global, &updates, 5);
+        assert!((out[0] - (0.2 * 1.0 + 0.8 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seafl_downweights_stale_updates() {
+        let global = vec![1.0, 1.0];
+        // Fresh update pulls toward +2, stale update pulls toward -2.
+        let updates = vec![
+            upd(0, 10, 10, vec![2.0, 2.0]),
+            upd(1, 1, 10, vec![-2.0, -2.0]),
+        ];
+        let mut seafl = SeaflAggregator { mu: 0.0, ..SeaflAggregator::paper_default(Some(5)) };
+        let out = seafl.aggregate(&global, &updates, 10);
+        let mut fb = FedBuffAggregator::paper_default();
+        let out_fb = fb.aggregate(&global, &updates, 10);
+        // SEAFL's result is closer to the fresh update than FedBuff's.
+        assert!(out[0] > out_fb[0], "seafl {} vs fedbuff {}", out[0], out_fb[0]);
+    }
+
+    #[test]
+    fn fedasync_mixing_decays_with_staleness() {
+        let global = vec![0.0];
+        let mut agg = FedAsyncAggregator::paper_default();
+        let fresh = agg.aggregate(&global, &[upd(0, 10, 10, vec![1.0])], 10);
+        let stale = agg.aggregate(&global, &[upd(0, 1, 10, vec![1.0])], 10);
+        // fresh: α_t = 0.6; stale (S=9): 0.6·10^{-0.5} ≈ 0.19
+        assert!((fresh[0] - 0.6).abs() < 1e-6);
+        assert!(stale[0] < 0.25 && stale[0] > 0.1, "{}", stale[0]);
+    }
+
+    #[test]
+    fn fedavg_weighted_by_samples() {
+        let mut agg = FedAvgAggregator;
+        let updates = vec![upd(0, 0, 30, vec![1.0]), upd(1, 0, 10, vec![5.0])];
+        let out = agg.aggregate(&[0.0], &updates, 1);
+        assert!((out[0] - (0.75 * 1.0 + 0.25 * 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_buffer_panics() {
+        SeaflAggregator::paper_default(None).aggregate(&[0.0], &[], 0);
+    }
+
+    #[test]
+    fn aggregate_preserves_dimension() {
+        let global = vec![0.0; 7];
+        let updates = vec![upd(0, 0, 5, vec![1.0; 7]), upd(1, 0, 5, vec![2.0; 7])];
+        for agg in [
+            &mut SeaflAggregator::paper_default(Some(3)) as &mut dyn Aggregator,
+            &mut FedBuffAggregator::paper_default(),
+            &mut FedAsyncAggregator::paper_default(),
+            &mut FedAvgAggregator,
+        ] {
+            assert_eq!(agg.aggregate(&global, &updates, 2).len(), 7);
+        }
+    }
+}

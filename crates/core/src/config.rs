@@ -1,0 +1,371 @@
+//! Experiment configuration.
+
+use crate::weighting::ImportanceMode;
+use seafl_data::SyntheticSpec;
+use seafl_nn::ModelKind;
+use seafl_sim::FleetConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the server handles in-flight clients whose staleness reaches the
+/// limit β.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StalenessPolicy {
+    /// No limit enforcement (FedBuff; SEAFL with β = ∞).
+    Ignore,
+    /// SEAFL (Algorithm 1): defer aggregation until every over-limit client
+    /// has reported, so no aggregated update ever exceeds β.
+    WaitForStale,
+    /// SEAFL² (Algorithm 2): notify over-limit clients; they upload a
+    /// partial update at the end of their current epoch.
+    NotifyPartial,
+    /// SAFA-style lag tolerance (the alternative §II criticizes): updates
+    /// whose staleness exceeds β are *discarded* at aggregation time,
+    /// wasting the straggler's training effort. Provided for the ablation
+    /// bench.
+    DropStale,
+}
+
+/// How training samples are split across clients.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Label-skew non-IID via a symmetric Dirichlet(α) over clients per
+    /// class (the paper's scheme; smaller α ⇒ more skew).
+    Dirichlet { alpha: f64 },
+    /// Uniform random split.
+    Iid,
+    /// Pathological label shards (each client sees ≤ ~2·per_client labels).
+    Shards { per_client: usize },
+    /// IID labels but heavy-tailed sample counts per client.
+    QuantitySkew { tail: f64 },
+}
+
+/// How the server picks which idle devices start training.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Uniform random from the idle pool (the paper's setting).
+    Uniform,
+    /// Speed-biased sampling: device `k` is drawn with weight
+    /// `speed_factor_k^{-exponent}` — positive exponents favour fast
+    /// devices (Oort/PyramidFL-style system-aware selection, §II-A),
+    /// negative ones boost stragglers' participation frequency.
+    SpeedBiased { exponent: f64 },
+}
+
+/// Which FL algorithm drives the run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Synchronous FedAvg: sample `clients_per_round` devices, wait for all.
+    FedAvg { clients_per_round: usize },
+    /// Fully asynchronous FedAsync: `concurrency` devices training,
+    /// aggregate every single arrival with polynomial staleness mixing.
+    FedAsync { concurrency: usize, mixing_alpha: f32, poly_a: f32 },
+    /// Semi-asynchronous FedBuff: buffer `buffer_k` updates, uniform 1/K
+    /// weights, ϑ-mixing, no staleness limit.
+    FedBuff { concurrency: usize, buffer_k: usize, theta: f32 },
+    /// SEAFL / SEAFL²: adaptive staleness+importance weighting (Eqs. 4–8).
+    Seafl {
+        concurrency: usize,
+        buffer_k: usize,
+        /// Staleness-factor weight α (paper's tuned value: 3).
+        alpha: f32,
+        /// Importance-factor weight μ (paper's tuned value: 1).
+        mu: f32,
+        /// Staleness limit β; `None` = ∞.
+        beta: Option<u64>,
+        /// Server mixing ϑ (paper: 0.8).
+        theta: f32,
+        /// β enforcement: `WaitForStale` = SEAFL, `NotifyPartial` = SEAFL².
+        policy: StalenessPolicy,
+        /// Importance measurement (paper default: model cosine).
+        importance: ImportanceMode,
+    },
+}
+
+impl Algorithm {
+    /// SEAFL with the paper's tuned hyperparameters.
+    pub fn seafl(concurrency: usize, buffer_k: usize, beta: Option<u64>) -> Self {
+        Algorithm::Seafl {
+            concurrency,
+            buffer_k,
+            alpha: 3.0,
+            mu: 1.0,
+            beta,
+            theta: 0.8,
+            policy: if beta.is_some() {
+                StalenessPolicy::WaitForStale
+            } else {
+                StalenessPolicy::Ignore
+            },
+            importance: ImportanceMode::ModelCosine,
+        }
+    }
+
+    /// SEAFL² (partial training) with the paper's tuned hyperparameters.
+    pub fn seafl2(concurrency: usize, buffer_k: usize, beta: u64) -> Self {
+        Algorithm::Seafl {
+            concurrency,
+            buffer_k,
+            alpha: 3.0,
+            mu: 1.0,
+            beta: Some(beta),
+            theta: 0.8,
+            policy: StalenessPolicy::NotifyPartial,
+            importance: ImportanceMode::ModelCosine,
+        }
+    }
+
+    /// SEAFL weighting with the SAFA-style discard policy: over-limit
+    /// updates are dropped instead of waited for (ablation arm).
+    pub fn seafl_drop(concurrency: usize, buffer_k: usize, beta: u64) -> Self {
+        Algorithm::Seafl {
+            concurrency,
+            buffer_k,
+            alpha: 3.0,
+            mu: 1.0,
+            beta: Some(beta),
+            theta: 0.8,
+            policy: StalenessPolicy::DropStale,
+            importance: ImportanceMode::ModelCosine,
+        }
+    }
+
+    /// FedBuff with the paper's ϑ.
+    pub fn fedbuff(concurrency: usize, buffer_k: usize) -> Self {
+        Algorithm::FedBuff { concurrency, buffer_k, theta: 0.8 }
+    }
+
+    /// FedAsync with polynomial staleness damping (α = 0.6, a = 0.5).
+    pub fn fedasync(concurrency: usize) -> Self {
+        Algorithm::FedAsync { concurrency, mixing_alpha: 0.6, poly_a: 0.5 }
+    }
+
+    /// FedAsync with its *constant* mixing strategy (`s(τ) = 1`, the
+    /// FedAsync paper's baseline strategy): every arriving update is mixed
+    /// in with weight α regardless of staleness. This is the aggressive
+    /// configuration whose instability the SEAFL paper reports in Fig. 5.
+    pub fn fedasync_constant(concurrency: usize) -> Self {
+        Algorithm::FedAsync { concurrency, mixing_alpha: 0.6, poly_a: 0.0 }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::FedAvg { .. } => "fedavg",
+            Algorithm::FedAsync { .. } => "fedasync",
+            Algorithm::FedBuff { .. } => "fedbuff",
+            Algorithm::Seafl { policy: StalenessPolicy::NotifyPartial, .. } => "seafl2",
+            Algorithm::Seafl { policy: StalenessPolicy::DropStale, .. } => "seafl-drop",
+            Algorithm::Seafl { .. } => "seafl",
+        }
+    }
+}
+
+/// Full description of one simulated FL run.
+///
+/// (Serialize-only: `SyntheticSpec` carries a `&'static str` name, so
+/// configs are constructed in code and dumped to JSON for the record.)
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentConfig {
+    /// Master seed; every stochastic component derives its own stream.
+    pub seed: u64,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Synthetic dataset family.
+    pub spec: SyntheticSpec,
+    /// Training samples generated per class (split across clients).
+    pub train_per_class: usize,
+    /// Test samples per class (server-side evaluation set).
+    pub test_per_class: usize,
+    /// Total devices N.
+    pub num_clients: usize,
+    /// Partitioning scheme (the paper uses `Dirichlet`).
+    pub partition: PartitionStrategy,
+    /// Client-selection policy (the paper uses `Uniform`).
+    pub selection: SelectionPolicy,
+    /// Per-client feature shift σ: each client's images get an affine
+    /// `scale·x + bias` with `scale ~ N(1, σ)`, `bias ~ N(0, σ)` — feature
+    /// (as opposed to label) heterogeneity. 0 disables (the paper's
+    /// setting).
+    pub feature_shift_sigma: f32,
+    /// Device fleet timing model.
+    pub fleet: FleetConfig,
+    /// Local epochs E.
+    pub local_epochs: usize,
+    /// Local minibatch size B.
+    pub batch_size: usize,
+    /// Local learning rate η.
+    pub lr: f32,
+    /// Local SGD momentum (0 = paper's plain SGD).
+    pub momentum: f32,
+    /// FedProx proximal coefficient toward the downloaded global model
+    /// (0 = paper's plain local SGD).
+    pub prox_mu: f32,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// Hard stop: simulated seconds.
+    pub max_sim_time: f64,
+    /// Hard stop: server rounds (aggregations).
+    pub max_rounds: u64,
+    /// Evaluate the global model every this many aggregations.
+    pub eval_every: u64,
+    /// Stop as soon as test accuracy reaches this value (None = run to the
+    /// time/round limit).
+    pub stop_at_accuracy: Option<f64>,
+    /// Also record ‖∇f(w_t)‖² on a fixed probe batch at every evaluation
+    /// (used by the convergence-rate experiment).
+    pub grad_norm_probe: bool,
+}
+
+impl ExperimentConfig {
+    /// A compact default: EMNIST-like data on a small MLP over a Pareto
+    /// fleet — useful as a starting point; experiments override fields.
+    pub fn quick(seed: u64, algorithm: Algorithm) -> Self {
+        // Harden the stock task (heavier noise + class confusion) so the
+        // run spends tens of rounds below the plateau — otherwise every
+        // algorithm saturates in one round and there is nothing to compare.
+        let mut spec = SyntheticSpec::emnist_like();
+        spec.noise_std = 1.3;
+        spec.confusion = 0.45;
+        spec.amp_jitter = 0.6;
+        ExperimentConfig {
+            seed,
+            model: ModelKind::Mlp { in_features: 28 * 28, hidden: 64, num_classes: 10 },
+            spec,
+            train_per_class: 400,
+            test_per_class: 40,
+            num_clients: 40,
+            partition: PartitionStrategy::Dirichlet { alpha: 0.5 },
+            selection: SelectionPolicy::Uniform,
+            feature_shift_sigma: 0.0,
+            fleet: FleetConfig::pareto_fleet(40),
+            local_epochs: 5,
+            batch_size: 32,
+            lr: 0.03,
+            momentum: 0.0,
+            prox_mu: 0.0,
+            algorithm,
+            max_sim_time: 3_000.0,
+            max_rounds: 150,
+            eval_every: 1,
+            stop_at_accuracy: Some(0.88),
+            grad_norm_probe: false,
+        }
+    }
+
+    /// Sanity-check invariants before running.
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "config: zero clients");
+        assert_eq!(
+            self.fleet.num_devices, self.num_clients,
+            "config: fleet size must match num_clients"
+        );
+        assert!(self.local_epochs >= 1, "config: zero local epochs");
+        assert!(self.batch_size >= 1, "config: zero batch size");
+        assert!(self.lr > 0.0, "config: non-positive lr");
+        assert!(self.prox_mu >= 0.0, "config: negative prox_mu");
+        assert!(self.feature_shift_sigma >= 0.0, "config: negative feature shift");
+        if let SelectionPolicy::SpeedBiased { exponent } = self.selection {
+            assert!(exponent.is_finite(), "config: non-finite selection exponent");
+        }
+        match self.partition {
+            PartitionStrategy::Dirichlet { alpha } => {
+                assert!(alpha > 0.0, "config: non-positive Dirichlet alpha")
+            }
+            PartitionStrategy::Shards { per_client } => {
+                assert!(per_client >= 1, "config: zero shards per client")
+            }
+            PartitionStrategy::QuantitySkew { tail } => {
+                assert!(tail > 0.0, "config: non-positive quantity-skew tail")
+            }
+            PartitionStrategy::Iid => {}
+        }
+        assert!(self.max_sim_time > 0.0, "config: non-positive time limit");
+        assert!(self.eval_every >= 1, "config: eval_every must be >= 1");
+        assert!(
+            self.train_per_class * self.spec.num_classes >= self.num_clients,
+            "config: not enough training samples for the client count"
+        );
+        match self.algorithm {
+            Algorithm::FedAvg { clients_per_round } => {
+                assert!(
+                    (1..=self.num_clients).contains(&clients_per_round),
+                    "config: clients_per_round out of range"
+                );
+            }
+            Algorithm::FedAsync { concurrency, .. } => {
+                assert!((1..=self.num_clients).contains(&concurrency));
+            }
+            Algorithm::FedBuff { concurrency, buffer_k, .. } => {
+                assert!((1..=self.num_clients).contains(&concurrency));
+                assert!((1..=concurrency).contains(&buffer_k), "config: K must be in [1, M]");
+            }
+            Algorithm::Seafl { concurrency, buffer_k, theta, beta, policy, .. } => {
+                assert!((1..=self.num_clients).contains(&concurrency));
+                assert!((1..=concurrency).contains(&buffer_k), "config: K must be in [1, M]");
+                assert!((0.0..=1.0).contains(&theta), "config: theta out of (0,1]");
+                if policy != StalenessPolicy::Ignore {
+                    assert!(
+                        beta.is_some(),
+                        "config: staleness policy {policy:?} requires a finite beta"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_validates() {
+        ExperimentConfig::quick(0, Algorithm::seafl(10, 5, Some(10))).validate();
+        ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5)).validate();
+        ExperimentConfig::quick(0, Algorithm::fedasync(10)).validate();
+        ExperimentConfig::quick(0, Algorithm::FedAvg { clients_per_round: 8 }).validate();
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::seafl(10, 5, Some(10)).name(), "seafl");
+        assert_eq!(Algorithm::seafl2(10, 5, 3).name(), "seafl2");
+        assert_eq!(Algorithm::fedbuff(10, 5).name(), "fedbuff");
+        assert_eq!(Algorithm::fedasync(10).name(), "fedasync");
+        assert_eq!(Algorithm::FedAvg { clients_per_round: 5 }.name(), "fedavg");
+    }
+
+    #[test]
+    fn seafl_infinite_beta_ignores_staleness_policy() {
+        match Algorithm::seafl(10, 5, None) {
+            Algorithm::Seafl { policy, beta, .. } => {
+                assert_eq!(policy, StalenessPolicy::Ignore);
+                assert!(beta.is_none());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be in [1, M]")]
+    fn buffer_larger_than_concurrency_panics() {
+        ExperimentConfig::quick(0, Algorithm::fedbuff(5, 10)).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a finite beta")]
+    fn notify_without_beta_panics() {
+        let mut alg = Algorithm::seafl(10, 5, None);
+        if let Algorithm::Seafl { policy, .. } = &mut alg {
+            *policy = StalenessPolicy::NotifyPartial;
+        }
+        ExperimentConfig::quick(0, alg).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet size")]
+    fn fleet_mismatch_panics() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.num_clients = 30;
+        cfg.validate();
+    }
+}

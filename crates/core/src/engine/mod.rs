@@ -1,0 +1,104 @@
+//! Simulation engines: the synchronous (FedAvg) loop and the event-driven
+//! semi-asynchronous loop shared by FedAsync, FedBuff, SEAFL and SEAFL².
+
+pub mod semi_async;
+pub mod setup;
+pub mod sync;
+
+use crate::aggregator::{FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
+use crate::config::{Algorithm, ExperimentConfig, StalenessPolicy};
+use crate::metrics;
+use seafl_sim::TraceLog;
+use serde::Serialize;
+
+/// Everything a finished run reports.
+#[derive(Debug, Serialize)]
+pub struct RunResult {
+    /// Algorithm name ("seafl", "seafl2", "fedbuff", "fedasync", "fedavg").
+    pub algorithm: &'static str,
+    /// `(sim_seconds, test_accuracy)` evaluation points, time-ordered.
+    pub accuracy: Vec<(f64, f64)>,
+    /// `(sim_seconds, ‖∇f(w)‖²)` probe points (empty unless enabled).
+    pub grad_norms: Vec<(f64, f64)>,
+    /// Server rounds completed (= number of aggregations).
+    pub rounds: u64,
+    /// Client updates received in total.
+    pub total_updates: usize,
+    /// Updates that were partial (fewer than E epochs — SEAFL² only).
+    pub partial_updates: usize,
+    /// Updates discarded for staleness (SAFA-style drop policy only).
+    pub dropped_updates: usize,
+    /// Staleness notifications sent (SEAFL² only).
+    pub notifications: usize,
+    /// Simulated time at termination, seconds.
+    pub sim_time_end: f64,
+    /// Full event trace.
+    #[serde(skip)]
+    pub trace: TraceLog,
+}
+
+impl RunResult {
+    /// First simulated time test accuracy reached `target` (the paper's
+    /// headline metric).
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        metrics::time_to_accuracy(&self.accuracy, target)
+    }
+
+    /// Best test accuracy seen during the run.
+    pub fn best_accuracy(&self) -> f64 {
+        metrics::best_accuracy(&self.accuracy)
+    }
+
+    /// Accuracy at the final evaluation.
+    pub fn final_accuracy(&self) -> f64 {
+        metrics::final_accuracy(&self.accuracy)
+    }
+}
+
+/// Run one experiment end to end: synthesize data, partition, build the
+/// fleet and model, then drive the configured algorithm to termination.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
+    cfg.validate();
+    let mut env = setup::Environment::build(cfg);
+
+    match cfg.algorithm {
+        Algorithm::FedAvg { clients_per_round } => sync::run_sync(cfg, &mut env, clients_per_round),
+        Algorithm::FedAsync { concurrency, mixing_alpha, poly_a } => {
+            let params = semi_async::Params {
+                concurrency,
+                buffer_k: 1,
+                beta: None,
+                policy: StalenessPolicy::Ignore,
+                aggregator: Box::new(FedAsyncAggregator { mixing_alpha, poly_a }),
+                name: "fedasync",
+            };
+            semi_async::run_semi_async(cfg, &mut env, params)
+        }
+        Algorithm::FedBuff { concurrency, buffer_k, theta } => {
+            let params = semi_async::Params {
+                concurrency,
+                buffer_k,
+                beta: None,
+                policy: StalenessPolicy::Ignore,
+                aggregator: Box::new(FedBuffAggregator { theta }),
+                name: "fedbuff",
+            };
+            semi_async::run_semi_async(cfg, &mut env, params)
+        }
+        Algorithm::Seafl { concurrency, buffer_k, alpha, mu, beta, theta, policy, importance } => {
+            let params = semi_async::Params {
+                concurrency,
+                buffer_k,
+                beta,
+                policy,
+                aggregator: Box::new(SeaflAggregator { alpha, mu, beta, theta, mode: importance }),
+                name: match policy {
+                    StalenessPolicy::NotifyPartial => "seafl2",
+                    StalenessPolicy::DropStale => "seafl-drop",
+                    _ => "seafl",
+                },
+            };
+            semi_async::run_semi_async(cfg, &mut env, params)
+        }
+    }
+}

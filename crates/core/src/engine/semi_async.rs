@@ -1,0 +1,519 @@
+//! The event-driven semi-asynchronous engine shared by FedAsync (K = 1),
+//! FedBuff, SEAFL (Algorithm 1) and SEAFL² (Algorithm 2).
+//!
+//! ## Protocol
+//!
+//! The server keeps `concurrency` devices training at all times. A device
+//! that finishes its local epochs uploads its update; the server buffers
+//! updates and aggregates when the buffer holds `buffer_k` of them, subject
+//! to the staleness policy:
+//!
+//! * [`StalenessPolicy::Ignore`] — aggregate as soon as K updates are in
+//!   (FedBuff / FedAsync / SEAFL-β=∞).
+//! * [`StalenessPolicy::WaitForStale`] — SEAFL: if any in-flight device's
+//!   update would exceed β after this aggregation, defer until it reports,
+//!   so no aggregated update ever has staleness > β.
+//! * [`StalenessPolicy::NotifyPartial`] — SEAFL²: notify over-limit devices;
+//!   a notified device uploads at the end of its *current* epoch (a partial
+//!   update) instead of finishing all E epochs.
+//!
+//! After aggregating, the server evaluates (every `eval_every` rounds),
+//! hands the consumed devices back to the idle pool and refills the training
+//! set by uniform sampling from idle devices — the device-turnover behaviour
+//! the paper leans on in its CINIC-10 discussion.
+//!
+//! ## Simplification vs. Algorithm 2
+//!
+//! Algorithm 2 lets a notified device "continue training remaining epochs"
+//! after its partial upload. In the protocol here a device whose update was
+//! consumed immediately receives the fresh global model and restarts, which
+//! in practice supersedes the continuation on the very next aggregation;
+//! we therefore stop the device at its partial upload and return it to the
+//! idle pool (documented in DESIGN.md §2).
+
+use crate::buffer::UpdateBuffer;
+use crate::client::TrainOutcome;
+use crate::config::{ExperimentConfig, StalenessPolicy};
+use crate::engine::setup::Environment;
+use crate::engine::RunResult;
+use crate::update::ModelUpdate;
+use crate::Aggregator;
+use rand::seq::SliceRandom;
+use seafl_sim::rng::{stream_rng, streams};
+use seafl_sim::{EventQueue, SimTime, TraceEvent, TraceLog};
+
+/// Engine parameters distilled from [`crate::Algorithm`].
+pub struct Params {
+    pub concurrency: usize,
+    pub buffer_k: usize,
+    pub beta: Option<u64>,
+    pub policy: StalenessPolicy,
+    pub aggregator: Box<dyn Aggregator>,
+    pub name: &'static str,
+}
+
+/// Scheduled upload arrival. `generation` invalidates superseded uploads
+/// (a notification reschedules the upload; the original event is ignored
+/// when popped).
+#[derive(Debug, Clone, Copy)]
+struct UploadEv {
+    client: usize,
+    generation: u64,
+}
+
+/// One in-flight local training session.
+struct Session {
+    born_round: u64,
+    generation: u64,
+    /// Absolute completion time of each local epoch.
+    epoch_ends: Vec<SimTime>,
+    /// Pre-computed training result (per-epoch snapshots iff partial
+    /// training can interrupt this session).
+    outcome: TrainOutcome,
+    /// Epochs included in the currently scheduled upload.
+    scheduled_epochs: usize,
+    notified: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ClientPhase {
+    /// Available for selection.
+    Idle,
+    /// Local training in progress.
+    Training,
+    /// Update uploaded, sitting in the server buffer.
+    Buffered,
+}
+
+/// Run the semi-asynchronous protocol to termination.
+pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Params) -> RunResult {
+    let mut st = State {
+        global: env.initial_global.clone(),
+        round: 0,
+        queue: EventQueue::new(),
+        buffer: UpdateBuffer::new(),
+        sessions: (0..cfg.num_clients).map(|_| None).collect(),
+        phase: vec![ClientPhase::Idle; cfg.num_clients],
+        sel_rng: stream_rng(cfg.seed, streams::SELECTION),
+        trace: TraceLog::new(),
+        accuracy: Vec::new(),
+        grad_norms: Vec::new(),
+        total_updates: 0,
+        partial_updates: 0,
+        dropped_updates: 0,
+        params,
+    };
+
+    // Baseline evaluation at t = 0.
+    let acc0 = env.evaluate(&st.global);
+    st.accuracy.push((0.0, acc0));
+    st.trace.push(SimTime::ZERO, TraceEvent::Eval { round: 0, accuracy: acc0 });
+
+    // Kick off the initial cohort.
+    st.refill(cfg, env, SimTime::ZERO);
+
+    let mut reached_target = false;
+    while let Some((now, ev)) = st.queue.pop() {
+        if now.as_secs() > cfg.max_sim_time || st.round >= cfg.max_rounds || reached_target {
+            break;
+        }
+        st.on_upload(cfg, env, now, ev);
+        reached_target = st.try_aggregate(cfg, env, now);
+    }
+
+    let end = st.queue.now();
+    RunResult {
+        algorithm: st.params.name,
+        accuracy: st.accuracy,
+        grad_norms: st.grad_norms,
+        rounds: st.round,
+        total_updates: st.total_updates,
+        partial_updates: st.partial_updates,
+        dropped_updates: st.dropped_updates,
+        notifications: st.trace.num_notifications(),
+        sim_time_end: end.as_secs(),
+        trace: st.trace,
+    }
+}
+
+struct State {
+    global: Vec<f32>,
+    round: u64,
+    queue: EventQueue<UploadEv>,
+    buffer: UpdateBuffer,
+    sessions: Vec<Option<Session>>,
+    phase: Vec<ClientPhase>,
+    sel_rng: rand::rngs::StdRng,
+    trace: TraceLog,
+    accuracy: Vec<(f64, f64)>,
+    grad_norms: Vec<(f64, f64)>,
+    total_updates: usize,
+    partial_updates: usize,
+    dropped_updates: usize,
+    params: Params,
+}
+
+impl State {
+    /// Number of clients currently training.
+    fn active(&self) -> usize {
+        self.phase.iter().filter(|&&p| p == ClientPhase::Training).count()
+    }
+
+    /// Start local training on client `k` at time `now`: compute the
+    /// training result eagerly (model math is time-independent) and schedule
+    /// its upload arrival on the virtual clock.
+    fn start_training(&mut self, cfg: &ExperimentConfig, env: &mut Environment, k: usize, now: SimTime) {
+        debug_assert_eq!(self.phase[k], ClientPhase::Idle);
+        let keep_snapshots = self.params.policy == StalenessPolicy::NotifyPartial;
+        let outcome = env.trainer.train(
+            &self.global,
+            &env.client_data[k],
+            cfg.local_epochs,
+            &mut env.client_rngs[k],
+            keep_snapshots,
+        );
+
+        let device = &env.fleet[k];
+        let batches = env.trainer.batches_per_epoch(env.client_data[k].len());
+        let mut t = now.after(device.download_time(env.model_bytes));
+        let mut epoch_ends = Vec::with_capacity(cfg.local_epochs);
+        for _ in 0..cfg.local_epochs {
+            t = t.after(device.epoch_compute_time(batches, cfg.fleet.base_batch_time));
+            t = t.after(device.idle_time(&mut env.idle_rngs[k]));
+            epoch_ends.push(t);
+        }
+
+        let generation = self.sessions[k].as_ref().map_or(0, |s| s.generation + 1);
+        let upload_at = epoch_ends[cfg.local_epochs - 1].after(device.upload_time(env.model_bytes));
+        self.queue.schedule(upload_at, UploadEv { client: k, generation });
+
+        self.sessions[k] = Some(Session {
+            born_round: self.round,
+            generation,
+            epoch_ends,
+            outcome,
+            scheduled_epochs: cfg.local_epochs,
+            notified: false,
+        });
+        self.phase[k] = ClientPhase::Training;
+        self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
+    }
+
+    /// Handle an upload arrival (ignoring superseded generations).
+    fn on_upload(&mut self, cfg: &ExperimentConfig, env: &Environment, now: SimTime, ev: UploadEv) {
+        let Some(session) = self.sessions[ev.client].as_ref() else {
+            return; // session already consumed
+        };
+        if session.generation != ev.generation {
+            return; // superseded by a notification reschedule
+        }
+        let epochs = session.scheduled_epochs;
+        let update = ModelUpdate {
+            client_id: ev.client,
+            params: session.outcome.state_after(epochs).to_vec(),
+            num_samples: env.client_data[ev.client].len(),
+            born_round: session.born_round,
+            epochs_completed: epochs,
+            train_loss: session.outcome.epoch_losses[..epochs].iter().sum::<f32>()
+                / epochs as f32,
+        };
+        let born = session.born_round;
+        self.sessions[ev.client] = None;
+        self.phase[ev.client] = ClientPhase::Buffered;
+        self.total_updates += 1;
+        if epochs < cfg.local_epochs {
+            self.partial_updates += 1;
+        }
+        self.trace.push(now, TraceEvent::Upload { id: ev.client, born_round: born, epochs });
+        self.buffer.push(update);
+    }
+
+    /// Aggregate if the trigger condition holds. Returns true when the
+    /// stop-at-target accuracy was reached.
+    fn try_aggregate(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) -> bool {
+        if self.buffer.len() < self.params.buffer_k {
+            return false;
+        }
+        // SEAFL's wait rule: defer while any in-flight update would exceed β
+        // after this aggregation (its staleness at the next round would be
+        // round+1 − born > β ⟺ round − born ≥ β).
+        if self.params.policy == StalenessPolicy::WaitForStale {
+            let beta = self.params.beta.expect("WaitForStale requires beta");
+            let any_over = self
+                .sessions
+                .iter()
+                .flatten()
+                .any(|s| self.round.saturating_sub(s.born_round) >= beta);
+            if any_over {
+                return false;
+            }
+        }
+
+        let mut updates = self.buffer.drain();
+        for u in &updates {
+            debug_assert_eq!(self.phase[u.client_id], ClientPhase::Buffered);
+            self.phase[u.client_id] = ClientPhase::Idle;
+        }
+
+        // SAFA-style discard: throw away over-limit updates (their training
+        // effort is wasted — the failure mode SEAFL's wait/notify policies
+        // are designed to avoid).
+        if self.params.policy == StalenessPolicy::DropStale {
+            let beta = self.params.beta.expect("DropStale requires beta");
+            let (fresh, stale): (Vec<_>, Vec<_>) =
+                updates.into_iter().partition(|u| u.staleness(self.round) <= beta);
+            for u in &stale {
+                self.dropped_updates += 1;
+                self.trace.push(
+                    now,
+                    TraceEvent::Drop { id: u.client_id, staleness: u.staleness(self.round) },
+                );
+            }
+            updates = fresh;
+            if updates.is_empty() {
+                // Everything in the buffer was stale; the dropped clients
+                // are idle again, so refilling makes progress.
+                self.refill(cfg, env, now);
+                return false;
+            }
+        }
+        self.global = self.params.aggregator.aggregate(&self.global, &updates, self.round);
+        self.round += 1;
+        self.trace.push(now, TraceEvent::Aggregate { round: self.round, num_updates: updates.len() });
+
+        let mut reached = false;
+        if self.round.is_multiple_of(cfg.eval_every) {
+            let acc = env.evaluate(&self.global);
+            self.accuracy.push((now.as_secs(), acc));
+            self.trace.push(now, TraceEvent::Eval { round: self.round, accuracy: acc });
+            if cfg.grad_norm_probe {
+                let g = self.grad_norm(env);
+                self.grad_norms.push((now.as_secs(), g));
+            }
+            if let Some(target) = cfg.stop_at_accuracy {
+                reached = acc >= target;
+            }
+        }
+
+        // SEAFL²: notify in-flight devices that just crossed the limit.
+        if self.params.policy == StalenessPolicy::NotifyPartial {
+            self.send_notifications(env, now);
+        }
+
+        self.refill(cfg, env, now);
+        reached
+    }
+
+    fn grad_norm(&self, env: &mut Environment) -> f64 {
+        env.grad_norm_sq(&self.global)
+    }
+
+    /// SEAFL² notification path: over-limit devices upload at the end of
+    /// their current epoch.
+    fn send_notifications(&mut self, env: &Environment, now: SimTime) {
+        let beta = self.params.beta.expect("NotifyPartial requires beta");
+        let mut to_notify = Vec::new();
+        for (k, s) in self.sessions.iter().enumerate() {
+            if let Some(s) = s {
+                if !s.notified && self.round.saturating_sub(s.born_round) >= beta {
+                    to_notify.push(k);
+                }
+            }
+        }
+        for k in to_notify {
+            let device = &env.fleet[k];
+            let arrival = now.after(device.latency);
+            let session = self.sessions[k].as_mut().expect("session checked above");
+            // First epoch boundary after the notification arrives.
+            let Some(epoch_idx) = session.epoch_ends.iter().position(|&e| e > arrival) else {
+                // All epochs already finished; the full upload is in flight.
+                continue;
+            };
+            session.notified = true;
+            session.generation += 1;
+            session.scheduled_epochs = epoch_idx + 1;
+            let upload_at = session.epoch_ends[epoch_idx].after(device.upload_time(env.model_bytes));
+            let generation = session.generation;
+            self.queue.schedule(upload_at, UploadEv { client: k, generation });
+            self.trace.push(now, TraceEvent::Notify { id: k });
+        }
+    }
+
+    /// Keep `concurrency` devices training by sampling from the idle pool
+    /// under the configured selection policy.
+    fn refill(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
+        let idle: Vec<usize> = (0..cfg.num_clients)
+            .filter(|&k| self.phase[k] == ClientPhase::Idle)
+            .collect();
+        let need = self.params.concurrency.saturating_sub(self.active());
+        let picked =
+            crate::selection::select_clients(cfg.selection, &idle, &env.fleet, need, &mut self.sel_rng);
+        for k in picked {
+            self.start_training(cfg, env, k, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+    use crate::engine::run_experiment;
+    use seafl_nn::ModelKind;
+    use seafl_sim::FleetConfig;
+
+    fn tiny_cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(seed, algorithm);
+        cfg.num_clients = 12;
+        cfg.fleet = FleetConfig::pareto_fleet(12);
+        cfg.train_per_class = 24;
+        cfg.test_per_class = 8;
+        cfg.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 24, num_classes: 10 };
+        cfg.max_rounds = 30;
+        cfg.max_sim_time = 100_000.0;
+        cfg
+    }
+
+    #[test]
+    fn fedbuff_runs_and_aggregates() {
+        let r = run_experiment(&tiny_cfg(0, Algorithm::fedbuff(6, 3)));
+        assert_eq!(r.algorithm, "fedbuff");
+        assert_eq!(r.rounds, 30);
+        assert!(r.total_updates >= 90, "updates: {}", r.total_updates);
+        assert_eq!(r.partial_updates, 0);
+        assert_eq!(r.notifications, 0);
+        assert!(r.sim_time_end > 0.0);
+    }
+
+    #[test]
+    fn seafl_runs_and_improves_accuracy() {
+        let mut cfg = tiny_cfg(1, Algorithm::seafl(6, 3, Some(10)));
+        cfg.max_rounds = 60;
+        let r = run_experiment(&cfg);
+        assert_eq!(r.algorithm, "seafl");
+        let first = r.accuracy.first().unwrap().1;
+        let best = r.best_accuracy();
+        assert!(best > first + 0.2, "no learning: {first} -> {best}");
+    }
+
+    #[test]
+    fn fedasync_aggregates_every_upload() {
+        let r = run_experiment(&tiny_cfg(2, Algorithm::fedasync(6)));
+        assert_eq!(r.algorithm, "fedasync");
+        // K = 1: every upload triggers an aggregation.
+        assert_eq!(r.rounds as usize, r.total_updates);
+    }
+
+    #[test]
+    fn seafl2_produces_partial_updates_under_tight_beta() {
+        let mut cfg = tiny_cfg(3, Algorithm::seafl2(8, 3, 1));
+        cfg.max_rounds = 50;
+        let r = run_experiment(&cfg);
+        assert_eq!(r.algorithm, "seafl2");
+        assert!(r.notifications > 0, "no notifications sent");
+        assert!(r.partial_updates > 0, "no partial updates");
+    }
+
+    #[test]
+    fn seafl_wait_bounds_aggregated_staleness() {
+        let mut cfg = tiny_cfg(4, Algorithm::seafl(8, 3, Some(2)));
+        cfg.max_rounds = 50;
+        let r = run_experiment(&cfg);
+        // Reconstruct aggregated staleness from the trace: every Upload's
+        // born_round vs the round counter at its consuming Aggregate.
+        let mut pending: std::collections::HashMap<usize, u64> = Default::default();
+        let mut max_staleness = 0u64;
+        for (_, ev) in r.trace.entries() {
+            match ev {
+                TraceEvent::Upload { id, born_round, .. } => {
+                    pending.insert(*id, *born_round);
+                }
+                TraceEvent::Aggregate { round, .. } => {
+                    let at = round - 1; // round counter before increment
+                    for (_, born) in pending.drain() {
+                        max_staleness = max_staleness.max(at.saturating_sub(born));
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            max_staleness <= 2,
+            "aggregated staleness {max_staleness} exceeded beta=2"
+        );
+    }
+
+    #[test]
+    fn drop_policy_discards_stale_and_still_learns() {
+        let mut cfg = tiny_cfg(11, Algorithm::seafl_drop(8, 3, 1));
+        cfg.max_rounds = 50;
+        let r = run_experiment(&cfg);
+        assert_eq!(r.algorithm, "seafl-drop");
+        assert!(r.dropped_updates > 0, "tight beta never dropped anything");
+        // Dropped updates never reach an aggregation: reconstruct from the
+        // trace that every aggregated update obeyed the limit.
+        let mut pending: std::collections::HashMap<usize, u64> = Default::default();
+        for (_, ev) in r.trace.entries() {
+            match ev {
+                TraceEvent::Upload { id, born_round, .. } => {
+                    pending.insert(*id, *born_round);
+                }
+                TraceEvent::Drop { id, .. } => {
+                    pending.remove(id);
+                }
+                TraceEvent::Aggregate { round, .. } => {
+                    let at = round - 1;
+                    for (_, born) in pending.drain() {
+                        assert!(at.saturating_sub(born) <= 1, "stale update aggregated");
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(r.best_accuracy() > 0.4, "drop policy prevented learning");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = tiny_cfg(5, Algorithm::seafl(6, 3, Some(10)));
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.total_updates, b.total_updates);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = run_experiment(&tiny_cfg(6, Algorithm::fedbuff(6, 3)));
+        let b = run_experiment(&tiny_cfg(7, Algorithm::fedbuff(6, 3)));
+        assert_ne!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn stop_at_accuracy_halts_early() {
+        let mut cfg = tiny_cfg(8, Algorithm::fedbuff(6, 3));
+        cfg.stop_at_accuracy = Some(0.05); // trivially reachable
+        cfg.max_rounds = 1000;
+        let r = run_experiment(&cfg);
+        assert!(r.rounds < 1000, "did not stop early");
+    }
+
+    #[test]
+    fn concurrency_respected_in_trace() {
+        let cfg = tiny_cfg(9, Algorithm::fedbuff(4, 2));
+        let r = run_experiment(&cfg);
+        // Active session count never exceeds concurrency = 4.
+        let mut active = 0i64;
+        for (_, ev) in r.trace.entries() {
+            match ev {
+                TraceEvent::ClientStart { .. } => {
+                    active += 1;
+                    assert!(active <= 4, "concurrency exceeded");
+                }
+                TraceEvent::Upload { .. } => active -= 1,
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared experiment environment: data, partition, fleet, model, evaluation.
+
+use crate::client::LocalTrainer;
+use crate::config::{ExperimentConfig, PartitionStrategy};
+use rand::rngs::StdRng;
+use seafl_data::synthetic::{apply_feature_shift, sample_feature_shift};
+use seafl_data::{
+    dirichlet_partition, iid_partition, quantity_skew_partition, shard_partition, ImageDataset,
+};
+use seafl_sim::rng::{stream_rng, streams};
+use seafl_sim::DeviceProfile;
+use seafl_tensor::Tensor;
+
+/// Largest evaluation minibatch (bounds peak activation memory).
+const EVAL_CHUNK: usize = 256;
+
+/// Materialized experiment state shared by both engines.
+pub struct Environment {
+    /// Scratch trainer holding the single shared model instance.
+    pub trainer: LocalTrainer,
+    /// Per-client training shards.
+    pub client_data: Vec<ImageDataset>,
+    /// Server-side test set.
+    pub test: ImageDataset,
+    /// Device timing profiles, index-aligned with `client_data`.
+    pub fleet: Vec<DeviceProfile>,
+    /// Initial global model state.
+    pub initial_global: Vec<f32>,
+    /// Serialized model size in bytes (network transfer model).
+    pub model_bytes: usize,
+    /// Per-client batch-shuffle RNGs.
+    pub client_rngs: Vec<StdRng>,
+    /// Per-client idle-period RNGs.
+    pub idle_rngs: Vec<StdRng>,
+    /// Fixed probe batch for gradient-norm measurements.
+    probe: Option<(Tensor, Vec<usize>)>,
+}
+
+impl Environment {
+    /// Build the full environment from a validated config.
+    pub fn build(cfg: &ExperimentConfig) -> Self {
+        // Dataset synthesis and partitioning use dedicated streams so the
+        // data is identical across algorithms under the same seed — the
+        // comparisons in Figs. 5/6 hinge on this.
+        let data_seed = stream_rng(cfg.seed, streams::DATA).next_u64();
+        let task = cfg.spec.generate(cfg.train_per_class, cfg.test_per_class, data_seed);
+
+        let mut part_rng = stream_rng(cfg.seed, streams::PARTITION);
+        let parts = match cfg.partition {
+            PartitionStrategy::Dirichlet { alpha } => {
+                dirichlet_partition(task.train.labels(), cfg.num_clients, alpha, &mut part_rng)
+            }
+            PartitionStrategy::Iid => {
+                iid_partition(task.train.len(), cfg.num_clients, &mut part_rng)
+            }
+            PartitionStrategy::Shards { per_client } => {
+                shard_partition(task.train.labels(), cfg.num_clients, per_client, &mut part_rng)
+            }
+            PartitionStrategy::QuantitySkew { tail } => {
+                quantity_skew_partition(task.train.len(), cfg.num_clients, tail, &mut part_rng)
+            }
+        };
+        let client_data: Vec<ImageDataset> = parts
+            .iter()
+            .map(|idx| {
+                let shard = task.train.subset(idx);
+                if cfg.feature_shift_sigma > 0.0 {
+                    let (scale, bias) =
+                        sample_feature_shift(cfg.feature_shift_sigma, &mut part_rng);
+                    apply_feature_shift(&shard, scale, bias)
+                } else {
+                    shard
+                }
+            })
+            .collect();
+
+        let fleet = cfg.fleet.build(cfg.seed);
+
+        let init_seed = stream_rng(cfg.seed, streams::INIT).next_u64();
+        let model = cfg.model.build(init_seed);
+        let initial_global = model.params_flat();
+        let model_bytes = initial_global.len() * std::mem::size_of::<f32>();
+        let trainer =
+            LocalTrainer::new(model, cfg.lr, cfg.momentum, cfg.batch_size).with_prox(cfg.prox_mu);
+
+        let client_rngs =
+            (0..cfg.num_clients).map(|k| stream_rng(cfg.seed, streams::CLIENT_BASE + k as u64)).collect();
+        let idle_rngs =
+            (0..cfg.num_clients).map(|k| stream_rng(cfg.seed, streams::IDLE_BASE + k as u64)).collect();
+
+        let probe = cfg.grad_norm_probe.then(|| {
+            let n = task.test.len().min(EVAL_CHUNK);
+            let idx: Vec<usize> = (0..n).collect();
+            task.test.batch(&idx)
+        });
+
+        Environment {
+            trainer,
+            client_data,
+            test: task.test,
+            fleet,
+            initial_global,
+            model_bytes,
+            client_rngs,
+            idle_rngs,
+            probe,
+        }
+    }
+
+    /// Test-set accuracy of the given global state (chunked evaluation).
+    pub fn evaluate(&mut self, global: &[f32]) -> f64 {
+        self.trainer.model_mut().set_params_flat(global);
+        let n = self.test.len();
+        let mut correct_weighted = 0.0f64;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + EVAL_CHUNK).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let (x, y) = self.test.batch(&idx);
+            let (_, acc) = self.trainer.model_mut().evaluate(x, &y);
+            correct_weighted += acc * (end - start) as f64;
+            start = end;
+        }
+        correct_weighted / n as f64
+    }
+
+    /// ‖∇f(w)‖² on the fixed probe batch (requires `grad_norm_probe`).
+    pub fn grad_norm_sq(&mut self, global: &[f32]) -> f64 {
+        let (x, y) = self.probe.as_ref().expect("grad_norm_probe disabled").clone();
+        let model = self.trainer.model_mut();
+        model.set_params_flat(global);
+        model.zero_grads();
+        model.accumulate_grads(x, &y);
+        let g = model.grads_flat();
+        model.zero_grads();
+        g.iter().map(|&v| v as f64 * v as f64).sum()
+    }
+
+    /// Total local training samples across all clients.
+    pub fn total_samples(&self) -> usize {
+        self.client_data.iter().map(|d| d.len()).sum()
+    }
+}
+
+// Small extension trait to pull a u64 out of an StdRng without importing
+// rand::Rng at every call site.
+trait NextU64 {
+    fn next_u64(&mut self) -> u64;
+}
+impl NextU64 for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Algorithm;
+
+    fn tiny_cfg(seed: u64) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(seed, Algorithm::fedbuff(5, 3));
+        cfg.num_clients = 8;
+        cfg.fleet = seafl_sim::FleetConfig::pareto_fleet(8);
+        cfg.train_per_class = 20;
+        cfg.test_per_class = 5;
+        cfg.model = seafl_nn::ModelKind::Mlp { in_features: 28 * 28, hidden: 16, num_classes: 10 };
+        cfg
+    }
+
+    #[test]
+    fn build_produces_consistent_environment() {
+        let cfg = tiny_cfg(0);
+        let env = Environment::build(&cfg);
+        assert_eq!(env.client_data.len(), 8);
+        assert_eq!(env.fleet.len(), 8);
+        assert_eq!(env.total_samples(), 200);
+        assert_eq!(env.model_bytes, env.initial_global.len() * 4);
+        assert!(env.client_data.iter().all(|d| !d.is_empty()));
+    }
+
+    #[test]
+    fn same_seed_same_environment() {
+        let cfg = tiny_cfg(3);
+        let a = Environment::build(&cfg);
+        let b = Environment::build(&cfg);
+        assert_eq!(a.initial_global, b.initial_global);
+        let (xa, ya) = a.client_data[0].full_batch();
+        let (xb, yb) = b.client_data[0].full_batch();
+        assert_eq!(xa, xb);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn untrained_model_accuracy_near_chance() {
+        let cfg = tiny_cfg(1);
+        let mut env = Environment::build(&cfg);
+        let g = env.initial_global.clone();
+        let acc = env.evaluate(&g);
+        assert!(acc < 0.35, "untrained accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    fn grad_norm_positive_for_untrained_model() {
+        let mut cfg = tiny_cfg(2);
+        cfg.grad_norm_probe = true;
+        let mut env = Environment::build(&cfg);
+        let g = env.initial_global.clone();
+        assert!(env.grad_norm_sq(&g) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "grad_norm_probe disabled")]
+    fn grad_norm_requires_flag() {
+        let cfg = tiny_cfg(2);
+        let mut env = Environment::build(&cfg);
+        let g = env.initial_global.clone();
+        env.grad_norm_sq(&g);
+    }
+}

@@ -1,0 +1,37 @@
+//! # seafl-core
+//!
+//! The SEAFL federated-learning framework: staleness-aware semi-asynchronous
+//! aggregation with adaptive update weighting (the paper's Eqs. 4–8), the
+//! SEAFL² partial-training extension, and the three baselines the paper
+//! compares against (FedAvg, FedAsync, FedBuff), all driven by the
+//! deterministic discrete-event simulator in `seafl-sim`.
+//!
+//! ## Map from paper to code
+//!
+//! | Paper | Code |
+//! |---|---|
+//! | Eq. 4 staleness factor γ | [`weighting::staleness_factor`] |
+//! | Eq. 5 importance s (cosine) | [`weighting::importance_factor`] |
+//! | Eq. 6 aggregation weight p | [`weighting::aggregation_weights`] |
+//! | Eqs. 7–8 buffer aggregation + ϑ-mixing | [`aggregator::SeaflAggregator`] |
+//! | Algorithm 1 (SEAFL) | [`engine::semi_async`] with [`StalenessPolicy::WaitForStale`] |
+//! | Algorithm 2 (SEAFL², partial training) | [`engine::semi_async`] with [`StalenessPolicy::NotifyPartial`] |
+//! | FedBuff baseline | [`aggregator::FedBuffAggregator`] (uniform 1/K weights, β = ∞) |
+//! | FedAsync baseline | [`aggregator::FedAsyncAggregator`] (K = 1, polynomial staleness mixing) |
+//! | FedAvg baseline | [`engine::sync`] |
+
+pub mod aggregator;
+pub mod buffer;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod selection;
+pub mod update;
+pub mod weighting;
+
+pub use aggregator::{Aggregator, FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
+pub use config::{Algorithm, ExperimentConfig, PartitionStrategy, SelectionPolicy, StalenessPolicy};
+pub use engine::{run_experiment, RunResult};
+pub use update::ModelUpdate;
+pub use weighting::ImportanceMode;

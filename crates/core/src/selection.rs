@@ -1,0 +1,158 @@
+//! Client-selection policies.
+
+use crate::config::SelectionPolicy;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use seafl_sim::DeviceProfile;
+
+/// Pick up to `n` distinct clients from `candidates` under `policy`.
+///
+/// `Uniform` shuffles and takes a prefix (exactly the engine's historical
+/// behaviour, so default-policy runs are bit-reproducible across versions).
+/// `SpeedBiased` performs weighted sampling without replacement with weight
+/// `speed_factor^{-exponent}`.
+pub fn select_clients(
+    policy: SelectionPolicy,
+    candidates: &[usize],
+    fleet: &[DeviceProfile],
+    n: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    match policy {
+        SelectionPolicy::Uniform => {
+            let mut pool = candidates.to_vec();
+            pool.shuffle(rng);
+            pool.truncate(n);
+            pool
+        }
+        SelectionPolicy::SpeedBiased { exponent } => {
+            let mut pool: Vec<usize> = candidates.to_vec();
+            let mut weights: Vec<f64> = pool
+                .iter()
+                .map(|&k| fleet[k].speed_factor.max(1e-9).powf(-exponent))
+                .collect();
+            let mut picked = Vec::with_capacity(n.min(pool.len()));
+            while picked.len() < n && !pool.is_empty() {
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.gen::<f64>() * total;
+                let mut idx = pool.len() - 1;
+                for (i, &w) in weights.iter().enumerate() {
+                    if draw < w {
+                        idx = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                picked.push(pool.swap_remove(idx));
+                weights.swap_remove(idx);
+            }
+            picked
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet(speeds: &[f64]) -> Vec<DeviceProfile> {
+        speeds
+            .iter()
+            .enumerate()
+            .map(|(id, &s)| DeviceProfile {
+                id,
+                speed_factor: s,
+                idle: None,
+                up_bandwidth: 1e6,
+                down_bandwidth: 1e6,
+                latency: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_returns_distinct_prefix() {
+        let f = fleet(&[1.0; 10]);
+        let cands: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picked = select_clients(SelectionPolicy::Uniform, &cands, &f, 4, &mut rng);
+        assert_eq!(picked.len(), 4);
+        let mut p = picked.clone();
+        p.sort_unstable();
+        p.dedup();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn biased_selection_prefers_fast_devices() {
+        // Devices 0..5 fast (speed 1), 5..10 slow (speed 10). Positive
+        // exponent must pick fast devices far more often.
+        let f = fleet(&[1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0, 10.0]);
+        let cands: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fast_picks = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            for k in select_clients(
+                SelectionPolicy::SpeedBiased { exponent: 2.0 },
+                &cands,
+                &f,
+                2,
+                &mut rng,
+            ) {
+                total += 1;
+                if k < 5 {
+                    fast_picks += 1;
+                }
+            }
+        }
+        let frac = fast_picks as f64 / total as f64;
+        assert!(frac > 0.85, "fast fraction only {frac}");
+    }
+
+    #[test]
+    fn negative_exponent_boosts_stragglers() {
+        let f = fleet(&[1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0, 10.0]);
+        let cands: Vec<usize> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut slow_picks = 0usize;
+        let mut total = 0usize;
+        for _ in 0..400 {
+            for k in select_clients(
+                SelectionPolicy::SpeedBiased { exponent: -2.0 },
+                &cands,
+                &f,
+                2,
+                &mut rng,
+            ) {
+                total += 1;
+                if k >= 5 {
+                    slow_picks += 1;
+                }
+            }
+        }
+        assert!(slow_picks as f64 / total as f64 > 0.85);
+    }
+
+    #[test]
+    fn requesting_more_than_available_returns_all() {
+        let f = fleet(&[1.0, 2.0, 3.0]);
+        let cands = vec![0, 1, 2];
+        let mut rng = StdRng::seed_from_u64(3);
+        for policy in [SelectionPolicy::Uniform, SelectionPolicy::SpeedBiased { exponent: 1.0 }] {
+            let picked = select_clients(policy, &cands, &f, 99, &mut rng);
+            let mut p = picked.clone();
+            p.sort_unstable();
+            assert_eq!(p, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let f = fleet(&[]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(select_clients(SelectionPolicy::Uniform, &[], &f, 3, &mut rng).is_empty());
+    }
+}

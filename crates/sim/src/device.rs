@@ -1,0 +1,192 @@
+//! Per-device compute, idle, and network models, and fleet construction.
+
+use crate::rng::{stream_rng, streams};
+use rand::Rng;
+use seafl_data::sampling::{ParetoSpeed, ZipfIdle};
+use serde::{Deserialize, Serialize};
+
+/// Timing model for one simulated device.
+///
+/// Training time for one epoch of `b` batches is
+/// `b · base_batch_time · speed_factor + idle`, where `idle` is drawn per
+/// epoch from the optional Zipf idle model (the paper's §III setup) and
+/// `speed_factor` is a fixed per-device multiplier (the paper's §VI Pareto
+/// setup). Upload/download of a model of `bytes` costs
+/// `latency + bytes / bandwidth`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    pub id: usize,
+    /// Fixed compute-speed multiplier (≥ 1; 1 = fastest tier).
+    pub speed_factor: f64,
+    /// Optional per-epoch idle-period generator.
+    pub idle: Option<ZipfIdle>,
+    /// Uplink bandwidth, bytes/second.
+    pub up_bandwidth: f64,
+    /// Downlink bandwidth, bytes/second.
+    pub down_bandwidth: f64,
+    /// One-way network latency, seconds.
+    pub latency: f64,
+}
+
+impl DeviceProfile {
+    /// Compute time for one local epoch of `batches` minibatches, excluding
+    /// idle periods.
+    pub fn epoch_compute_time(&self, batches: usize, base_batch_time: f64) -> f64 {
+        assert!(base_batch_time > 0.0, "base_batch_time must be positive");
+        batches as f64 * base_batch_time * self.speed_factor
+    }
+
+    /// Draw this epoch's idle period (0 if the device has no idle model).
+    pub fn idle_time(&self, rng: &mut impl Rng) -> f64 {
+        self.idle.map_or(0.0, |z| z.sample(rng))
+    }
+
+    /// Time to upload `bytes` to the server.
+    pub fn upload_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.up_bandwidth
+    }
+
+    /// Time for the server to push `bytes` down to this device.
+    pub fn download_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.down_bandwidth
+    }
+}
+
+/// Fleet-level configuration: how to build `n` heterogeneous devices.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FleetConfig {
+    pub num_devices: usize,
+    /// Seconds of compute per minibatch on the fastest tier.
+    pub base_batch_time: f64,
+    /// Heavy-tailed fixed speed factors (None ⇒ all devices speed 1).
+    pub pareto_speed: Option<ParetoSpeed>,
+    /// Per-epoch Zipf idle periods (None ⇒ no idling).
+    pub zipf_idle: Option<ZipfIdle>,
+    /// Uplink bandwidth, bytes/second (same for all devices here; per-device
+    /// heterogeneity comes from the speed factor, matching the paper).
+    pub up_bandwidth: f64,
+    pub down_bandwidth: f64,
+    pub latency: f64,
+}
+
+impl FleetConfig {
+    /// The paper's main-evaluation fleet: Pareto speed factors, no idle.
+    pub fn pareto_fleet(num_devices: usize) -> Self {
+        FleetConfig {
+            num_devices,
+            base_batch_time: 0.05,
+            pareto_speed: Some(ParetoSpeed::paper_default()),
+            zipf_idle: None,
+            up_bandwidth: 1e6,
+            down_bandwidth: 4e6,
+            latency: 0.05,
+        }
+    }
+
+    /// The §III insights fleet: uniform compute, Zipf(1.7, 60 s) idle after
+    /// every epoch.
+    pub fn zipf_idle_fleet(num_devices: usize) -> Self {
+        FleetConfig {
+            num_devices,
+            base_batch_time: 0.05,
+            pareto_speed: None,
+            zipf_idle: Some(ZipfIdle::paper_default()),
+            up_bandwidth: 1e6,
+            down_bandwidth: 4e6,
+            latency: 0.05,
+        }
+    }
+
+    /// Materialize the fleet deterministically from `master_seed`.
+    pub fn build(&self, master_seed: u64) -> Vec<DeviceProfile> {
+        assert!(self.num_devices > 0, "FleetConfig: zero devices");
+        let mut rng = stream_rng(master_seed, streams::FLEET);
+        (0..self.num_devices)
+            .map(|id| DeviceProfile {
+                id,
+                speed_factor: self.pareto_speed.map_or(1.0, |p| p.sample(&mut rng)),
+                idle: self.zipf_idle,
+                up_bandwidth: self.up_bandwidth,
+                down_bandwidth: self.down_bandwidth,
+                latency: self.latency,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epoch_compute_scales_with_speed_factor() {
+        let slow = DeviceProfile {
+            id: 0,
+            speed_factor: 4.0,
+            idle: None,
+            up_bandwidth: 1e6,
+            down_bandwidth: 1e6,
+            latency: 0.0,
+        };
+        assert!((slow.epoch_compute_time(10, 0.1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_times() {
+        let d = DeviceProfile {
+            id: 0,
+            speed_factor: 1.0,
+            idle: None,
+            up_bandwidth: 1e6,
+            down_bandwidth: 2e6,
+            latency: 0.05,
+        };
+        assert!((d.upload_time(1_000_000) - 1.05).abs() < 1e-9);
+        assert!((d.download_time(1_000_000) - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_time_zero_without_model() {
+        let d = DeviceProfile {
+            id: 0,
+            speed_factor: 1.0,
+            idle: None,
+            up_bandwidth: 1.0,
+            down_bandwidth: 1.0,
+            latency: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.idle_time(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn pareto_fleet_is_heterogeneous_and_deterministic() {
+        let cfg = FleetConfig::pareto_fleet(100);
+        let f1 = cfg.build(7);
+        let f2 = cfg.build(7);
+        assert_eq!(f1.len(), 100);
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert_eq!(a.speed_factor, b.speed_factor);
+        }
+        let min = f1.iter().map(|d| d.speed_factor).fold(f64::INFINITY, f64::min);
+        let max = f1.iter().map(|d| d.speed_factor).fold(0.0, f64::max);
+        assert!(max / min > 3.0, "fleet not heterogeneous: {min}..{max}");
+    }
+
+    #[test]
+    fn zipf_fleet_has_idle_models() {
+        let fleet = FleetConfig::zipf_idle_fleet(5).build(0);
+        assert!(fleet.iter().all(|d| d.idle.is_some()));
+        assert!(fleet.iter().all(|d| d.speed_factor == 1.0));
+    }
+
+    #[test]
+    fn different_seed_different_fleet() {
+        let cfg = FleetConfig::pareto_fleet(50);
+        let a = cfg.build(1);
+        let b = cfg.build(2);
+        assert!(a.iter().zip(b.iter()).any(|(x, y)| x.speed_factor != y.speed_factor));
+    }
+}

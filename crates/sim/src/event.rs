@@ -1,0 +1,165 @@
+//! The event queue: a min-heap over (time, sequence) with deterministic
+//! FIFO tie-breaking, so simulations replay identically.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first;
+        // ties broken by insertion order (earlier seq first).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discrete-event queue delivering events in nondecreasing time order, FIFO
+/// among equal timestamps.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, last_popped: SimTime::ZERO }
+    }
+
+    /// Schedule `event` at absolute time `time`. Scheduling earlier than the
+    /// last popped event is a logic error (it would be delivered "in the
+    /// past") and panics.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "scheduling at {:?} before current time {:?}",
+            time,
+            self.last_popped
+        );
+        self.heap.push(Scheduled { time, seq: self.next_seq, event });
+        self.next_seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.last_popped, "heap violated monotonicity");
+        self.last_popped = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5.0);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2.0), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_nondecreasing(times in proptest::collection::vec(0.0f64..1000.0, 1..100)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule(SimTime::from_secs(t), ());
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # seafl-sim
+//!
+//! A deterministic discrete-event simulator for heterogeneous federated
+//! learning fleets.
+//!
+//! The SEAFL paper measures *elapsed wall-clock time to reach a target
+//! accuracy* on a testbed that **emulates** client speed (all clients run on
+//! one GPU; artificial Pareto/Zipf delays model heterogeneity — §III and
+//! §VI-A). This crate makes that emulation explicit: a virtual clock
+//! ([`SimTime`]), a totally ordered event queue ([`EventQueue`]) with
+//! deterministic tie-breaking, and per-device compute/idle/network models
+//! ([`DeviceProfile`]). Model training is *real* (the `seafl-nn` stack);
+//! only time is simulated, so every experiment is exactly reproducible from
+//! a seed.
+
+pub mod device;
+pub mod event;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use device::{DeviceProfile, FleetConfig};
+pub use event::EventQueue;
+pub use time::SimTime;
+pub use trace::{TraceEvent, TraceLog};

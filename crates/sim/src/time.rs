@@ -1,0 +1,113 @@
+//! Virtual time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+///
+/// Total order: construction rejects NaN, so `Ord` is safe.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds; panics on NaN or negative values.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s.is_finite(), "SimTime must be finite, got {s}");
+        assert!(s >= 0.0, "SimTime must be non-negative, got {s}");
+        SimTime(s)
+    }
+
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// `self + duration` (seconds); panics if the duration is negative/NaN.
+    pub fn after(&self, duration: f64) -> SimTime {
+        assert!(duration.is_finite() && duration >= 0.0, "bad duration {duration}");
+        SimTime(self.0 + duration)
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: constructors reject NaN.
+        self.partial_cmp(other).expect("SimTime is NaN-free")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = a.after(2.5);
+        assert!(b > a);
+        assert_eq!(b.as_secs(), 3.5);
+        assert!((b - a - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += 4.0;
+        assert_eq!(t.as_secs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn negative_duration_panics() {
+        SimTime::ZERO.after(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        SimTime::from_secs(f64::NAN);
+    }
+}

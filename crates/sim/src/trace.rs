@@ -1,0 +1,123 @@
+//! Structured event trace of a simulation run.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One recorded simulation event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Client `id` started local training on global round `round`.
+    ClientStart { id: usize, round: u64 },
+    /// Client `id` finished a local epoch (`epoch` is 1-based).
+    EpochDone { id: usize, epoch: usize },
+    /// Client `id` uploaded an update born at round `born_round`, having
+    /// completed `epochs` local epochs (may be < E under partial training).
+    Upload { id: usize, born_round: u64, epochs: usize },
+    /// Server notified client `id` that it exceeded the staleness limit
+    /// (SEAFL² partial-training path).
+    Notify { id: usize },
+    /// Server discarded client `id`'s buffered update because its staleness
+    /// exceeded the limit (SAFA-style drop policy).
+    Drop { id: usize, staleness: u64 },
+    /// Server aggregated `num_updates` updates into global round `round`.
+    Aggregate { round: u64, num_updates: usize },
+    /// Global model evaluated: test accuracy at this instant.
+    Eval { round: u64, accuracy: f64 },
+}
+
+/// Time-stamped append-only trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    entries: Vec<(SimTime, TraceEvent)>,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        TraceLog { entries: Vec::new() }
+    }
+
+    pub fn push(&mut self, time: SimTime, ev: TraceEvent) {
+        if let Some((last, _)) = self.entries.last() {
+            debug_assert!(time >= *last, "trace must be time-ordered");
+        }
+        self.entries.push((time, ev));
+    }
+
+    pub fn entries(&self) -> &[(SimTime, TraceEvent)] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.entries.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Number of server aggregations.
+    pub fn num_aggregations(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Aggregate { .. }))
+    }
+
+    /// Number of staleness notifications sent (SEAFL²).
+    pub fn num_notifications(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Notify { .. }))
+    }
+
+    /// Number of updates discarded for staleness (drop policy).
+    pub fn num_drops(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Drop { .. }))
+    }
+
+    /// All `(time, accuracy)` evaluation points, for accuracy-vs-time curves.
+    pub fn accuracy_series(&self) -> Vec<(f64, f64)> {
+        self.entries
+            .iter()
+            .filter_map(|(t, e)| match e {
+                TraceEvent::Eval { accuracy, .. } => Some((t.as_secs(), *accuracy)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut log = TraceLog::new();
+        log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: 0, round: 0 });
+        log.push(
+            SimTime::from_secs(2.0),
+            TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 },
+        );
+        log.push(SimTime::from_secs(2.0), TraceEvent::Aggregate { round: 1, num_updates: 1 });
+        log.push(SimTime::from_secs(2.5), TraceEvent::Eval { round: 1, accuracy: 0.5 });
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.num_aggregations(), 1);
+        assert_eq!(log.num_notifications(), 0);
+        assert_eq!(log.accuracy_series(), vec![(2.5, 0.5)]);
+    }
+
+    #[test]
+    fn accuracy_series_in_order() {
+        let mut log = TraceLog::new();
+        for (i, acc) in [0.2, 0.4, 0.6].iter().enumerate() {
+            log.push(
+                SimTime::from_secs(i as f64),
+                TraceEvent::Eval { round: i as u64, accuracy: *acc },
+            );
+        }
+        let s = log.accuracy_series();
+        assert_eq!(s.len(), 3);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

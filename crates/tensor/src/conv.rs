@@ -1,0 +1,608 @@
+//! im2col-based 2-D convolution and pooling primitives (NCHW layout).
+//!
+//! The convolution layers in `seafl-nn` lower convolution to matrix
+//! multiplication: `im2col` unfolds input patches into the rows of a matrix,
+//! a single rayon-parallel GEMM produces all output positions, and `col2im`
+//! folds patch gradients back for the input gradient.
+
+use crate::matmul;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Static description of one 2-D convolution/pooling geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    pub in_c: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub k_h: usize,
+    pub k_w: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl Conv2dGeom {
+    /// Output height for this geometry; panics if the kernel does not fit.
+    pub fn out_h(&self) -> usize {
+        out_dim(self.in_h, self.k_h, self.stride, self.pad)
+    }
+
+    /// Output width for this geometry.
+    pub fn out_w(&self) -> usize {
+        out_dim(self.in_w, self.k_w, self.stride, self.pad)
+    }
+
+    /// Number of elements in one unfolded patch (= GEMM inner dimension).
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.k_h * self.k_w
+    }
+}
+
+fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
+    assert!(stride > 0, "stride must be positive");
+    (padded - kernel) / stride + 1
+}
+
+/// Unfold `input [n, c, h, w]` into `[n*oh*ow, c*kh*kw]` patch rows.
+pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
+    let shape = input.shape();
+    assert_eq!(shape.rank(), 4, "im2col expects NCHW rank-4 input");
+    let (n, c, h, w) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+    assert_eq!((c, h, w), (g.in_c, g.in_h, g.in_w), "im2col: geometry mismatch");
+
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let patch = g.patch_len();
+    let rows_per_img = oh * ow;
+    let mut out = vec![0.0f32; n * rows_per_img * patch];
+    let x = input.as_slice();
+    let img_stride = c * h * w;
+
+    out.par_chunks_mut(rows_per_img * patch)
+        .enumerate()
+        .for_each(|(ni, img_rows)| {
+            let img = &x[ni * img_stride..(ni + 1) * img_stride];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = &mut img_rows[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
+                    let mut idx = 0;
+                    for ci in 0..c {
+                        let chan = &img[ci * h * w..(ci + 1) * h * w];
+                        for ky in 0..g.k_h {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            for kx in 0..g.k_w {
+                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                row[idx] = if iy >= 0
+                                    && iy < h as isize
+                                    && ix >= 0
+                                    && ix < w as isize
+                                {
+                                    chan[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+
+    Tensor::from_vec(Shape::d2(n * rows_per_img, patch), out)
+}
+
+/// Fold patch-row gradients `[n*oh*ow, c*kh*kw]` back into an input gradient
+/// `[n, c, h, w]`, accumulating overlapping contributions.
+pub fn col2im(cols: &Tensor, n: usize, g: &Conv2dGeom) -> Tensor {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let patch = g.patch_len();
+    assert_eq!(cols.shape().dim(0), n * oh * ow, "col2im: row count mismatch");
+    assert_eq!(cols.shape().dim(1), patch, "col2im: patch length mismatch");
+
+    let (c, h, w) = (g.in_c, g.in_h, g.in_w);
+    let img_stride = c * h * w;
+    let mut out = vec![0.0f32; n * img_stride];
+    let cv = cols.as_slice();
+    let rows_per_img = oh * ow;
+
+    // Parallel over images: each image's gradient is written by one task.
+    out.par_chunks_mut(img_stride).enumerate().for_each(|(ni, img)| {
+        let img_rows = &cv[ni * rows_per_img * patch..(ni + 1) * rows_per_img * patch];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &img_rows[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
+                let mut idx = 0;
+                for ci in 0..c {
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                img[ci * h * w + iy as usize * w + ix as usize] += row[idx];
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+    });
+
+    Tensor::from_vec(Shape::d4(n, c, h, w), out)
+}
+
+/// Convolution forward pass.
+///
+/// * `input`: `[n, c, h, w]`
+/// * `weight`: `[oc, c*kh*kw]` (already flattened filters)
+/// * `bias`: `[oc]`
+///
+/// Returns `(output [n, oc, oh, ow], cols)` where `cols` is the im2col buffer
+/// the caller should keep for the backward pass.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &[f32],
+    g: &Conv2dGeom,
+) -> (Tensor, Tensor) {
+    let n = input.shape().dim(0);
+    let oc = weight.shape().dim(0);
+    assert_eq!(weight.shape().dim(1), g.patch_len(), "conv2d: weight patch length");
+    assert_eq!(bias.len(), oc, "conv2d: bias length");
+
+    let cols = im2col(input, g);
+    // [n*oh*ow, patch] × [patch, oc] via A·Bᵀ with B = weight [oc, patch]
+    let prod = matmul::matmul_a_bt(&cols, weight); // [n*oh*ow, oc]
+
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let hw = oh * ow;
+    let mut out = vec![0.0f32; n * oc * hw];
+    let pv = prod.as_slice();
+    // Transpose [n*hw, oc] -> [n, oc, hw] and add bias.
+    out.par_chunks_mut(oc * hw).enumerate().for_each(|(ni, img)| {
+        for (pos, prow) in pv[ni * hw * oc..(ni + 1) * hw * oc].chunks_exact(oc).enumerate() {
+            for (co, &v) in prow.iter().enumerate() {
+                img[co * hw + pos] = v + bias[co];
+            }
+        }
+    });
+
+    (Tensor::from_vec(Shape::d4(n, oc, oh, ow), out), cols)
+}
+
+/// Convolution backward pass.
+///
+/// Given `grad_out [n, oc, oh, ow]`, the stored `cols` buffer and the weight,
+/// returns `(grad_input, grad_weight, grad_bias)`.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    cols: &Tensor,
+    weight: &Tensor,
+    g: &Conv2dGeom,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let s = grad_out.shape();
+    let (n, oc, oh, ow) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    assert_eq!((oh, ow), (g.out_h(), g.out_w()), "conv2d_backward: geometry");
+    let hw = oh * ow;
+    let patch = g.patch_len();
+
+    // Reorder grad_out [n, oc, hw] -> G [n*hw, oc] to match the im2col rows.
+    let gv = grad_out.as_slice();
+    let mut gmat = vec![0.0f32; n * hw * oc];
+    gmat.par_chunks_mut(hw * oc).enumerate().for_each(|(ni, rows)| {
+        let img = &gv[ni * oc * hw..(ni + 1) * oc * hw];
+        for (pos, row) in rows.chunks_exact_mut(oc).enumerate() {
+            for (co, cell) in row.iter_mut().enumerate() {
+                *cell = img[co * hw + pos];
+            }
+        }
+    });
+    let gmat = Tensor::from_vec(Shape::d2(n * hw, oc), gmat);
+
+    // grad_weight [oc, patch] = Gᵀ × cols
+    let grad_weight = matmul::matmul_at_b(&gmat, cols);
+    debug_assert_eq!(grad_weight.shape(), Shape::d2(oc, patch));
+
+    // grad_bias [oc] = column sums of G
+    let gm = gmat.as_slice();
+    let mut grad_bias = vec![0.0f32; oc];
+    for row in gm.chunks_exact(oc) {
+        for (b, &v) in grad_bias.iter_mut().zip(row.iter()) {
+            *b += v;
+        }
+    }
+
+    // grad_cols [n*hw, patch] = G × W, then fold back.
+    let grad_cols = matmul::matmul(&gmat, weight);
+    let grad_input = col2im(&grad_cols, n, g);
+
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// Max-pooling forward: returns `(output, argmax)` where `argmax` stores, for
+/// each output cell, the flat input index that produced the max (needed to
+/// route gradients in the backward pass).
+pub fn maxpool2d_forward(input: &Tensor, k: usize, stride: usize) -> (Tensor, Vec<u32>) {
+    let s = input.shape();
+    assert_eq!(s.rank(), 4, "maxpool expects rank-4");
+    let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let oh = out_dim(h, k, stride, 0);
+    let ow = out_dim(w, k, stride, 0);
+
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0u32; n * c * oh * ow];
+
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan_off = (ni * c + ci) * h * w;
+            let out_off = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * stride + ky;
+                            let ix = ox * stride + kx;
+                            let idx = chan_off + iy * w + ix;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[out_off + oy * ow + ox] = best;
+                    arg[out_off + oy * ow + ox] = best_idx as u32;
+                }
+            }
+        }
+    }
+
+    (Tensor::from_vec(Shape::d4(n, c, oh, ow), out), arg)
+}
+
+/// Max-pooling backward: scatter `grad_out` to the argmax positions.
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[u32], input_shape: Shape) -> Tensor {
+    assert_eq!(grad_out.len(), argmax.len(), "maxpool backward: argmax length");
+    let mut grad_in = vec![0.0f32; input_shape.len()];
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        grad_in[idx as usize] += g;
+    }
+    Tensor::from_vec(input_shape, grad_in)
+}
+
+/// Average-pooling forward over `k × k` windows with the given stride.
+pub fn avgpool2d_forward(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    let s = input.shape();
+    assert_eq!(s.rank(), 4, "avgpool expects rank-4");
+    let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let oh = out_dim(h, k, stride, 0);
+    let ow = out_dim(w, k, stride, 0);
+    let inv = 1.0 / (k * k) as f32;
+
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan_off = (ni * c + ci) * h * w;
+            let out_off = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            acc += x[chan_off + (oy * stride + ky) * w + (ox * stride + kx)];
+                        }
+                    }
+                    out[out_off + oy * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d4(n, c, oh, ow), out)
+}
+
+/// Average-pooling backward: spread each output gradient uniformly over its
+/// window.
+pub fn avgpool2d_backward(
+    grad_out: &Tensor,
+    k: usize,
+    stride: usize,
+    input_shape: Shape,
+) -> Tensor {
+    let s = grad_out.shape();
+    let (n, c, oh, ow) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let (h, w) = (input_shape.dim(2), input_shape.dim(3));
+    let inv = 1.0 / (k * k) as f32;
+
+    let gv = grad_out.as_slice();
+    let mut grad_in = vec![0.0f32; input_shape.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan_off = (ni * c + ci) * h * w;
+            let out_off = (ni * c + ci) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gv[out_off + oy * ow + ox] * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            grad_in[chan_off + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(input_shape, grad_in)
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let s = input.shape();
+    let (n, c, h, w) = (s.dim(0), s.dim(1), s.dim(2), s.dim(3));
+    let inv = 1.0 / (h * w) as f32;
+    let x = input.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for (i, chan) in x.chunks_exact(h * w).enumerate() {
+        out[i] = chan.iter().sum::<f32>() * inv;
+    }
+    Tensor::from_vec(Shape::d2(n, c), out)
+}
+
+/// Backward of global average pooling.
+pub fn global_avgpool_backward(grad_out: &Tensor, input_shape: Shape) -> Tensor {
+    let (h, w) = (input_shape.dim(2), input_shape.dim(3));
+    let inv = 1.0 / (h * w) as f32;
+    let gv = grad_out.as_slice();
+    let mut grad_in = vec![0.0f32; input_shape.len()];
+    for (i, chunk) in grad_in.chunks_exact_mut(h * w).enumerate() {
+        let g = gv[i] * inv;
+        chunk.iter_mut().for_each(|x| *x = g);
+    }
+    Tensor::from_vec(input_shape, grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: Shape) -> Tensor {
+        Tensor::from_vec(shape, (0..shape.len()).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn geom_output_dims() {
+        let g = Conv2dGeom { in_c: 1, in_h: 28, in_w: 28, k_h: 5, k_w: 5, stride: 1, pad: 0 };
+        assert_eq!(g.out_h(), 24);
+        assert_eq!(g.out_w(), 24);
+        let g2 = Conv2dGeom { in_c: 3, in_h: 32, in_w: 32, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        assert_eq!(g2.out_h(), 32);
+        let g3 = Conv2dGeom { in_c: 3, in_h: 32, in_w: 32, k_h: 3, k_w: 3, stride: 2, pad: 1 };
+        assert_eq!(g3.out_h(), 16);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape/permute.
+        let x = seq_tensor(Shape::d4(1, 2, 2, 2));
+        let g = Conv2dGeom { in_c: 2, in_h: 2, in_w: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), Shape::d2(4, 2));
+        // row for position (0,0) contains channels [x[0,0,0,0], x[0,1,0,0]] = [0, 4]
+        assert_eq!(cols.row(0), &[0.0, 4.0]);
+        assert_eq!(cols.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_padding_zero_fills() {
+        let x = Tensor::full(Shape::d4(1, 1, 2, 2), 1.0);
+        let g = Conv2dGeom { in_c: 1, in_h: 2, in_w: 2, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let cols = im2col(&x, &g);
+        // Top-left output position: only the bottom-right 2x2 of the kernel
+        // overlaps real input.
+        let r0 = cols.row(0);
+        assert_eq!(r0.iter().filter(|&&v| v == 1.0).count(), 4);
+        assert_eq!(r0.iter().filter(|&&v| v == 0.0).count(), 5);
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    /// Direct (nested-loop) convolution reference.
+    fn conv_naive(input: &Tensor, weight: &Tensor, bias: &[f32], g: &Conv2dGeom) -> Tensor {
+        let n = input.shape().dim(0);
+        let oc = weight.shape().dim(0);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = Tensor::zeros(Shape::d4(n, oc, oh, ow));
+        for ni in 0..n {
+            for co in 0..oc {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[co];
+                        let mut widx = 0;
+                        for ci in 0..g.in_c {
+                            for ky in 0..g.k_h {
+                                for kx in 0..g.k_w {
+                                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                                    if iy >= 0
+                                        && (iy as usize) < g.in_h
+                                        && ix >= 0
+                                        && (ix as usize) < g.in_w
+                                    {
+                                        acc += input.get4(ni, ci, iy as usize, ix as usize)
+                                            * weight.get2(co, widx);
+                                    }
+                                    widx += 1;
+                                }
+                            }
+                        }
+                        out.set4(ni, co, oy, ox, acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rng_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        Tensor::from_vec(
+            shape,
+            (0..shape.len())
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    (s as f64 / u64::MAX as f64) as f32 - 0.5
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conv_forward_matches_naive() {
+        for &(pad, stride) in &[(0usize, 1usize), (1, 1), (1, 2)] {
+            let g = Conv2dGeom { in_c: 3, in_h: 8, in_w: 8, k_h: 3, k_w: 3, stride, pad };
+            let x = rng_tensor(Shape::d4(2, 3, 8, 8), 5);
+            let w = rng_tensor(Shape::d2(4, g.patch_len()), 6);
+            let b = vec![0.1, -0.2, 0.3, 0.0];
+            let (fast, _) = conv2d_forward(&x, &w, &b, &g);
+            let slow = conv_naive(&x, &w, &b, &g);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "pad={pad} stride={stride}: {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — adjointness is exactly what the
+        // backward pass relies on.
+        let g = Conv2dGeom { in_c: 2, in_h: 5, in_w: 5, k_h: 3, k_w: 3, stride: 2, pad: 1 };
+        let x = rng_tensor(Shape::d4(2, 2, 5, 5), 11);
+        let cols = im2col(&x, &g);
+        let y = rng_tensor(cols.shape(), 12);
+        let lhs = cols.dot(&y);
+        let folded = col2im(&y, 2, &g);
+        let rhs = x.dot(&folded);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_weight_grad_finite_difference() {
+        let g = Conv2dGeom { in_c: 1, in_h: 5, in_w: 5, k_h: 3, k_w: 3, stride: 1, pad: 0 };
+        let x = rng_tensor(Shape::d4(1, 1, 5, 5), 21);
+        let mut w = rng_tensor(Shape::d2(2, 9), 22);
+        let b = vec![0.0, 0.0];
+        // Loss = sum(output); grad_out = ones.
+        let (out, cols) = conv2d_forward(&x, &w, &b, &g);
+        let gout = Tensor::full(out.shape(), 1.0);
+        let (_, gw, gb) = conv2d_backward(&gout, &cols, &w, &g);
+
+        let eps = 1e-3;
+        for idx in [0usize, 5, 9, 17] {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let (outp, _) = conv2d_forward(&x, &w, &b, &g);
+            w.as_mut_slice()[idx] = orig - eps;
+            let (outm, _) = conv2d_forward(&x, &w, &b, &g);
+            w.as_mut_slice()[idx] = orig;
+            let fd = (outp.sum() - outm.sum()) / (2.0 * eps);
+            assert!(
+                (fd - gw.as_slice()[idx]).abs() < 1e-2,
+                "weight grad mismatch at {idx}: fd={fd}, analytic={}",
+                gw.as_slice()[idx]
+            );
+        }
+        // Bias gradient for a sum loss is the number of output positions.
+        assert!((gb[0] - (out.len() / 2) as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn conv_backward_input_grad_finite_difference() {
+        let g = Conv2dGeom { in_c: 2, in_h: 4, in_w: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let mut x = rng_tensor(Shape::d4(1, 2, 4, 4), 31);
+        let w = rng_tensor(Shape::d2(3, g.patch_len()), 32);
+        let b = vec![0.0; 3];
+        let (out, cols) = conv2d_forward(&x, &w, &b, &g);
+        let gout = Tensor::full(out.shape(), 1.0);
+        let (gx, _, _) = conv2d_backward(&gout, &cols, &w, &g);
+
+        let eps = 1e-3;
+        for idx in [0usize, 7, 15, 31] {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let (outp, _) = conv2d_forward(&x, &w, &b, &g);
+            x.as_mut_slice()[idx] = orig - eps;
+            let (outm, _) = conv2d_forward(&x, &w, &b, &g);
+            x.as_mut_slice()[idx] = orig;
+            let fd = (outp.sum() - outm.sum()) / (2.0 * eps);
+            assert!(
+                (fd - gx.as_slice()[idx]).abs() < 1e-2,
+                "input grad mismatch at {idx}: fd={fd}, analytic={}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            Shape::d4(1, 1, 4, 4),
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        );
+        let (out, arg) = maxpool2d_forward(&x, 2, 2);
+        assert_eq!(out.as_slice(), &[6., 8., 14., 16.]);
+        let gout = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1., 2., 3., 4.]);
+        let gin = maxpool2d_backward(&gout, &arg, x.shape());
+        assert_eq!(gin.get4(0, 0, 1, 1), 1.0);
+        assert_eq!(gin.get4(0, 0, 1, 3), 2.0);
+        assert_eq!(gin.get4(0, 0, 3, 1), 3.0);
+        assert_eq!(gin.get4(0, 0, 3, 3), 4.0);
+        assert!((gin.sum() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn avgpool_forward_and_backward_conserve_mass() {
+        let x = seq_tensor(Shape::d4(1, 2, 4, 4));
+        let out = avgpool2d_forward(&x, 2, 2);
+        assert_eq!(out.shape(), Shape::d4(1, 2, 2, 2));
+        // First window mean of [0,1,4,5] = 2.5
+        assert!((out.get4(0, 0, 0, 0) - 2.5).abs() < 1e-6);
+        let gout = Tensor::full(out.shape(), 1.0);
+        let gin = avgpool2d_backward(&gout, 2, 2, x.shape());
+        // Each input cell receives 1/4 from exactly one window.
+        assert!((gin.sum() - gout.sum()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn global_avgpool_roundtrip() {
+        let x = seq_tensor(Shape::d4(2, 3, 2, 2));
+        let out = global_avgpool(&x);
+        assert_eq!(out.shape(), Shape::d2(2, 3));
+        assert!((out.get2(0, 0) - 1.5).abs() < 1e-6);
+        let g = global_avgpool_backward(&Tensor::full(out.shape(), 4.0), x.shape());
+        // Each of the 4 positions per channel gets 4/4 = 1.
+        assert!(g.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn kernel_too_large_panics() {
+        let g = Conv2dGeom { in_c: 1, in_h: 2, in_w: 2, k_h: 5, k_w: 5, stride: 1, pad: 0 };
+        g.out_h();
+    }
+}

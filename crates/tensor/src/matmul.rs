@@ -1,0 +1,302 @@
+//! Cache-blocked, rayon-parallel matrix multiplication.
+//!
+//! The hot path of every dense and (via im2col) convolutional layer. The
+//! kernel parallelizes over output row blocks with rayon, so each output
+//! element is written by exactly one thread and the result is bitwise
+//! deterministic regardless of thread count.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Row-block size for the parallel split. Chosen so a block of the B panel
+/// (`MC × k` floats) stays comfortably within L2.
+const ROW_BLOCK: usize = 64;
+
+/// Below this many total multiply-adds the rayon dispatch overhead dominates;
+/// run single-threaded.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `C = A × B` for row-major rank-2 tensors: `[m,k] × [k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul: A must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul: B must be rank-2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul: inner dims differ: A is [{m},{k}], B is [{k2},{n}]");
+
+    let mut out = vec![0.0f32; m * n];
+    matmul_into(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// `C = Aᵀ × B` where A is `[k,m]` row-major: result `[m,n]`.
+///
+/// Used for weight gradients (`dW = Xᵀ dY`) without materializing the
+/// transpose.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_at_b: inner dims differ");
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+
+    let body = |(block_i, chunk): (usize, &mut [f32])| {
+        let row0 = block_i * ROW_BLOCK;
+        let rows = chunk.len() / n;
+        // out[i,j] = sum_p A[p,i] * B[p,j]
+        for p in 0..k {
+            let arow = &av[p * m..(p + 1) * m];
+            let brow = &bv[p * n..(p + 1) * n];
+            for (ri, or) in chunk.chunks_exact_mut(n).enumerate() {
+                let aval = arow[row0 + ri];
+                if aval != 0.0 {
+                    for (o, &bj) in or.iter_mut().zip(brow.iter()) {
+                        *o += aval * bj;
+                    }
+                }
+            }
+        }
+        let _ = rows;
+    };
+
+    if work >= PAR_THRESHOLD {
+        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// `C = A × Bᵀ` where B is `[n,k]` row-major: result `[m,n]`.
+///
+/// Used for input gradients (`dX = dY Wᵀ`) without materializing the
+/// transpose. Inner loops are dot products over contiguous rows, which
+/// vectorizes well.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_a_bt: inner dims differ");
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    let work = m * n * k;
+
+    let body = |(block_i, chunk): (usize, &mut [f32])| {
+        let row0 = block_i * ROW_BLOCK;
+        for (ri, or) in chunk.chunks_exact_mut(n).enumerate() {
+            let arow = &av[(row0 + ri) * k..(row0 + ri + 1) * k];
+            for (j, o) in or.iter_mut().enumerate() {
+                let brow = &bv[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    };
+
+    if work >= PAR_THRESHOLD {
+        out.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    } else {
+        out.chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Raw kernel: `C[m,n] += 0; C = A[m,k] × B[k,n]`, all row-major slices.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_into: A buffer size");
+    assert_eq!(b.len(), k * n, "matmul_into: B buffer size");
+    assert_eq!(c.len(), m * n, "matmul_into: C buffer size");
+
+    let work = m * n * k;
+    let body = |(block_i, chunk): (usize, &mut [f32])| {
+        let row0 = block_i * ROW_BLOCK;
+        // i-k-j loop order: B rows stream contiguously, C row stays hot.
+        for (ri, crow) in chunk.chunks_exact_mut(n).enumerate() {
+            let arow = &a[(row0 + ri) * k..(row0 + ri + 1) * k];
+            crow.iter_mut().for_each(|x| *x = 0.0);
+            for (p, &aval) in arow.iter().enumerate() {
+                if aval != 0.0 {
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cj, &bj) in crow.iter_mut().zip(brow.iter()) {
+                        *cj += aval * bj;
+                    }
+                }
+            }
+        }
+    };
+
+    if work >= PAR_THRESHOLD {
+        c.par_chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(ROW_BLOCK * n).enumerate().for_each(body);
+    }
+}
+
+/// Matrix–vector product `y = A x` for A `[m,k]`, x `[k]`.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    assert_eq!(a.shape().rank(), 2);
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    assert_eq!(x.len(), k, "matvec: vector length mismatch");
+    let av = a.as_slice();
+    (0..m)
+        .map(|i| {
+            let row = &av[i * k..(i + 1) * k];
+            row.iter().zip(x.iter()).map(|(&a, &b)| a * b).sum()
+        })
+        .collect()
+}
+
+/// Naive triple-loop reference used by tests to validate the blocked kernel.
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (_, n) = (b.shape().dim(0), b.shape().dim(1));
+    let mut out = Tensor::zeros(Shape::d2(m, n));
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a.get2(i, p) * b.get2(p, j);
+            }
+            out.set2(i, j, acc);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rng_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let data: Vec<f32> = (0..shape.len())
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s as f64 / u64::MAX as f64) as f32 * 2.0 - 1.0
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    #[test]
+    fn matmul_2x2_known() {
+        let a = Tensor::from_vec(Shape::d2(2, 2), vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(Shape::d2(2, 2), vec![5., 6., 7., 8.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rng_tensor(Shape::d2(5, 5), 1);
+        let mut eye = Tensor::zeros(Shape::d2(5, 5));
+        for i in 0..5 {
+            eye.set2(i, i, 1.0);
+        }
+        assert!(matmul(&a, &eye).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&eye, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_matches_naive_rectangular() {
+        for &(m, k, n) in &[(3, 4, 5), (1, 7, 2), (17, 9, 13), (70, 33, 41)] {
+            let a = rng_tensor(Shape::d2(m, k), m as u64);
+            let b = rng_tensor(Shape::d2(k, n), n as u64);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "mismatch at ({m},{k},{n}): {}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_large_crosses_parallel_threshold() {
+        let (m, k, n) = (130, 80, 90); // > PAR_THRESHOLD work
+        let a = rng_tensor(Shape::d2(m, k), 42);
+        let b = rng_tensor(Shape::d2(k, n), 43);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-3);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = rng_tensor(Shape::d2(6, 4), 7);
+        let b = rng_tensor(Shape::d2(6, 5), 8);
+        let fast = matmul_at_b(&a, &b);
+        let slow = matmul_naive(&a.transpose2(), &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = rng_tensor(Shape::d2(6, 4), 9);
+        let b = rng_tensor(Shape::d2(5, 4), 10);
+        let fast = matmul_a_bt(&a, &b);
+        let slow = matmul_naive(&a, &b.transpose2());
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn matvec_matches_matmul() {
+        let a = rng_tensor(Shape::d2(7, 3), 11);
+        let x = vec![0.5, -1.0, 2.0];
+        let y = matvec(&a, &x);
+        let xm = Tensor::from_vec(Shape::d2(3, 1), x);
+        let ym = matmul(&a, &xm);
+        for i in 0..7 {
+            assert!((y[i] - ym.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(4, 2));
+        matmul(&a, &b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_matmul_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..100) {
+            let a = rng_tensor(Shape::d2(m, k), seed);
+            let b = rng_tensor(Shape::d2(k, n), seed + 1);
+            prop_assert!(matmul(&a, &b).max_abs_diff(&matmul_naive(&a, &b)) < 1e-4);
+        }
+
+        #[test]
+        fn prop_matmul_distributes_over_add(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+            let a = rng_tensor(Shape::d2(m, k), seed);
+            let b1 = rng_tensor(Shape::d2(k, n), seed + 1);
+            let b2 = rng_tensor(Shape::d2(k, n), seed + 2);
+            let mut bsum = b1.clone();
+            bsum.add_assign(&b2);
+            let lhs = matmul(&a, &bsum);
+            let mut rhs = matmul(&a, &b1);
+            rhs.add_assign(&matmul(&a, &b2));
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Shape algebra for row-major tensors of rank 1–4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape of rank 1 to 4, stored as `[usize; 4]` with trailing 1s.
+///
+/// Ranks used in this project:
+/// * rank 1: flat parameter vectors `[n]`
+/// * rank 2: matrices `[rows, cols]` (e.g. dense layers, im2col buffers)
+/// * rank 4: image batches `[n, c, h, w]` (NCHW)
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; 4],
+    rank: u8,
+}
+
+impl Shape {
+    /// Rank-1 shape `[n]`.
+    pub fn d1(n: usize) -> Self {
+        Shape { dims: [n, 1, 1, 1], rank: 1 }
+    }
+
+    /// Rank-2 shape `[rows, cols]`.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape { dims: [rows, cols, 1, 1], rank: 2 }
+    }
+
+    /// Rank-3 shape `[c, h, w]`.
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: [c, h, w, 1], rank: 3 }
+    }
+
+    /// Rank-4 shape `[n, c, h, w]` (NCHW batch layout).
+    pub fn d4(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { dims: [n, c, h, w], rank: 4 }
+    }
+
+    /// Build from a slice of 1–4 dimensions.
+    pub fn from_slice(dims: &[usize]) -> Self {
+        assert!(
+            (1..=4).contains(&dims.len()),
+            "Shape supports rank 1..=4, got rank {}",
+            dims.len()
+        );
+        let mut d = [1usize; 4];
+        d[..dims.len()].copy_from_slice(dims);
+        Shape { dims: d, rank: dims.len() as u8 }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Dimension `i`; panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank(), "dim {} out of range for rank {}", i, self.rank());
+        self.dims[i]
+    }
+
+    /// All dimensions as a slice of length `rank`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank()]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims[..self.rank()].iter().product()
+    }
+
+    /// True when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> [usize; 4] {
+        let mut s = [1usize; 4];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.dims[i + 1];
+        }
+        s
+    }
+
+    /// Flat row-major offset of a rank-2 index.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> usize {
+        debug_assert_eq!(self.rank(), 2);
+        debug_assert!(r < self.dims[0] && c < self.dims[1]);
+        r * self.dims[1] + c
+    }
+
+    /// Flat row-major offset of a rank-4 index.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.rank(), 4);
+        debug_assert!(
+            n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]
+        );
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
+    }
+
+    /// Shape with the same number of elements, flattened to rank 1.
+    pub fn flattened(&self) -> Shape {
+        Shape::d1(self.len())
+    }
+
+    /// Reshape-compatibility check.
+    pub fn same_len(&self, other: &Shape) -> bool {
+        self.len() == other.len()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_and_len() {
+        assert_eq!(Shape::d1(7).rank(), 1);
+        assert_eq!(Shape::d1(7).len(), 7);
+        assert_eq!(Shape::d2(3, 4).len(), 12);
+        assert_eq!(Shape::d3(2, 3, 4).len(), 24);
+        assert_eq!(Shape::d4(2, 3, 4, 5).len(), 120);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s.strides(), [60, 20, 5, 1]);
+        let s2 = Shape::d2(3, 4);
+        assert_eq!(s2.strides()[0], 4);
+        assert_eq!(s2.strides()[1], 1);
+    }
+
+    #[test]
+    fn at4_matches_strides() {
+        let s = Shape::d4(2, 3, 4, 5);
+        let st = s.strides();
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert_eq!(
+                            s.at4(n, c, h, w),
+                            n * st[0] + c * st[1] + h * st[2] + w * st[3]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let s = Shape::from_slice(&[2, 3]);
+        assert_eq!(s, Shape::d2(2, 3));
+        assert_eq!(s.dims(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn from_slice_rank5_panics() {
+        Shape::from_slice(&[1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dim_out_of_range_panics() {
+        Shape::d2(2, 3).dim(2);
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        assert!(Shape::d2(0, 5).is_empty());
+        assert!(!Shape::d1(1).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_at2_is_bijective(r in 1usize..12, c in 1usize..12) {
+            let s = Shape::d2(r, c);
+            let mut seen = vec![false; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    let o = s.at2(i, j);
+                    prop_assert!(o < r * c);
+                    prop_assert!(!seen[o]);
+                    seen[o] = true;
+                }
+            }
+        }
+
+        #[test]
+        fn prop_flatten_preserves_len(dims in proptest::collection::vec(1usize..6, 1..=4)) {
+            let s = Shape::from_slice(&dims);
+            prop_assert_eq!(s.flattened().len(), s.len());
+            prop_assert!(s.same_len(&s.flattened()));
+        }
+    }
+}

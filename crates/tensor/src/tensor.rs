@@ -1,0 +1,399 @@
+//! The owned, contiguous, row-major `f32` tensor.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An owned dense `f32` tensor with row-major layout.
+///
+/// Invariant: `data.len() == shape.len()` at all times.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Build from an existing buffer; panics if the length does not match.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "Tensor::from_vec: buffer length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { shape: Shape::d1(data.len()), data: data.to_vec() }
+    }
+
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshape(mut self, shape: Shape) -> Self {
+        assert!(
+            self.shape.same_len(&shape),
+            "reshape: {} ({} elems) -> {} ({} elems)",
+            self.shape,
+            self.shape.len(),
+            shape,
+            shape.len()
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Rank-2 element access.
+    #[inline]
+    pub fn get2(&self, r: usize, c: usize) -> f32 {
+        self.data[self.shape.at2(r, c)]
+    }
+
+    /// Rank-2 element assignment.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, v: f32) {
+        let i = self.shape.at2(r, c);
+        self.data[i] = v;
+    }
+
+    /// Rank-4 element access.
+    #[inline]
+    pub fn get4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.at4(n, c, h, w)]
+    }
+
+    /// Rank-4 element assignment.
+    #[inline]
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.shape.at4(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self += other`, elementwise; shapes must match element count.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.len(), other.len(), "add_assign: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`, elementwise.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.len(), other.len(), "sub_assign: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// `self += alpha * other` (BLAS axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise zip into a new tensor.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.len(), other.len(), "zip: length mismatch");
+        Tensor {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Dot product (flattened), f64 accumulator.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum::<f64>() as f32
+    }
+
+    /// Sum of all elements, f64 accumulator.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Arithmetic mean; 0 for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.data.iter().map(|&x| x as f64).sum::<f64>() / self.len() as f64) as f32
+        }
+    }
+
+    /// L2 norm, f64 accumulator.
+    pub fn norm(&self) -> f32 {
+        crate::l2_norm(&self.data)
+    }
+
+    /// Maximum element; panics on empty.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of empty tensor");
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// True iff any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Extract batch item `n` of a rank-4 tensor as a rank-3 tensor.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 4, "batch_item requires rank-4");
+        let (c, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
+        let stride = c * h * w;
+        Tensor::from_vec(
+            Shape::d3(c, h, w),
+            self.data[n * stride..(n + 1) * stride].to_vec(),
+        )
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row requires rank-2");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.rank(), 2, "row_mut requires rank-2");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Rank-2 transpose into a new tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose2 requires rank-2");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Tensor::zeros(Shape::d2(c, r));
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute elementwise difference (useful in tests).
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "max_abs_diff: length mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(f, "[{:?}...; {}])", &self.data[..8], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(Shape::d2(2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(Shape::d1(4), 2.5);
+        assert!(f.as_slice().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_mismatch_panics() {
+        Tensor::from_vec(Shape::d2(2, 2), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn add_sub_scale_axpy() {
+        let mut a = t(&[1.0, 2.0, 3.0]);
+        a.add_assign(&t(&[1.0, 1.0, 1.0]));
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+        a.sub_assign(&t(&[2.0, 2.0, 2.0]));
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0]);
+        a.scale(3.0);
+        assert_eq!(a.as_slice(), &[0.0, 3.0, 6.0]);
+        a.axpy(-1.0, &t(&[0.0, 3.0, 6.0]));
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_sum_mean_norm() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert!((a.dot(&b) - 32.0).abs() < 1e-6);
+        assert!((a.sum() - 6.0).abs() < 1e-6);
+        assert!((a.mean() - 2.0).abs() < 1e-6);
+        assert!((t(&[3.0, 4.0]).norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.clone().reshape(Shape::d3(3, 2, 1));
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert_eq!(b.shape(), Shape::d3(3, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_bad_len_panics() {
+        t(&[1.0, 2.0]).reshape(Shape::d1(3));
+    }
+
+    #[test]
+    fn transpose2_involution() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        let tt = a.transpose2().transpose2();
+        assert_eq!(tt, a);
+        assert_eq!(a.transpose2().get2(2, 1), a.get2(1, 2));
+    }
+
+    #[test]
+    fn batch_item_slices_correctly() {
+        let x = Tensor::from_vec(Shape::d4(2, 1, 2, 2), (0..8).map(|i| i as f32).collect());
+        let b1 = x.batch_item(1);
+        assert_eq!(b1.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(b1.shape(), Shape::d3(1, 2, 2));
+    }
+
+    #[test]
+    fn rows() {
+        let mut a = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+        a.row_mut(0)[2] = 9.0;
+        assert_eq!(a.get2(0, 2), 9.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!t(&[1.0, 2.0]).has_non_finite());
+        assert!(t(&[1.0, f32::NAN]).has_non_finite());
+        assert!(t(&[f32::INFINITY]).has_non_finite());
+    }
+
+    #[test]
+    fn fill_zero_keeps_capacity() {
+        let mut a = t(&[1.0, 2.0, 3.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0; 3]);
+        assert_eq!(a.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_axpy_matches_manual(
+            v in proptest::collection::vec(-10f32..10.0, 1..32),
+            w_seed in -10f32..10.0,
+            alpha in -3f32..3.0,
+        ) {
+            let w: Vec<f32> = v.iter().map(|x| x * 0.5 + w_seed).collect();
+            let mut a = Tensor::from_slice(&v);
+            a.axpy(alpha, &Tensor::from_slice(&w));
+            for i in 0..v.len() {
+                prop_assert!((a.as_slice()[i] - (v[i] + alpha * w[i])).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_involution(r in 1usize..8, c in 1usize..8, seed in 0u64..1000) {
+            let mut s = seed;
+            let data: Vec<f32> = (0..r * c).map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) as f32 / 1e9) - 4.0
+            }).collect();
+            let a = Tensor::from_vec(Shape::d2(r, c), data);
+            prop_assert_eq!(a.transpose2().transpose2(), a);
+        }
+
+        #[test]
+        fn prop_dot_symmetric(v in proptest::collection::vec(-5f32..5.0, 1..64)) {
+            let a = Tensor::from_slice(&v);
+            let b = a.map(|x| x * 0.3 - 1.0);
+            prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! SEAFL² partial training in action: a tight staleness limit makes the
+//! server notify slow devices, which upload at the end of their current
+//! epoch instead of finishing all E epochs. This example inspects the event
+//! trace to show the notifications and partial uploads.
+//!
+//! ```sh
+//! cargo run --release --example partial_training
+//! ```
+
+use seafl::core::{run_experiment, Algorithm, ExperimentConfig};
+use seafl::data::sampling::ParetoSpeed;
+use seafl::sim::{FleetConfig, TraceEvent};
+
+fn main() {
+    // Extreme heterogeneity + tight staleness limit β = 2: plenty of
+    // notifications.
+    let mut config = ExperimentConfig::quick(3, Algorithm::seafl2(10, 5, 2));
+    config.fleet = FleetConfig {
+        pareto_speed: Some(ParetoSpeed { shape: 1.1, scale: 1.0, cap: 50.0 }),
+        ..FleetConfig::pareto_fleet(config.num_clients)
+    };
+    config.max_rounds = 60;
+
+    let result = run_experiment(&config);
+
+    println!("SEAFL^2 run: {} rounds, {} updates total", result.rounds, result.total_updates);
+    println!(
+        "notifications sent: {}, partial updates: {} ({:.0}% of all updates)\n",
+        result.notifications,
+        result.partial_updates,
+        100.0 * result.partial_updates as f64 / result.total_updates as f64
+    );
+
+    println!("first notification/partial-upload episodes in the trace:");
+    let mut shown = 0;
+    for (t, ev) in result.trace.entries() {
+        match ev {
+            TraceEvent::Notify { id } => {
+                println!("  {t:>8}  server notifies device {id} (over staleness limit)");
+                shown += 1;
+            }
+            TraceEvent::Upload { id, epochs, .. } if *epochs < config.local_epochs => {
+                println!(
+                    "  {t:>8}  device {id} uploads PARTIAL update after {epochs}/{} epochs",
+                    config.local_epochs
+                );
+                shown += 1;
+            }
+            _ => {}
+        }
+        if shown >= 12 {
+            break;
+        }
+    }
+
+    println!("\ntime to 80% accuracy: {:?} simulated seconds", result.time_to_accuracy(0.80));
+}

@@ -1,0 +1,134 @@
+//! Protocol invariants around staleness, the buffer and partial training,
+//! checked against full event traces.
+
+use seafl::core::{run_experiment, Algorithm, ExperimentConfig};
+use seafl::nn::ModelKind;
+use seafl::sim::{FleetConfig, TraceEvent};
+use std::collections::HashMap;
+
+fn cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(seed, algorithm);
+    c.num_clients = 12;
+    c.fleet = FleetConfig::pareto_fleet(12);
+    c.train_per_class = 24;
+    c.test_per_class = 8;
+    c.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 16, num_classes: 10 };
+    c.max_rounds = 30;
+    c.stop_at_accuracy = None;
+    c
+}
+
+/// Maximum staleness over all aggregated updates, reconstructed from the
+/// trace (born_round of each upload vs. the round counter at the aggregate
+/// event that consumed it).
+fn max_aggregated_staleness(r: &seafl::core::RunResult) -> u64 {
+    let mut pending: HashMap<usize, u64> = HashMap::new();
+    let mut max_s = 0;
+    for (_, ev) in r.trace.entries() {
+        match ev {
+            TraceEvent::Upload { id, born_round, .. } => {
+                pending.insert(*id, *born_round);
+            }
+            TraceEvent::Aggregate { round, .. } => {
+                let at = round - 1;
+                for (_, born) in pending.drain() {
+                    max_s = max_s.max(at.saturating_sub(born));
+                }
+            }
+            _ => {}
+        }
+    }
+    max_s
+}
+
+#[test]
+fn wait_for_stale_enforces_beta() {
+    for beta in [1u64, 2, 5] {
+        let r = run_experiment(&cfg(1, Algorithm::seafl(8, 3, Some(beta))));
+        let max_s = max_aggregated_staleness(&r);
+        assert!(
+            max_s <= beta,
+            "beta={beta}: aggregated staleness reached {max_s}"
+        );
+    }
+}
+
+#[test]
+fn fedbuff_staleness_is_unbounded_relative_to_tight_seafl() {
+    // Same workload: FedBuff (no limit) must admit strictly staler updates
+    // than SEAFL with beta = 1.
+    let r_buff = run_experiment(&cfg(2, Algorithm::fedbuff(8, 3)));
+    let r_seafl = run_experiment(&cfg(2, Algorithm::seafl(8, 3, Some(1))));
+    assert!(max_aggregated_staleness(&r_buff) > max_aggregated_staleness(&r_seafl));
+}
+
+#[test]
+fn partial_updates_have_fewer_epochs_and_follow_notifications() {
+    let c = cfg(3, Algorithm::seafl2(10, 3, 1));
+    let r = run_experiment(&c);
+    assert!(r.notifications > 0, "scenario produced no notifications");
+
+    let mut notified: Vec<usize> = Vec::new();
+    for (_, ev) in r.trace.entries() {
+        match ev {
+            TraceEvent::Notify { id } => notified.push(*id),
+            TraceEvent::Upload { id, epochs, .. } => {
+                assert!(*epochs >= 1 && *epochs <= c.local_epochs);
+                if *epochs < c.local_epochs {
+                    assert!(
+                        notified.contains(id),
+                        "partial upload from {id} without a notification"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn every_aggregation_consumes_at_least_buffer_k() {
+    let c = cfg(4, Algorithm::fedbuff(8, 3));
+    let r = run_experiment(&c);
+    for (_, ev) in r.trace.entries() {
+        if let TraceEvent::Aggregate { num_updates, .. } = ev {
+            assert!(*num_updates >= 3, "aggregated only {num_updates} updates");
+        }
+    }
+}
+
+#[test]
+fn wait_policy_can_aggregate_more_than_k() {
+    // With beta = 1 the server regularly waits for stale in-flight clients,
+    // so some aggregations drain more than K updates.
+    let r = run_experiment(&cfg(5, Algorithm::seafl(10, 3, Some(1))));
+    let oversized = r
+        .trace
+        .entries()
+        .iter()
+        .filter(|(_, ev)| matches!(ev, TraceEvent::Aggregate { num_updates, .. } if *num_updates > 3))
+        .count();
+    assert!(oversized > 0, "wait policy never overflowed the buffer");
+}
+
+#[test]
+fn born_rounds_never_exceed_aggregation_round() {
+    let r = run_experiment(&cfg(6, Algorithm::seafl(8, 3, Some(5))));
+    let mut current_round = 0u64;
+    for (_, ev) in r.trace.entries() {
+        match ev {
+            TraceEvent::Aggregate { round, .. } => current_round = *round,
+            TraceEvent::Upload { born_round, .. } => {
+                assert!(*born_round <= current_round, "update born in the future");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn trace_times_monotone() {
+    let r = run_experiment(&cfg(7, Algorithm::seafl2(8, 3, 2)));
+    let times: Vec<f64> = r.trace.entries().iter().map(|(t, _)| t.as_secs()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace out of order");
+}
