@@ -106,10 +106,7 @@ fn main() {
                 if let Algorithm::Seafl { theta: t, .. } = &mut alg {
                     *t = theta;
                 }
-                Arm {
-                    label: format!("theta={theta}"),
-                    config: insights_config(seed, alg, scale),
-                }
+                Arm { label: format!("theta={theta}"), config: insights_config(seed, alg, scale) }
             })
             .collect();
         let results = run_arms(arms);

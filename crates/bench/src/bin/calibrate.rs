@@ -14,7 +14,12 @@ fn main() {
     let mut opt = Sgd::new(0.05);
 
     for (name, kind, is28, iters) in [
-        ("mlp_784_64", ModelKind::Mlp { in_features: 784, hidden: 64, num_classes: 10 }, true, 50u32),
+        (
+            "mlp_784_64",
+            ModelKind::Mlp { in_features: 784, hidden: 64, num_classes: 10 },
+            true,
+            50u32,
+        ),
         ("lenet5", ModelKind::LeNet5 { num_classes: 10 }, true, 20),
         ("resnet18_w2", ModelKind::ResNet18 { num_classes: 10, width_base: 2 }, false, 10),
         ("resnet18gn_w2", ModelKind::ResNet18Gn { num_classes: 10, width_base: 2 }, false, 10),

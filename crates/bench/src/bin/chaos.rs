@@ -1,0 +1,84 @@
+//! Chaos bench — the four asynchronous algorithms under a faulty fleet
+//! (crashes, transit loss, straggler spikes, corrupted updates) with the
+//! server's resilience armed (session timeout, retry/backoff, sanitizer).
+//!
+//! Questions this answers:
+//! * does every algorithm still terminate and learn under faults?
+//! * how much wall-clock does the fault load cost each algorithm
+//!   (faulty vs fault-free time-to-target)?
+//! * how much damage does each resilience mechanism absorb (crash/timeout/
+//!   retry/rejection counters)?
+//!
+//! Run: `cargo run --release -p seafl-bench --bin chaos
+//!       [-- --scale smoke|std]`
+
+use seafl_bench::profiles::{chaos_overlay, insights_config, INSIGHTS_TARGET};
+use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::Algorithm;
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = 42;
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (20, 10),
+    };
+    let beta = 10;
+
+    let algorithms: Vec<(&str, Algorithm)> = vec![
+        ("seafl", Algorithm::seafl(m, k, Some(beta))),
+        ("seafl2", Algorithm::seafl2(m, k, beta)),
+        ("fedbuff", Algorithm::fedbuff(m, k)),
+        ("fedasync", Algorithm::fedasync(m)),
+    ];
+
+    let mut arms = Vec::new();
+    for (name, alg) in &algorithms {
+        let healthy = insights_config(seed, *alg, scale);
+        let mut faulty = healthy.clone();
+        chaos_overlay(&mut faulty);
+        arms.push(Arm { label: format!("{name} (healthy)"), config: healthy });
+        arms.push(Arm { label: format!("{name} (faulty)"), config: faulty });
+    }
+
+    println!("=== Chaos: healthy vs faulty fleet ===");
+    let results = run_arms(arms);
+    report::print_time_to_target(&results, &[INSIGHTS_TARGET]);
+    report::print_curves(&results, 8);
+    report::write_accuracy_csv("chaos", &results);
+
+    println!(
+        "\n{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "arm", "crash", "lost", "retry", "t/out", "quar", "reject"
+    );
+    for (label, r) in &results {
+        println!(
+            "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            label,
+            r.crashes,
+            r.upload_failures,
+            r.retries,
+            r.timeouts,
+            r.quarantined,
+            r.rejected_updates
+        );
+    }
+
+    println!("\nfault tax (faulty vs healthy wall-clock to {:.0}%):", INSIGHTS_TARGET * 100.0);
+    for pair in results.chunks(2) {
+        let [(name, healthy), (_, faulty)] = pair else { continue };
+        let name = name.trim_end_matches(" (healthy)");
+        match (healthy.time_to_accuracy(INSIGHTS_TARGET), faulty.time_to_accuracy(INSIGHTS_TARGET))
+        {
+            (Some(h), Some(f)) => {
+                println!("  {name:<10} {h:>9.0}s -> {f:>9.0}s ({:+.1}%)", (f - h) / h * 100.0)
+            }
+            (Some(h), None) => println!("  {name:<10} {h:>9.0}s -> target missed under faults"),
+            (None, _) => println!("  {name:<10} target not reached even fault-free"),
+        }
+        println!(
+            "  {:<10} termination: healthy={:?}, faulty={:?}",
+            "", healthy.termination, faulty.termination
+        );
+    }
+}

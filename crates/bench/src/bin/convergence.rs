@@ -54,12 +54,8 @@ fn main() {
         }
         let third = g.len() / 3;
         let head: f64 = g[..third].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
-        let tail: f64 =
-            g[g.len() - third..].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
-        println!(
-            "{label:<16} | {head:>26.4e} | {tail:>10.4e} | {:>10.3}",
-            tail / head
-        );
+        let tail: f64 = g[g.len() - third..].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
+        println!("{label:<16} | {head:>26.4e} | {tail:>10.4e} | {:>10.3}", tail / head);
     }
     report::write_grad_norm_csv("convergence_grad_norms", &results);
     report::print_time_to_target(&results, &[0.7, 0.85]);

@@ -33,10 +33,7 @@ fn main() {
                 *a = alpha;
                 *mu_ = mu;
             }
-            Arm {
-                label: format!("a={alpha},mu={mu}"),
-                config: insights_config(seed, alg, scale),
-            }
+            Arm { label: format!("a={alpha},mu={mu}"), config: insights_config(seed, alg, scale) }
         })
         .collect();
 

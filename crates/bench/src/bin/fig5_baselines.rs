@@ -41,10 +41,7 @@ fn main() {
         let fedbuff = &results[2].1;
         for &t in w.targets() {
             if let Some(s) = report::speedup_pct(seafl, fedbuff, t) {
-                println!(
-                    "SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock",
-                    t * 100.0
-                );
+                println!("SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock", t * 100.0);
             }
         }
         println!();

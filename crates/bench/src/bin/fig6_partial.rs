@@ -19,10 +19,7 @@ fn run_part(workload: Workload, beta: u64, scale: Scale, seed: u64) {
         Scale::Smoke => (6, 3),
         Scale::Std => (CONCURRENCY, BUFFER_K),
     };
-    println!(
-        "=== Fig. 6 ({}): SEAFL^2 with beta={beta} vs baselines ===",
-        workload.name()
-    );
+    println!("=== Fig. 6 ({}): SEAFL^2 with beta={beta} vs baselines ===", workload.name());
     let mut arms = vec![
         Arm {
             label: format!("seafl2(beta={beta})"),

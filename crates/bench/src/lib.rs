@@ -57,10 +57,7 @@ pub enum Scale {
 /// following `--<name>` if present.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == &format!("--{name}"))
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1)).cloned()
 }
 
 /// Parse `--scale` (default `std`).

@@ -12,10 +12,10 @@
 //! | 50 % / 70 % targets (CIFAR-10) | same targets |
 
 use crate::Scale;
-use seafl_core::{Algorithm, ExperimentConfig};
+use seafl_core::{Algorithm, ExperimentConfig, ResilienceConfig};
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_sim::FleetConfig;
+use seafl_sim::{CorruptionKind, FaultConfig, FleetConfig};
 
 /// Concurrency M: the paper samples up to 20 % of 100 devices.
 pub const CONCURRENCY: usize = 20;
@@ -64,6 +64,8 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         eval_every: 1,
         stop_at_accuracy: Some(INSIGHTS_TARGET + 0.02),
         grad_norm_probe: false,
+        faults: FaultConfig::none(),
+        resilience: ResilienceConfig::default(),
     }
 }
 
@@ -126,10 +128,9 @@ pub fn evaluation_config(
             s.amp_jitter = 0.6;
             (ModelKind::LeNet5 { num_classes: 10 }, s)
         }
-        Workload::Cifar => (
-            ModelKind::ResNet18 { num_classes: 10, width_base: 2 },
-            SyntheticSpec::cifar10_like(),
-        ),
+        Workload::Cifar => {
+            (ModelKind::ResNet18 { num_classes: 10, width_base: 2 }, SyntheticSpec::cifar10_like())
+        }
         Workload::Cinic => {
             let mut s = SyntheticSpec::cinic10_like();
             s.noise_std = 1.1;
@@ -178,7 +179,33 @@ pub fn evaluation_config(
         eval_every: 1,
         stop_at_accuracy: Some(top_target + 0.04),
         grad_norm_probe: false,
+        faults: FaultConfig::none(),
+        resilience: ResilienceConfig::default(),
     }
+}
+
+/// Faulty-fleet overlay for the chaos bench: a fleet where ~15 % of devices
+/// crash mid-run, uploads are lost 10 % of the time, a quarter of devices
+/// suffer a 3× compute spike, and ~10 % corrupt their updates — against a
+/// server with a session timeout and the sanitizer's norm bound armed.
+pub fn chaos_overlay(cfg: &mut ExperimentConfig) {
+    cfg.faults = FaultConfig {
+        crash_prob: 0.15,
+        crash_window: (0.0, cfg.max_sim_time * 0.6),
+        upload_drop_prob: 0.10,
+        straggler_prob: 0.25,
+        straggler_window: (0.0, cfg.max_sim_time * 0.5),
+        straggler_duration: cfg.max_sim_time * 0.2,
+        straggler_factor: 3.0,
+        corrupt_prob: 0.10,
+        corruption: CorruptionKind::NanBurst { count: 8 },
+    };
+    cfg.resilience = ResilienceConfig {
+        // Generous relative to a healthy session so only dead devices trip.
+        session_timeout: Some(cfg.max_sim_time * 0.15),
+        max_update_norm_ratio: Some(50.0),
+        ..ResilienceConfig::default()
+    };
 }
 
 /// The five Fig. 5 arms on a workload: SEAFL(β=10), SEAFL(β=∞), FedBuff,
@@ -198,10 +225,7 @@ pub fn fig5_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, Ex
             "seafl(beta=inf)".to_string(),
             evaluation_config(seed, workload, Algorithm::seafl(m, k, None), scale),
         ),
-        (
-            "fedbuff".to_string(),
-            evaluation_config(seed, workload, Algorithm::fedbuff(m, k), scale),
-        ),
+        ("fedbuff".to_string(), evaluation_config(seed, workload, Algorithm::fedbuff(m, k), scale)),
         (
             // Constant-α mixing — FedAsync's baseline strategy and the
             // aggressive configuration whose divergence Fig. 5 reports.
@@ -254,6 +278,15 @@ mod tests {
         assert_eq!(arms.len(), 5);
         let names: Vec<&str> = arms.iter().map(|(_, c)| c.algorithm.name()).collect();
         assert_eq!(names, vec!["seafl", "seafl", "fedbuff", "fedasync", "fedavg"]);
+    }
+
+    #[test]
+    fn chaos_overlay_validates() {
+        let mut cfg = insights_config(0, Algorithm::seafl(6, 3, Some(10)), Scale::Smoke);
+        chaos_overlay(&mut cfg);
+        cfg.validate();
+        assert!(!cfg.faults.is_noop());
+        assert!(cfg.resilience.session_timeout.is_some());
     }
 
     #[test]

@@ -30,12 +30,7 @@ pub fn print_time_to_target(results: &[(String, RunResult)], targets: &[f64]) {
                 None => print!(" | {:>10}", "—"),
             }
         }
-        println!(
-            " | {:>8.3} | {:>6} | {:>7}",
-            r.best_accuracy(),
-            r.rounds,
-            r.total_updates
-        );
+        println!(" | {:>8.3} | {:>6} | {:>7}", r.best_accuracy(), r.rounds, r.total_updates);
     }
 }
 
@@ -101,6 +96,14 @@ mod tests {
             partial_updates: 0,
             dropped_updates: 0,
             notifications: 0,
+            termination: seafl_sim::TerminationReason::MaxRounds,
+            crashes: 0,
+            upload_failures: 0,
+            retries: 0,
+            timeouts: 0,
+            quarantined: 0,
+            rejected_updates: 0,
+            superseded_uploads: 0,
             sim_time_end: 100.0,
             trace: TraceLog::new(),
         }

@@ -34,11 +34,7 @@ fn weighted_average(updates: &[ModelUpdate], weights: &[f32]) -> Vec<f32> {
 
 /// `w ← (1−ϑ)·w + ϑ·w_new` (Eq. 8).
 fn mix(global: &[f32], new: &[f32], theta: f32) -> Vec<f32> {
-    global
-        .iter()
-        .zip(new.iter())
-        .map(|(&g, &n)| (1.0 - theta) * g + theta * n)
-        .collect()
+    global.iter().zip(new.iter()).map(|(&g, &n)| (1.0 - theta) * g + theta * n).collect()
 }
 
 /// SEAFL's adaptive aggregation (Eqs. 4–8): staleness- and
@@ -72,9 +68,8 @@ impl Aggregator for SeaflAggregator {
     fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
         assert!(!updates.is_empty(), "seafl: empty buffer");
         assert!((0.0..=1.0).contains(&self.theta), "seafl: theta out of (0,1]");
-        let w = aggregation_weights(
-            updates, global, round, self.alpha, self.mu, self.beta, self.mode,
-        );
+        let w =
+            aggregation_weights(updates, global, round, self.alpha, self.mu, self.beta, self.mode);
         let w_new = weighted_average(updates, &w);
         mix(global, &w_new, self.theta)
     }
@@ -156,8 +151,7 @@ impl Aggregator for FedAvgAggregator {
     fn aggregate(&mut self, _global: &[f32], updates: &[ModelUpdate], _round: u64) -> Vec<f32> {
         assert!(!updates.is_empty(), "fedavg: empty round");
         let total: usize = updates.iter().map(|u| u.num_samples).sum();
-        let w: Vec<f32> =
-            updates.iter().map(|u| u.num_samples as f32 / total as f32).collect();
+        let w: Vec<f32> = updates.iter().map(|u| u.num_samples as f32 / total as f32).collect();
         weighted_average(updates, &w)
     }
 }
@@ -182,9 +176,8 @@ mod tests {
         // Identical data sizes, staleness and parameters ⇒ SEAFL's weights
         // collapse to 1/K and the two aggregators agree (§V degeneration).
         let global = vec![0.0, 0.0, 0.0];
-        let updates: Vec<ModelUpdate> = (0..4)
-            .map(|c| upd(c, 2, 10, vec![1.0, 2.0, 3.0]))
-            .collect();
+        let updates: Vec<ModelUpdate> =
+            (0..4).map(|c| upd(c, 2, 10, vec![1.0, 2.0, 3.0])).collect();
         let mut seafl = SeaflAggregator::paper_default(Some(10));
         let mut fedbuff = FedBuffAggregator::paper_default();
         let a = seafl.aggregate(&global, &updates, 3);
@@ -209,10 +202,7 @@ mod tests {
     fn seafl_downweights_stale_updates() {
         let global = vec![1.0, 1.0];
         // Fresh update pulls toward +2, stale update pulls toward -2.
-        let updates = vec![
-            upd(0, 10, 10, vec![2.0, 2.0]),
-            upd(1, 1, 10, vec![-2.0, -2.0]),
-        ];
+        let updates = vec![upd(0, 10, 10, vec![2.0, 2.0]), upd(1, 1, 10, vec![-2.0, -2.0])];
         let mut seafl = SeaflAggregator { mu: 0.0, ..SeaflAggregator::paper_default(Some(5)) };
         let out = seafl.aggregate(&global, &updates, 10);
         let mut fb = FedBuffAggregator::paper_default();

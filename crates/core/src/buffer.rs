@@ -19,8 +19,7 @@ impl UpdateBuffer {
     /// (possible under SEAFL² when a partial upload is later superseded),
     /// the newer one replaces it — the newest weights strictly dominate.
     pub fn push(&mut self, update: ModelUpdate) {
-        if let Some(existing) = self.updates.iter_mut().find(|u| u.client_id == update.client_id)
-        {
+        if let Some(existing) = self.updates.iter_mut().find(|u| u.client_id == update.client_id) {
             *existing = update;
         } else {
             self.updates.push(update);
@@ -89,6 +88,20 @@ mod tests {
         b.push(upd(1, 3));
         assert_eq!(b.len(), 1);
         assert_eq!(b.updates()[0].born_round, 3);
+    }
+
+    #[test]
+    fn drain_on_empty_yields_empty_and_stays_usable() {
+        let mut b = UpdateBuffer::new();
+        assert!(b.drain().is_empty());
+        assert!(b.is_empty());
+        // Draining twice in a row is safe (the engine may aggregate-then-
+        // reject everything and come straight back).
+        assert!(b.drain().is_empty());
+        b.push(upd(1, 0));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.drain().len(), 1);
+        assert!(b.drain().is_empty());
     }
 
     #[test]

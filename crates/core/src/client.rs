@@ -68,11 +68,7 @@ pub struct LocalTrainer {
 impl LocalTrainer {
     pub fn new(model: Model, lr: f32, momentum: f32, batch_size: usize) -> Self {
         assert!(batch_size > 0, "LocalTrainer: zero batch size");
-        let opt = if momentum > 0.0 {
-            Sgd::new(lr).with_momentum(momentum)
-        } else {
-            Sgd::new(lr)
-        };
+        let opt = if momentum > 0.0 { Sgd::new(lr).with_momentum(momentum) } else { Sgd::new(lr) };
         LocalTrainer { model, opt, batch_size, prox_mu: 0.0 }
     }
 
@@ -214,16 +210,12 @@ mod tests {
         // state across sessions.
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let b_alone = t
-            .train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false)
-            .final_state()
-            .to_vec();
+        let b_alone =
+            t.train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false).final_state().to_vec();
         // Interleave an unrelated session.
         t.train(&global, &data, 3, &mut StdRng::seed_from_u64(77), false);
-        let b_after = t
-            .train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false)
-            .final_state()
-            .to_vec();
+        let b_after =
+            t.train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false).final_state().to_vec();
         assert_eq!(b_alone, b_after);
     }
 
@@ -243,10 +235,7 @@ mod tests {
             let out = prox.train(&global, &task.train, 4, &mut StdRng::seed_from_u64(3), false);
             seafl_tensor::l2_distance_sq(out.final_state(), &global)
         };
-        assert!(
-            d_prox < d_plain * 0.9,
-            "prox did not constrain drift: {d_prox} vs {d_plain}"
-        );
+        assert!(d_prox < d_plain * 0.9, "prox did not constrain drift: {d_prox} vs {d_plain}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::weighting::ImportanceMode;
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_sim::FleetConfig;
+use seafl_sim::{FaultConfig, FleetConfig};
 use serde::{Deserialize, Serialize};
 
 /// How the server handles in-flight clients whose staleness reaches the
@@ -159,6 +159,70 @@ impl Algorithm {
     }
 }
 
+/// Server- and client-side fault tolerance knobs. Everything here is
+/// inert unless it fires: with the default settings and a healthy fleet,
+/// runs are bit-identical to a build without resilience support.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Reclaim an in-flight training session that has not reported after
+    /// this many simulated seconds: the client returns to the idle pool and
+    /// stops blocking the `WaitForStale`/`NotifyPartial` staleness scans.
+    /// `None` disables timeouts (a single crashed client then stalls SEAFL's
+    /// wait rule forever — the liveness failure the timeout exists to fix).
+    pub session_timeout: Option<f64>,
+    /// Upload retries a client attempts after a transient transit loss
+    /// before giving the session up.
+    pub max_upload_retries: u32,
+    /// Base backoff delay before retry attempt `i`: `base · 2^(i−1)`
+    /// seconds, capped at `retry_backoff_cap`.
+    pub retry_backoff_base: f64,
+    /// Upper bound on a single backoff delay, seconds.
+    pub retry_backoff_cap: f64,
+    /// Quarantine a client (exclude it from selection for the rest of the
+    /// run) after this many *consecutive* session timeouts. Crashed devices
+    /// stop wasting server concurrency after a couple of timeouts instead
+    /// of being re-selected forever.
+    pub quarantine_after: u32,
+    /// Sanitizer: reject updates containing NaN/±∞ before aggregation.
+    pub reject_non_finite: bool,
+    /// Sanitizer: reject updates whose L2 distance from the current global
+    /// model exceeds `ratio · max(‖w_global‖, 1)`. `None` disables the norm
+    /// check (non-finite rejection alone never fires on healthy runs).
+    pub max_update_norm_ratio: Option<f64>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            session_timeout: None,
+            max_upload_retries: 3,
+            retry_backoff_base: 2.0,
+            retry_backoff_cap: 60.0,
+            quarantine_after: 2,
+            reject_non_finite: true,
+            max_update_norm_ratio: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Sanity-check invariants (called from [`ExperimentConfig::validate`]).
+    pub fn validate(&self) {
+        if let Some(t) = self.session_timeout {
+            assert!(t > 0.0, "config: non-positive session_timeout");
+        }
+        assert!(self.retry_backoff_base > 0.0, "config: non-positive retry_backoff_base");
+        assert!(
+            self.retry_backoff_cap >= self.retry_backoff_base,
+            "config: retry_backoff_cap below retry_backoff_base"
+        );
+        assert!(self.quarantine_after >= 1, "config: quarantine_after must be >= 1");
+        if let Some(r) = self.max_update_norm_ratio {
+            assert!(r > 0.0, "config: non-positive max_update_norm_ratio");
+        }
+    }
+}
+
 /// Full description of one simulated FL run.
 ///
 /// (Serialize-only: `SyntheticSpec` carries a `&'static str` name, so
@@ -213,6 +277,13 @@ pub struct ExperimentConfig {
     /// Also record ‖∇f(w_t)‖² on a fixed probe batch at every evaluation
     /// (used by the convergence-rate experiment).
     pub grad_norm_probe: bool,
+    /// Fleet fault model (crashes, upload loss, straggler spikes,
+    /// corrupted updates). Off by default: [`FaultConfig::none`] keeps
+    /// every run bit-identical to the fault-free simulator.
+    pub faults: FaultConfig,
+    /// Server/client fault tolerance (session timeouts, upload retry with
+    /// backoff, update sanitization).
+    pub resilience: ResilienceConfig,
 }
 
 impl ExperimentConfig {
@@ -248,6 +319,8 @@ impl ExperimentConfig {
             eval_every: 1,
             stop_at_accuracy: Some(0.88),
             grad_norm_probe: false,
+            faults: FaultConfig::none(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -280,6 +353,8 @@ impl ExperimentConfig {
         }
         assert!(self.max_sim_time > 0.0, "config: non-positive time limit");
         assert!(self.eval_every >= 1, "config: eval_every must be >= 1");
+        self.faults.validate();
+        self.resilience.validate();
         assert!(
             self.train_per_class * self.spec.num_classes >= self.num_clients,
             "config: not enough training samples for the client count"
@@ -359,6 +434,43 @@ mod tests {
             *policy = StalenessPolicy::NotifyPartial;
         }
         ExperimentConfig::quick(0, alg).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero local epochs")]
+    fn zero_local_epochs_rejected() {
+        // Regression guard: `start_training` indexes
+        // `epoch_ends[local_epochs - 1]`, so E = 0 must be caught here with
+        // a clear error, not surface as an engine panic.
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.local_epochs = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive session_timeout")]
+    fn zero_session_timeout_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.resilience.session_timeout = Some(0.0);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_fault_probability_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.faults.crash_prob = 2.0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn default_config_has_no_faults() {
+        let cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        assert!(cfg.faults.is_noop());
+        assert!(cfg.resilience.session_timeout.is_none());
+        assert!(cfg.resilience.reject_non_finite);
+        assert!(cfg.resilience.max_update_norm_ratio.is_none());
+        cfg.validate();
     }
 
     #[test]

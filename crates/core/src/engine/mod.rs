@@ -8,7 +8,7 @@ pub mod sync;
 use crate::aggregator::{FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
 use crate::config::{Algorithm, ExperimentConfig, StalenessPolicy};
 use crate::metrics;
-use seafl_sim::TraceLog;
+use seafl_sim::{TerminationReason, TraceLog};
 use serde::Serialize;
 
 /// Everything a finished run reports.
@@ -30,6 +30,23 @@ pub struct RunResult {
     pub dropped_updates: usize,
     /// Staleness notifications sent (SEAFL² only).
     pub notifications: usize,
+    /// Why the run stopped.
+    pub termination: TerminationReason,
+    /// Permanent device crashes observed (fault injection).
+    pub crashes: usize,
+    /// Upload attempts lost in transit (fault injection).
+    pub upload_failures: usize,
+    /// Upload retries scheduled after transient losses.
+    pub retries: usize,
+    /// In-flight sessions reclaimed by the server's session timeout.
+    pub timeouts: usize,
+    /// Clients quarantined after repeated timeouts.
+    pub quarantined: usize,
+    /// Updates the sanitizer rejected before aggregation.
+    pub rejected_updates: usize,
+    /// Upload events ignored because a newer generation superseded them
+    /// (notification reschedules and retries).
+    pub superseded_uploads: usize,
     /// Simulated time at termination, seconds.
     pub sim_time_end: f64,
     /// Full event trace.

@@ -22,6 +22,35 @@
 //! set by uniform sampling from idle devices — the device-turnover behaviour
 //! the paper leans on in its CINIC-10 discussion.
 //!
+//! ## Faults and resilience
+//!
+//! The engine consults the experiment's [`seafl_sim::FaultPlan`] (off by
+//! default) and the server/client knobs in
+//! [`crate::config::ResilienceConfig`]:
+//!
+//! * **Crashes** — a device whose upload would complete after its sampled
+//!   crash instant never uploads; the crash is materialized on the clock as
+//!   a trace event. Without a session timeout, a crashed in-flight device
+//!   stalls `WaitForStale` forever (the run then ends
+//!   [`TerminationReason::Starved`]); with `session_timeout` set, the
+//!   server reclaims the session, restoring liveness.
+//! * **Transient upload loss** — each arrival may be dropped with the
+//!   plan's per-attempt probability; the client retries with capped
+//!   exponential backoff up to `max_upload_retries` times, then abandons
+//!   the session.
+//! * **Straggler spikes** — temporary per-device compute slowdowns stretch
+//!   the session's epoch schedule.
+//! * **Corrupted updates** — Byzantine/buggy devices corrupt their upload;
+//!   the sanitizer ([`crate::sanitize`]) rejects non-finite or
+//!   norm-exploded updates in front of the aggregator.
+//! * **Timeout quarantine** — a client whose sessions time out
+//!   `quarantine_after` times in a row is excluded from selection for the
+//!   rest of the run.
+//!
+//! With faults disabled and default resilience settings none of these code
+//! paths draw randomness or alter arithmetic, so runs are bit-identical to
+//! the fault-free engine.
+//!
 //! ## Simplification vs. Algorithm 2
 //!
 //! Algorithm 2 lets a notified device "continue training remaining epochs"
@@ -36,11 +65,11 @@ use crate::client::TrainOutcome;
 use crate::config::{ExperimentConfig, StalenessPolicy};
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
+use crate::sanitize;
 use crate::update::ModelUpdate;
 use crate::Aggregator;
-use rand::seq::SliceRandom;
 use seafl_sim::rng::{stream_rng, streams};
-use seafl_sim::{EventQueue, SimTime, TraceEvent, TraceLog};
+use seafl_sim::{EventQueue, FaultPlan, SimTime, TerminationReason, TraceEvent, TraceLog};
 
 /// Engine parameters distilled from [`crate::Algorithm`].
 pub struct Params {
@@ -52,18 +81,29 @@ pub struct Params {
     pub name: &'static str,
 }
 
-/// Scheduled upload arrival. `generation` invalidates superseded uploads
-/// (a notification reschedules the upload; the original event is ignored
-/// when popped).
+/// Events on the virtual clock.
 #[derive(Debug, Clone, Copy)]
-struct UploadEv {
-    client: usize,
-    generation: u64,
+enum Ev {
+    /// Upload arrival attempt. `generation` invalidates superseded uploads
+    /// (a notification reschedules the upload; the original event is
+    /// ignored when popped); `attempt` counts transit retries.
+    Upload { client: usize, generation: u64, attempt: u32 },
+    /// Server-side session timeout: if the session `session_seq` is still
+    /// in flight when this pops, it is reclaimed.
+    Timeout { client: usize, session_seq: u64 },
+    /// A device's permanent crash instant (fault injection), materialized
+    /// on the clock so the trace records it.
+    Crash { client: usize },
 }
 
 /// One in-flight local training session.
 struct Session {
     born_round: u64,
+    /// Per-client monotonic session counter (timeout matching).
+    seq: u64,
+    /// Currently valid upload generation. Per-client monotonic across
+    /// sessions, so an upload event from a reclaimed session can never be
+    /// mistaken for a later session's upload.
     generation: u64,
     /// Absolute completion time of each local epoch.
     epoch_ends: Vec<SimTime>,
@@ -83,6 +123,8 @@ enum ClientPhase {
     Training,
     /// Update uploaded, sitting in the server buffer.
     Buffered,
+    /// Excluded from selection after repeated session timeouts.
+    Quarantined,
 }
 
 /// Run the semi-asynchronous protocol to termination.
@@ -94,6 +136,11 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
         buffer: UpdateBuffer::new(),
         sessions: (0..cfg.num_clients).map(|_| None).collect(),
         phase: vec![ClientPhase::Idle; cfg.num_clients],
+        next_generation: vec![0; cfg.num_clients],
+        next_session_seq: vec![0; cfg.num_clients],
+        consecutive_timeouts: vec![0; cfg.num_clients],
+        crash_scheduled: vec![false; cfg.num_clients],
+        plan: FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed),
         sel_rng: stream_rng(cfg.seed, streams::SELECTION),
         trace: TraceLog::new(),
         accuracy: Vec::new(),
@@ -101,6 +148,13 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
         total_updates: 0,
         partial_updates: 0,
         dropped_updates: 0,
+        crashes: 0,
+        upload_failures: 0,
+        retries: 0,
+        timeouts: 0,
+        quarantined: 0,
+        rejected_updates: 0,
+        superseded_uploads: 0,
         params,
     };
 
@@ -113,15 +167,47 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
     st.refill(cfg, env, SimTime::ZERO);
 
     let mut reached_target = false;
+    let mut termination = None;
     while let Some((now, ev)) = st.queue.pop() {
-        if now.as_secs() > cfg.max_sim_time || st.round >= cfg.max_rounds || reached_target {
+        if now.as_secs() > cfg.max_sim_time {
+            termination = Some(TerminationReason::MaxSimTime);
             break;
         }
-        st.on_upload(cfg, env, now, ev);
+        if st.round >= cfg.max_rounds {
+            termination = Some(TerminationReason::MaxRounds);
+            break;
+        }
+        if reached_target {
+            termination = Some(TerminationReason::TargetAccuracy);
+            break;
+        }
+        match ev {
+            Ev::Upload { client, generation, attempt } => {
+                st.on_upload(cfg, env, now, client, generation, attempt);
+            }
+            Ev::Timeout { client, session_seq } => {
+                st.on_timeout(cfg, env, now, client, session_seq);
+            }
+            Ev::Crash { client } => {
+                st.crashes += 1;
+                st.trace.push(now, TraceEvent::Crash { id: client });
+            }
+        }
         reached_target = st.try_aggregate(cfg, env, now);
     }
+    let termination = termination.unwrap_or(if reached_target {
+        TerminationReason::TargetAccuracy
+    } else if st.buffer.is_empty() {
+        TerminationReason::QueueDrained
+    } else {
+        // The clock ran out of events while updates sat below the trigger:
+        // the engine starved (e.g. remaining in-flight devices all crashed,
+        // or a staleness wait could never be satisfied).
+        TerminationReason::Starved
+    });
 
     let end = st.queue.now();
+    st.trace.push(end, TraceEvent::Terminated { reason: termination, buffered: st.buffer.len() });
     RunResult {
         algorithm: st.params.name,
         accuracy: st.accuracy,
@@ -131,6 +217,14 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
         partial_updates: st.partial_updates,
         dropped_updates: st.dropped_updates,
         notifications: st.trace.num_notifications(),
+        termination,
+        crashes: st.crashes,
+        upload_failures: st.upload_failures,
+        retries: st.retries,
+        timeouts: st.timeouts,
+        quarantined: st.quarantined,
+        rejected_updates: st.rejected_updates,
+        superseded_uploads: st.superseded_uploads,
         sim_time_end: end.as_secs(),
         trace: st.trace,
     }
@@ -139,10 +233,22 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
 struct State {
     global: Vec<f32>,
     round: u64,
-    queue: EventQueue<UploadEv>,
+    queue: EventQueue<Ev>,
     buffer: UpdateBuffer,
     sessions: Vec<Option<Session>>,
     phase: Vec<ClientPhase>,
+    /// Per-client monotonic upload-generation counters. Never reset, so a
+    /// dangling upload event from a consumed or reclaimed session can never
+    /// collide with a later session's generation (the double-consume bug).
+    next_generation: Vec<u64>,
+    /// Per-client monotonic session counters (timeout matching).
+    next_session_seq: Vec<u64>,
+    /// Consecutive session timeouts per client (quarantine trigger; reset
+    /// on any successful upload).
+    consecutive_timeouts: Vec<u32>,
+    /// Whether a client's crash instant has been put on the clock already.
+    crash_scheduled: Vec<bool>,
+    plan: FaultPlan,
     sel_rng: rand::rngs::StdRng,
     trace: TraceLog,
     accuracy: Vec<(f64, f64)>,
@@ -150,6 +256,13 @@ struct State {
     total_updates: usize,
     partial_updates: usize,
     dropped_updates: usize,
+    crashes: usize,
+    upload_failures: usize,
+    retries: usize,
+    timeouts: usize,
+    quarantined: usize,
+    rejected_updates: usize,
+    superseded_uploads: usize,
     params: Params,
 }
 
@@ -159,10 +272,40 @@ impl State {
         self.phase.iter().filter(|&&p| p == ClientPhase::Training).count()
     }
 
+    /// Put an upload arrival on the clock — unless the device crashes
+    /// before `arrival`, in which case the upload is lost and the crash
+    /// instant itself is scheduled (once) so the trace records it.
+    fn schedule_upload(
+        &mut self,
+        now: SimTime,
+        client: usize,
+        arrival: SimTime,
+        generation: u64,
+        attempt: u32,
+    ) {
+        if let Some(crash_at) = self.plan.crash_time(client) {
+            if crash_at <= arrival.as_secs() {
+                if !self.crash_scheduled[client] {
+                    self.crash_scheduled[client] = true;
+                    let at = SimTime::from_secs(crash_at.max(0.0)).max(now);
+                    self.queue.schedule(at, Ev::Crash { client });
+                }
+                return;
+            }
+        }
+        self.queue.schedule(arrival, Ev::Upload { client, generation, attempt });
+    }
+
     /// Start local training on client `k` at time `now`: compute the
     /// training result eagerly (model math is time-independent) and schedule
     /// its upload arrival on the virtual clock.
-    fn start_training(&mut self, cfg: &ExperimentConfig, env: &mut Environment, k: usize, now: SimTime) {
+    fn start_training(
+        &mut self,
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        k: usize,
+        now: SimTime,
+    ) {
         debug_assert_eq!(self.phase[k], ClientPhase::Idle);
         let keep_snapshots = self.params.policy == StalenessPolicy::NotifyPartial;
         let outcome = env.trainer.train(
@@ -178,17 +321,27 @@ impl State {
         let mut t = now.after(device.download_time(env.model_bytes));
         let mut epoch_ends = Vec::with_capacity(cfg.local_epochs);
         for _ in 0..cfg.local_epochs {
-            t = t.after(device.epoch_compute_time(batches, cfg.fleet.base_batch_time));
+            // Straggler spikes stretch compute while active (×1 otherwise).
+            let spike = self.plan.speed_multiplier(k, t.as_secs());
+            t = t.after(device.epoch_compute_time(batches, cfg.fleet.base_batch_time) * spike);
             t = t.after(device.idle_time(&mut env.idle_rngs[k]));
             epoch_ends.push(t);
         }
 
-        let generation = self.sessions[k].as_ref().map_or(0, |s| s.generation + 1);
+        let generation = self.next_generation[k];
+        self.next_generation[k] += 1;
+        let seq = self.next_session_seq[k];
+        self.next_session_seq[k] += 1;
+
         let upload_at = epoch_ends[cfg.local_epochs - 1].after(device.upload_time(env.model_bytes));
-        self.queue.schedule(upload_at, UploadEv { client: k, generation });
+        self.schedule_upload(now, k, upload_at, generation, 0);
+        if let Some(timeout) = cfg.resilience.session_timeout {
+            self.queue.schedule(now.after(timeout), Ev::Timeout { client: k, session_seq: seq });
+        }
 
         self.sessions[k] = Some(Session {
             born_round: self.round,
+            seq,
             generation,
             epoch_ends,
             outcome,
@@ -199,38 +352,115 @@ impl State {
         self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
     }
 
-    /// Handle an upload arrival (ignoring superseded generations).
-    fn on_upload(&mut self, cfg: &ExperimentConfig, env: &Environment, now: SimTime, ev: UploadEv) {
-        let Some(session) = self.sessions[ev.client].as_ref() else {
-            return; // session already consumed
+    /// Handle an upload arrival (ignoring superseded generations, injecting
+    /// transit loss and retries, applying Byzantine corruption).
+    fn on_upload(
+        &mut self,
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        now: SimTime,
+        client: usize,
+        generation: u64,
+        attempt: u32,
+    ) {
+        let Some(session) = self.sessions[client].as_ref() else {
+            // Session already consumed or reclaimed.
+            self.superseded_uploads += 1;
+            return;
         };
-        if session.generation != ev.generation {
-            return; // superseded by a notification reschedule
+        if session.generation != generation {
+            // Superseded by a notification reschedule.
+            self.superseded_uploads += 1;
+            return;
         }
+
+        // Transient transit loss: the client notices the failed upload and
+        // retries with capped exponential backoff, then gives up.
+        if self.plan.upload_attempt_fails(client) {
+            self.upload_failures += 1;
+            self.trace.push(now, TraceEvent::UploadFailed { id: client, attempt });
+            if attempt < cfg.resilience.max_upload_retries {
+                let backoff = (cfg.resilience.retry_backoff_base * 2f64.powi(attempt as i32))
+                    .min(cfg.resilience.retry_backoff_cap);
+                let arrival = now.after(backoff + env.fleet[client].upload_time(env.model_bytes));
+                self.retries += 1;
+                self.trace.push(now, TraceEvent::Retry { id: client, attempt: attempt + 1 });
+                self.schedule_upload(now, client, arrival, generation, attempt + 1);
+            } else {
+                // Retries exhausted: the session's training effort is lost
+                // and the client returns to the idle pool.
+                self.sessions[client] = None;
+                self.phase[client] = ClientPhase::Idle;
+                self.refill(cfg, env, now);
+            }
+            return;
+        }
+
         let epochs = session.scheduled_epochs;
+        let mut params = session.outcome.state_after(epochs).to_vec();
+        // Byzantine/buggy devices corrupt what they send.
+        self.plan.corrupt(client, &mut params);
         let update = ModelUpdate {
-            client_id: ev.client,
-            params: session.outcome.state_after(epochs).to_vec(),
-            num_samples: env.client_data[ev.client].len(),
+            client_id: client,
+            params,
+            num_samples: env.client_data[client].len(),
             born_round: session.born_round,
             epochs_completed: epochs,
-            train_loss: session.outcome.epoch_losses[..epochs].iter().sum::<f32>()
-                / epochs as f32,
+            train_loss: session.outcome.epoch_losses[..epochs].iter().sum::<f32>() / epochs as f32,
         };
         let born = session.born_round;
-        self.sessions[ev.client] = None;
-        self.phase[ev.client] = ClientPhase::Buffered;
+        self.sessions[client] = None;
+        self.phase[client] = ClientPhase::Buffered;
+        self.consecutive_timeouts[client] = 0;
         self.total_updates += 1;
         if epochs < cfg.local_epochs {
             self.partial_updates += 1;
         }
-        self.trace.push(now, TraceEvent::Upload { id: ev.client, born_round: born, epochs });
+        self.trace.push(now, TraceEvent::Upload { id: client, born_round: born, epochs });
         self.buffer.push(update);
+    }
+
+    /// Server session timeout: reclaim a session that has not reported,
+    /// quarantining the client after repeated offences.
+    fn on_timeout(
+        &mut self,
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        now: SimTime,
+        client: usize,
+        session_seq: u64,
+    ) {
+        let Some(session) = self.sessions[client].as_ref() else {
+            return; // session reported (or was reclaimed) in time
+        };
+        if session.seq != session_seq {
+            return; // timer from an older session
+        }
+        // Reclaim: the client stops blocking staleness scans and its slot
+        // is refilled. A late upload from this session is ignored (its
+        // generation can never match a later session).
+        self.sessions[client] = None;
+        self.timeouts += 1;
+        self.trace.push(now, TraceEvent::Timeout { id: client });
+        self.consecutive_timeouts[client] += 1;
+        if self.consecutive_timeouts[client] >= cfg.resilience.quarantine_after {
+            self.phase[client] = ClientPhase::Quarantined;
+            self.quarantined += 1;
+            self.trace.push(now, TraceEvent::Quarantine { id: client });
+        } else {
+            self.phase[client] = ClientPhase::Idle;
+        }
+        self.refill(cfg, env, now);
     }
 
     /// Aggregate if the trigger condition holds. Returns true when the
     /// stop-at-target accuracy was reached.
-    fn try_aggregate(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) -> bool {
+    fn try_aggregate(
+        &mut self,
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        now: SimTime,
+    ) -> bool {
         if self.buffer.len() < self.params.buffer_k {
             return false;
         }
@@ -253,6 +483,22 @@ impl State {
         for u in &updates {
             debug_assert_eq!(self.phase[u.client_id], ClientPhase::Buffered);
             self.phase[u.client_id] = ClientPhase::Idle;
+        }
+
+        // Sanitize in front of the aggregator: non-finite or norm-exploded
+        // updates are rejected; the survivors' weights renormalize since
+        // every rule weights over exactly the updates it is handed.
+        let (clean, rejected) = sanitize::sanitize_updates(updates, &self.global, &cfg.resilience);
+        for (id, cause) in rejected {
+            self.rejected_updates += 1;
+            self.trace.push(now, TraceEvent::Rejected { id, cause });
+        }
+        updates = clean;
+        if updates.is_empty() {
+            // Everything in the buffer was garbage; the rejected clients
+            // are idle again, so refilling makes progress.
+            self.refill(cfg, env, now);
+            return false;
         }
 
         // SAFA-style discard: throw away over-limit updates (their training
@@ -279,7 +525,8 @@ impl State {
         }
         self.global = self.params.aggregator.aggregate(&self.global, &updates, self.round);
         self.round += 1;
-        self.trace.push(now, TraceEvent::Aggregate { round: self.round, num_updates: updates.len() });
+        self.trace
+            .push(now, TraceEvent::Aggregate { round: self.round, num_updates: updates.len() });
 
         let mut reached = false;
         if self.round.is_multiple_of(cfg.eval_every) {
@@ -330,11 +577,13 @@ impl State {
                 continue;
             };
             session.notified = true;
-            session.generation += 1;
+            session.generation = self.next_generation[k];
+            self.next_generation[k] += 1;
             session.scheduled_epochs = epoch_idx + 1;
-            let upload_at = session.epoch_ends[epoch_idx].after(device.upload_time(env.model_bytes));
+            let upload_at =
+                session.epoch_ends[epoch_idx].after(device.upload_time(env.model_bytes));
             let generation = session.generation;
-            self.queue.schedule(upload_at, UploadEv { client: k, generation });
+            self.schedule_upload(now, k, upload_at, generation, 0);
             self.trace.push(now, TraceEvent::Notify { id: k });
         }
     }
@@ -342,12 +591,16 @@ impl State {
     /// Keep `concurrency` devices training by sampling from the idle pool
     /// under the configured selection policy.
     fn refill(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
-        let idle: Vec<usize> = (0..cfg.num_clients)
-            .filter(|&k| self.phase[k] == ClientPhase::Idle)
-            .collect();
+        let idle: Vec<usize> =
+            (0..cfg.num_clients).filter(|&k| self.phase[k] == ClientPhase::Idle).collect();
         let need = self.params.concurrency.saturating_sub(self.active());
-        let picked =
-            crate::selection::select_clients(cfg.selection, &idle, &env.fleet, need, &mut self.sel_rng);
+        let picked = crate::selection::select_clients(
+            cfg.selection,
+            &idle,
+            &env.fleet,
+            need,
+            &mut self.sel_rng,
+        );
         for k in picked {
             self.start_training(cfg, env, k, now);
         }
@@ -360,7 +613,7 @@ mod tests {
     use crate::config::Algorithm;
     use crate::engine::run_experiment;
     use seafl_nn::ModelKind;
-    use seafl_sim::FleetConfig;
+    use seafl_sim::{CorruptionKind, FleetConfig};
 
     fn tiny_cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::quick(seed, algorithm);
@@ -437,10 +690,7 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(
-            max_staleness <= 2,
-            "aggregated staleness {max_staleness} exceeded beta=2"
-        );
+        assert!(max_staleness <= 2, "aggregated staleness {max_staleness} exceeded beta=2");
     }
 
     #[test]
@@ -497,6 +747,7 @@ mod tests {
         cfg.max_rounds = 1000;
         let r = run_experiment(&cfg);
         assert!(r.rounds < 1000, "did not stop early");
+        assert_eq!(r.termination, TerminationReason::TargetAccuracy);
     }
 
     #[test]
@@ -515,5 +766,136 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    // ---- fault injection & resilience ----
+
+    #[test]
+    fn fault_free_runs_report_zero_fault_counters() {
+        let r = run_experiment(&tiny_cfg(0, Algorithm::fedbuff(6, 3)));
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.upload_failures, 0);
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.timeouts, 0);
+        assert_eq!(r.quarantined, 0);
+        assert_eq!(r.rejected_updates, 0);
+        assert_eq!(r.termination, TerminationReason::MaxRounds);
+        assert_eq!(r.trace.termination(), Some(TerminationReason::MaxRounds));
+    }
+
+    #[test]
+    fn universal_crash_with_timeout_drains_instead_of_hanging() {
+        let mut cfg = tiny_cfg(20, Algorithm::seafl(6, 3, Some(5)));
+        cfg.faults.crash_prob = 1.0;
+        // Sessions in this config take ~0.5–5 s; every device dies within
+        // the first few of them.
+        cfg.faults.crash_window = (0.0, 5.0);
+        cfg.resilience.session_timeout = Some(20.0);
+        cfg.resilience.quarantine_after = 2;
+        let r = run_experiment(&cfg);
+        assert!(r.crashes > 0, "no crash ever materialized");
+        assert!(r.timeouts > 0, "no session was reclaimed");
+        assert!(r.quarantined > 0, "no client was quarantined");
+        // Every client eventually crashes and is quarantined; the clock runs
+        // dry instead of the run hanging on WaitForStale.
+        assert!(
+            matches!(r.termination, TerminationReason::QueueDrained | TerminationReason::Starved),
+            "unexpected termination: {:?}",
+            r.termination
+        );
+    }
+
+    #[test]
+    fn all_corrupted_updates_are_rejected() {
+        let mut cfg = tiny_cfg(21, Algorithm::fedbuff(6, 3));
+        cfg.faults.corrupt_prob = 1.0;
+        cfg.faults.corruption = CorruptionKind::NanBurst { count: 4 };
+        // No aggregation will ever succeed, so the run lasts until the
+        // clock cap; keep it short.
+        cfg.max_sim_time = 50.0;
+        let r = run_experiment(&cfg);
+        assert!(r.rejected_updates > 0, "sanitizer never fired");
+        // Every device corrupts, so nothing is ever aggregated and the
+        // global model never goes non-finite.
+        assert_eq!(r.rounds, 0);
+        for (_, acc) in &r.accuracy {
+            assert!(acc.is_finite());
+        }
+    }
+
+    #[test]
+    fn transient_upload_loss_retries_and_still_finishes() {
+        let mut cfg = tiny_cfg(22, Algorithm::fedbuff(6, 3));
+        cfg.faults.upload_drop_prob = 0.3;
+        let r = run_experiment(&cfg);
+        assert!(r.upload_failures > 0, "no upload was ever dropped");
+        assert!(r.retries > 0, "no retry was scheduled");
+        assert_eq!(r.rounds, 30, "retries failed to keep the run progressing");
+    }
+
+    #[test]
+    fn straggler_spikes_stretch_the_schedule() {
+        let base = tiny_cfg(24, Algorithm::fedbuff(6, 3));
+        let mut slow = base.clone();
+        slow.faults.straggler_prob = 1.0;
+        slow.faults.straggler_window = (0.0, 1.0);
+        slow.faults.straggler_duration = 1e9; // effectively the whole run
+        slow.faults.straggler_factor = 4.0;
+        slow.max_sim_time = 1_000_000.0; // room to still finish 30 rounds
+        let a = run_experiment(&base);
+        let b = run_experiment(&slow);
+        assert_eq!(a.rounds, b.rounds);
+        assert!(
+            b.sim_time_end > a.sim_time_end,
+            "4x compute spike did not slow the run: {} vs {}",
+            a.sim_time_end,
+            b.sim_time_end
+        );
+    }
+
+    #[test]
+    fn superseded_uploads_never_double_consume() {
+        // Tight beta makes SEAFL² reschedule uploads, leaving dangling
+        // events; each must be ignored exactly once and never consume a
+        // later session (per-client generations are monotonic).
+        let mut cfg = tiny_cfg(3, Algorithm::seafl2(8, 3, 1));
+        cfg.max_rounds = 50;
+        let r = run_experiment(&cfg);
+        assert!(r.notifications > 0, "no reschedules happened");
+        assert!(r.superseded_uploads > 0, "no dangling event was ever popped");
+        // Trace invariant: per client, ClientStart/Upload strictly
+        // alternate — a session is consumed at most once.
+        let mut outstanding = vec![0i64; cfg.num_clients];
+        for (_, ev) in r.trace.entries() {
+            match ev {
+                TraceEvent::ClientStart { id, .. } => {
+                    outstanding[*id] += 1;
+                    assert_eq!(outstanding[*id], 1, "client {id} restarted mid-session");
+                }
+                TraceEvent::Upload { id, .. } => {
+                    outstanding[*id] -= 1;
+                    assert_eq!(outstanding[*id], 0, "client {id} session consumed twice");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let mut cfg = tiny_cfg(23, Algorithm::seafl(6, 3, Some(10)));
+        cfg.faults.crash_prob = 0.25;
+        cfg.faults.crash_window = (0.0, 30.0);
+        cfg.faults.upload_drop_prob = 0.2;
+        cfg.faults.corrupt_prob = 0.15;
+        cfg.resilience.session_timeout = Some(25.0);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.rejected_updates, b.rejected_updates);
+        assert_eq!(a.trace.entries(), b.trace.entries());
     }
 }

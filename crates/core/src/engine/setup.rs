@@ -83,10 +83,12 @@ impl Environment {
         let trainer =
             LocalTrainer::new(model, cfg.lr, cfg.momentum, cfg.batch_size).with_prox(cfg.prox_mu);
 
-        let client_rngs =
-            (0..cfg.num_clients).map(|k| stream_rng(cfg.seed, streams::CLIENT_BASE + k as u64)).collect();
-        let idle_rngs =
-            (0..cfg.num_clients).map(|k| stream_rng(cfg.seed, streams::IDLE_BASE + k as u64)).collect();
+        let client_rngs = (0..cfg.num_clients)
+            .map(|k| stream_rng(cfg.seed, streams::CLIENT_BASE + k as u64))
+            .collect();
+        let idle_rngs = (0..cfg.num_clients)
+            .map(|k| stream_rng(cfg.seed, streams::IDLE_BASE + k as u64))
+            .collect();
 
         let probe = cfg.grad_norm_probe.then(|| {
             let n = task.test.len().min(EVAL_CHUNK);

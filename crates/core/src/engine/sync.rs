@@ -7,7 +7,7 @@ use crate::engine::RunResult;
 use crate::update::ModelUpdate;
 use rand::seq::SliceRandom;
 use seafl_sim::rng::{stream_rng, streams};
-use seafl_sim::{SimTime, TraceEvent, TraceLog};
+use seafl_sim::{SimTime, TerminationReason, TraceEvent, TraceLog};
 
 /// Run synchronous FedAvg with `clients_per_round` devices per round.
 ///
@@ -27,6 +27,8 @@ pub fn run_sync(
     let mut grad_norms = Vec::new();
     let mut now = SimTime::ZERO;
     let mut total_updates = 0usize;
+    let mut rejected_updates = 0usize;
+    let mut reached_target = false;
 
     let acc0 = env.evaluate(&global);
     accuracy.push((0.0, acc0));
@@ -92,6 +94,18 @@ pub fn run_sync(
                 TraceEvent::Upload { id: u.client_id, born_round: round, epochs: cfg.local_epochs },
             );
         }
+        // Same server hygiene as the async engines: drop numerically broken
+        // updates before they can poison the average.
+        let (updates, rejected) =
+            crate::sanitize::sanitize_updates(updates, &global, &cfg.resilience);
+        for (id, cause) in rejected {
+            rejected_updates += 1;
+            trace.push(now, TraceEvent::Rejected { id, cause });
+        }
+        if updates.is_empty() {
+            // The whole cohort was rejected; time has advanced, try again.
+            continue;
+        }
         global = agg.aggregate(&global, &updates, round);
         round += 1;
         trace.push(now, TraceEvent::Aggregate { round, num_updates: updates.len() });
@@ -105,12 +119,21 @@ pub fn run_sync(
             }
             if let Some(target) = cfg.stop_at_accuracy {
                 if acc >= target {
+                    reached_target = true;
                     break;
                 }
             }
         }
     }
 
+    let termination = if reached_target {
+        TerminationReason::TargetAccuracy
+    } else if round >= cfg.max_rounds {
+        TerminationReason::MaxRounds
+    } else {
+        TerminationReason::MaxSimTime
+    };
+    trace.push(now, TraceEvent::Terminated { reason: termination, buffered: 0 });
     RunResult {
         algorithm: "fedavg",
         accuracy,
@@ -120,6 +143,14 @@ pub fn run_sync(
         partial_updates: 0,
         dropped_updates: 0,
         notifications: 0,
+        termination,
+        crashes: 0,
+        upload_failures: 0,
+        retries: 0,
+        timeouts: 0,
+        quarantined: 0,
+        rejected_updates,
+        superseded_uploads: 0,
         sim_time_end: now.as_secs(),
         trace,
     }

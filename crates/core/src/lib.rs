@@ -26,12 +26,16 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod sanitize;
 pub mod selection;
 pub mod update;
 pub mod weighting;
 
 pub use aggregator::{Aggregator, FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
-pub use config::{Algorithm, ExperimentConfig, PartitionStrategy, SelectionPolicy, StalenessPolicy};
+pub use config::{
+    Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
+    StalenessPolicy,
+};
 pub use engine::{run_experiment, RunResult};
 pub use update::ModelUpdate;
 pub use weighting::ImportanceMode;

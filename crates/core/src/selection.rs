@@ -27,10 +27,8 @@ pub fn select_clients(
         }
         SelectionPolicy::SpeedBiased { exponent } => {
             let mut pool: Vec<usize> = candidates.to_vec();
-            let mut weights: Vec<f64> = pool
-                .iter()
-                .map(|&k| fleet[k].speed_factor.max(1e-9).powf(-exponent))
-                .collect();
+            let mut weights: Vec<f64> =
+                pool.iter().map(|&k| fleet[k].speed_factor.max(1e-9).powf(-exponent)).collect();
             let mut picked = Vec::with_capacity(n.min(pool.len()));
             while picked.len() < n && !pool.is_empty() {
                 let total: f64 = weights.iter().sum();

@@ -51,11 +51,8 @@ pub fn importance_factor(
     let theta = match mode {
         ImportanceMode::ModelCosine => cosine_similarity(update_params, global_params),
         ImportanceMode::DeltaCosine => {
-            let delta: Vec<f32> = update_params
-                .iter()
-                .zip(global_params.iter())
-                .map(|(&u, &g)| u - g)
-                .collect();
+            let delta: Vec<f32> =
+                update_params.iter().zip(global_params.iter()).map(|(&u, &g)| u - g).collect();
             cosine_similarity(&delta, global_params)
         }
         ImportanceMode::DotProduct => {
@@ -160,10 +157,7 @@ mod tests {
 
     #[test]
     fn importance_zero_mu_short_circuits() {
-        assert_eq!(
-            importance_factor(0.0, ImportanceMode::ModelCosine, &[1.0], &[1.0]),
-            0.0
-        );
+        assert_eq!(importance_factor(0.0, ImportanceMode::ModelCosine, &[1.0], &[1.0]), 0.0);
     }
 
     #[test]
@@ -185,11 +179,9 @@ mod tests {
     fn importance_bounded_by_mu_all_modes() {
         let g = vec![0.3, 0.8, -0.4, 1.2];
         let u = vec![0.1, 0.9, -0.2, 1.0];
-        for mode in [
-            ImportanceMode::ModelCosine,
-            ImportanceMode::DeltaCosine,
-            ImportanceMode::DotProduct,
-        ] {
+        for mode in
+            [ImportanceMode::ModelCosine, ImportanceMode::DeltaCosine, ImportanceMode::DotProduct]
+        {
             let s = importance_factor(2.5, mode, &u, &g);
             assert!((0.0..=2.5).contains(&s), "{mode:?}: {s}");
         }
@@ -203,7 +195,8 @@ mod tests {
             upd(5, 10, vec![0.9, -0.1, -1.1]),
             upd(0, 60, vec![-1.0, 0.0, 1.0]),
         ];
-        let w = aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
+        let w =
+            aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
         assert_eq!(w.len(), 3);
         assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
         assert!(w.iter().all(|&x| x >= 0.0));
@@ -216,7 +209,8 @@ mod tests {
             upd(10, 50, vec![1.0, 1.0]), // staleness 0
             upd(2, 50, vec![1.0, 1.0]),  // staleness 8
         ];
-        let w = aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
+        let w =
+            aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
         assert!(w[0] > w[1], "fresh {} vs stale {}", w[0], w[1]);
     }
 
@@ -227,7 +221,8 @@ mod tests {
             upd(10, 50, vec![1.0, 1.0, 0.1]),   // aligned with global
             upd(10, 50, vec![-1.0, -1.0, 0.1]), // opposed to global
         ];
-        let w = aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
+        let w =
+            aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
         assert!(w[0] > w[1]);
     }
 
@@ -235,7 +230,8 @@ mod tests {
     fn more_data_outweighs_less_data() {
         let g = vec![1.0, 1.0];
         let updates = vec![upd(10, 90, vec![1.0, 1.0]), upd(10, 10, vec![1.0, 1.0])];
-        let w = aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
+        let w =
+            aggregation_weights(&updates, &g, 10, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
         assert!((w[0] / w[1] - 9.0).abs() < 0.1, "ratio {}", w[0] / w[1]);
     }
 
@@ -243,7 +239,8 @@ mod tests {
     fn alpha_mu_zero_falls_back_to_data_weights() {
         let g = vec![1.0];
         let updates = vec![upd(0, 75, vec![1.0]), upd(0, 25, vec![1.0])];
-        let w = aggregation_weights(&updates, &g, 0, 0.0, 0.0, Some(10), ImportanceMode::ModelCosine);
+        let w =
+            aggregation_weights(&updates, &g, 0, 0.0, 0.0, Some(10), ImportanceMode::ModelCosine);
         assert!((w[0] - 0.75).abs() < 1e-6);
         assert!((w[1] - 0.25).abs() < 1e-6);
     }
@@ -253,9 +250,9 @@ mod tests {
         // Equal data, equal staleness, identical params: p = 1/K — the
         // FedBuff degeneration the paper's §V mentions.
         let g = vec![1.0, 2.0];
-        let updates: Vec<ModelUpdate> =
-            (0..4).map(|_| upd(3, 25, vec![1.0, 2.0])).collect();
-        let w = aggregation_weights(&updates, &g, 5, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
+        let updates: Vec<ModelUpdate> = (0..4).map(|_| upd(3, 25, vec![1.0, 2.0])).collect();
+        let w =
+            aggregation_weights(&updates, &g, 5, 3.0, 1.0, Some(10), ImportanceMode::ModelCosine);
         for &x in &w {
             assert!((x - 0.25).abs() < 1e-6);
         }

@@ -38,10 +38,7 @@ impl ImageDataset {
             labels.len(),
             img
         );
-        assert!(
-            labels.iter().all(|&y| y < num_classes),
-            "ImageDataset: label out of range"
-        );
+        assert!(labels.iter().all(|&y| y < num_classes), "ImageDataset: label out of range");
         ImageDataset { data, labels, channels, height, width, num_classes }
     }
 
@@ -89,10 +86,7 @@ impl ImageDataset {
             labels.push(self.labels[i]);
         }
         (
-            Tensor::from_vec(
-                Shape::d4(indices.len(), self.channels, self.height, self.width),
-                buf,
-            ),
+            Tensor::from_vec(Shape::d4(indices.len(), self.channels, self.height, self.width), buf),
             labels,
         )
     }

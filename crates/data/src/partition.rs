@@ -42,9 +42,7 @@ pub fn dirichlet_partition(
         let props: Vec<f64> = if num_clients == 1 {
             vec![1.0]
         } else {
-            Dirichlet::new_with_size(alpha, num_clients)
-                .expect("valid dirichlet")
-                .sample(rng)
+            Dirichlet::new_with_size(alpha, num_clients).expect("valid dirichlet").sample(rng)
         };
         // Convert proportions to cumulative split points over this class.
         let n = class_indices.len();
@@ -62,9 +60,8 @@ pub fn dirichlet_partition(
     // Ensure no client is empty: steal one sample from the largest shard.
     for c in 0..num_clients {
         if shards[c].is_empty() {
-            let donor = (0..num_clients)
-                .max_by_key(|&i| shards[i].len())
-                .expect("at least one client");
+            let donor =
+                (0..num_clients).max_by_key(|&i| shards[i].len()).expect("at least one client");
             assert!(shards[donor].len() > 1, "not enough samples to cover all clients");
             let moved = shards[donor].pop().expect("donor non-empty");
             shards[c].push(moved);
@@ -78,7 +75,11 @@ pub fn dirichlet_partition(
 }
 
 /// IID partition: global shuffle, then near-equal contiguous chunks.
-pub fn iid_partition(num_samples: usize, num_clients: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
+pub fn iid_partition(
+    num_samples: usize,
+    num_clients: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<usize>> {
     assert!(num_clients > 0, "iid_partition: zero clients");
     assert!(num_samples >= num_clients, "iid_partition: fewer samples than clients");
     let mut idx: Vec<usize> = (0..num_samples).collect();
@@ -159,10 +160,8 @@ pub fn quantity_skew_partition(
     // Largest-remainder apportionment of (num_samples - num_clients) extra
     // samples on top of the guaranteed one per client.
     let spare = num_samples - num_clients;
-    let mut counts: Vec<usize> = raw
-        .iter()
-        .map(|&w| (w / total * spare as f64).floor() as usize + 1)
-        .collect();
+    let mut counts: Vec<usize> =
+        raw.iter().map(|&w| (w / total * spare as f64).floor() as usize + 1).collect();
     let mut assigned: usize = counts.iter().sum();
     // Distribute the remainder by descending fractional weight.
     let mut order: Vec<usize> = (0..num_clients).collect();
@@ -217,12 +216,8 @@ pub fn label_skew(labels: &[usize], partition: &[Vec<usize>]) -> f64 {
             local[labels[i]] += 1.0;
         }
         let n = part.len() as f64;
-        let tv: f64 = local
-            .iter()
-            .zip(global.iter())
-            .map(|(&l, &g)| (l / n - g).abs())
-            .sum::<f64>()
-            / 2.0;
+        let tv: f64 =
+            local.iter().zip(global.iter()).map(|(&l, &g)| (l / n - g).abs()).sum::<f64>() / 2.0;
         acc += tv;
         counted += 1;
     }

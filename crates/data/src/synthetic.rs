@@ -93,7 +93,12 @@ impl SyntheticSpec {
     }
 
     /// Generate a full task: per-class prototypes plus train/test sets.
-    pub fn generate(&self, train_per_class: usize, test_per_class: usize, seed: u64) -> SyntheticTask {
+    pub fn generate(
+        &self,
+        train_per_class: usize,
+        test_per_class: usize,
+        seed: u64,
+    ) -> SyntheticTask {
         let mut rng = StdRng::seed_from_u64(seed);
         let protos: Vec<Vec<f32>> =
             (0..self.num_classes).map(|_| self.sample_prototype(&mut rng)).collect();
@@ -138,12 +143,7 @@ impl SyntheticSpec {
         out
     }
 
-    fn sample_set(
-        &self,
-        protos: &[Vec<f32>],
-        per_class: usize,
-        rng: &mut StdRng,
-    ) -> ImageDataset {
+    fn sample_set(&self, protos: &[Vec<f32>], per_class: usize, rng: &mut StdRng) -> ImageDataset {
         let img = self.image_len();
         let n = per_class * self.num_classes;
         let noise = Normal::new(0.0f64, self.noise_std as f64).unwrap();

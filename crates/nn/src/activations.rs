@@ -42,10 +42,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .take()
-            .expect("Relu::backward called without forward(train=true)");
+        let mask = self.mask.take().expect("Relu::backward called without forward(train=true)");
         assert_eq!(mask.len(), grad_out.len(), "Relu: gradient shape mismatch");
         for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(mask.iter()) {
             if !m {
@@ -87,10 +84,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let y = self
-            .output
-            .take()
-            .expect("Tanh::backward called without forward(train=true)");
+        let y = self.output.take().expect("Tanh::backward called without forward(train=true)");
         // d tanh(x)/dx = 1 - tanh(x)^2
         grad_out.zip(&y, |g, t| g * (1.0 - t * t))
     }
@@ -129,9 +123,8 @@ impl Layer for Dropout {
         use rand::Rng;
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..x.len()).map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 }).collect();
         for (v, &m) in x.as_mut_slice().iter_mut().zip(mask.iter()) {
             *v *= m;
         }
@@ -140,10 +133,7 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, mut grad_out: Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .take()
-            .expect("Dropout::backward called without forward(train=true)");
+        let mask = self.mask.take().expect("Dropout::backward called without forward(train=true)");
         assert_eq!(mask.len(), grad_out.len(), "Dropout: gradient shape mismatch");
         for (g, &m) in grad_out.as_mut_slice().iter_mut().zip(mask.iter()) {
             *g *= m;
@@ -183,7 +173,8 @@ mod tests {
         let g = t.backward(Tensor::full(Shape::d1(3), 1.0));
         let eps = 1e-3;
         for i in 0..3 {
-            let fd = ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
+            let fd =
+                ((x.as_slice()[i] + eps).tanh() - (x.as_slice()[i] - eps).tanh()) / (2.0 * eps);
             assert!((g.as_slice()[i] - fd).abs() < 1e-4);
         }
     }

@@ -73,10 +73,8 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .take()
-            .expect("Conv2d::backward called without forward(train=true)");
+        let cols =
+            self.cached_cols.take().expect("Conv2d::backward called without forward(train=true)");
         let (grad_in, gw, gb) = conv2d_backward(&grad_out, &cols, &self.weight, &self.geom);
         self.grad_weight.add_assign(&gw);
         for (b, g) in self.grad_bias.as_mut_slice().iter_mut().zip(gb.iter()) {

@@ -84,10 +84,8 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .take()
-            .expect("Dense::backward called without forward(train=true)");
+        let x =
+            self.cached_input.take().expect("Dense::backward called without forward(train=true)");
         // dW += dYᵀ · X ; db += column-sums(dY) ; dX = dY · W
         let gw = matmul::matmul_at_b(&grad_out, &x);
         self.grad_weight.add_assign(&gw);

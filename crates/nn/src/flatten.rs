@@ -37,10 +37,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let shape = self
-            .cached_shape
-            .take()
-            .expect("Flatten::backward called without forward(train=true)");
+        let shape =
+            self.cached_shape.take().expect("Flatten::backward called without forward(train=true)");
         grad_out.reshape(shape)
     }
 }

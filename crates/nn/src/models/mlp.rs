@@ -8,7 +8,12 @@ use rand::Rng;
 
 /// `in_features → hidden → hidden → classes` ReLU MLP. Accepts either
 /// rank-2 `[batch, features]` or rank-4 image input (flattened internally).
-pub fn mlp(in_features: usize, hidden: usize, num_classes: usize, rng: &mut impl Rng) -> Sequential {
+pub fn mlp(
+    in_features: usize,
+    hidden: usize,
+    num_classes: usize,
+    rng: &mut impl Rng,
+) -> Sequential {
     Sequential::new()
         .add(Flatten::new())
         .add(Dense::new_he(in_features, hidden, rng))

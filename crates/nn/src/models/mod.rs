@@ -45,7 +45,9 @@ impl ModelKind {
     pub fn build(&self, seed: u64) -> Model {
         let mut rng = StdRng::seed_from_u64(seed);
         let (net, classes) = match *self {
-            ModelKind::LeNet5 { num_classes } => (lenet::lenet5(num_classes, &mut rng), num_classes),
+            ModelKind::LeNet5 { num_classes } => {
+                (lenet::lenet5(num_classes, &mut rng), num_classes)
+            }
             ModelKind::ResNet18 { num_classes, width_base } => {
                 (resnet::resnet18(num_classes, width_base, &mut rng), num_classes)
             }
@@ -284,10 +286,7 @@ mod tests {
     fn mlp_learns_xor_like_task() {
         let mut m = ModelKind::Mlp { in_features: 2, hidden: 16, num_classes: 2 }.build(5);
         let mut opt = Sgd::new(0.5).with_momentum(0.9);
-        let x = Tensor::from_vec(
-            Shape::d2(4, 2),
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-        );
+        let x = Tensor::from_vec(Shape::d2(4, 2), vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         let labels = vec![0usize, 1, 1, 0];
         let mut last = f32::INFINITY;
         for _ in 0..300 {

@@ -25,11 +25,24 @@ pub fn vgg16(num_classes: usize, width_base: usize, rng: &mut impl Rng) -> Seque
     assert!(width_base >= 1, "vgg16: width_base must be >= 1");
     let w = width_base;
     let cfg = [
-        w, w, M,
-        2 * w, 2 * w, M,
-        4 * w, 4 * w, 4 * w, M,
-        8 * w, 8 * w, 8 * w, M,
-        8 * w, 8 * w, 8 * w, M,
+        w,
+        w,
+        M,
+        2 * w,
+        2 * w,
+        M,
+        4 * w,
+        4 * w,
+        4 * w,
+        M,
+        8 * w,
+        8 * w,
+        8 * w,
+        M,
+        8 * w,
+        8 * w,
+        8 * w,
+        M,
     ];
 
     let mut net = Sequential::new();
@@ -41,10 +54,7 @@ pub fn vgg16(num_classes: usize, width_base: usize, rng: &mut impl Rng) -> Seque
             hw /= 2;
         } else {
             let g = Conv2dGeom { in_c, in_h: hw, in_w: hw, k_h: 3, k_w: 3, stride: 1, pad: 1 };
-            net = net
-                .add(Conv2d::new(g, c, rng))
-                .add(BatchNorm2d::new(c))
-                .add(Relu::new());
+            net = net.add(Conv2d::new(g, c, rng)).add(BatchNorm2d::new(c)).add(Relu::new());
             in_c = c;
         }
     }

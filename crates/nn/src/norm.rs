@@ -124,20 +124,14 @@ impl Layer for BatchNorm2d {
         }
 
         if train {
-            self.cache = Some(BnCache {
-                x_hat: Tensor::from_vec(s, x_hat),
-                inv_std,
-                in_shape: s,
-            });
+            self.cache = Some(BnCache { x_hat: Tensor::from_vec(s, x_hat), inv_std, in_shape: s });
         }
         Tensor::from_vec(s, out)
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("BatchNorm2d::backward called without forward(train=true)");
+        let cache =
+            self.cache.take().expect("BatchNorm2d::backward called without forward(train=true)");
         let s = cache.in_shape;
         let (n, c, hw) = (s.dim(0), s.dim(1), s.dim(2) * s.dim(3));
         let m = (n * hw) as f32;
@@ -292,21 +286,16 @@ impl Layer for GroupNorm {
         }
 
         if train {
-            self.cache = Some(GnCache {
-                x_hat: Tensor::from_vec(s, x_hat),
-                inv_std: inv_stds,
-                in_shape: s,
-            });
+            self.cache =
+                Some(GnCache { x_hat: Tensor::from_vec(s, x_hat), inv_std: inv_stds, in_shape: s });
         }
         Tensor::from_vec(s, out)
     }
 
     #[allow(clippy::needless_range_loop)] // index interleaves several buffers
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("GroupNorm::backward called without forward(train=true)");
+        let cache =
+            self.cache.take().expect("GroupNorm::backward called without forward(train=true)");
         let s = cache.in_shape;
         let (n, c, hw) = (s.dim(0), s.dim(1), s.dim(2) * s.dim(3));
         let cpg = c / self.groups;
@@ -350,8 +339,7 @@ impl Layer for GroupNorm {
                 for ci in c0..c0 + cpg {
                     let off = (ni * c + ci) * hw;
                     for i in off..off + hw {
-                        grad_in[i] =
-                            inv_std / m * (m * gv[i] * g[ci] - sd - xh[i] * sdx);
+                        grad_in[i] = inv_std / m * (m * gv[i] * g[ci] - sd - xh[i] * sdx);
                     }
                 }
             }
@@ -486,8 +474,8 @@ mod tests {
                     vals.extend_from_slice(&y.as_slice()[off..off + hw]);
                 }
                 let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-                let var: f32 = vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                    / vals.len() as f32;
+                let var: f32 =
+                    vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
                 assert!(mean.abs() < 1e-4, "group mean {mean}");
                 assert!((var - 1.0).abs() < 2e-2, "group var {var}");
             }

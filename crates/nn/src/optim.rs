@@ -51,11 +51,8 @@ impl Sgd {
         // be borrowed simultaneously through the trait).
         let grads: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.as_slice().to_vec()).collect();
         let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
-        for ((param, grad), vel) in layer
-            .params_mut()
-            .into_iter()
-            .zip(grads.iter())
-            .zip(self.velocity.iter_mut())
+        for ((param, grad), vel) in
+            layer.params_mut().into_iter().zip(grads.iter()).zip(self.velocity.iter_mut())
         {
             let pv = param.as_mut_slice();
             if mom == 0.0 {

@@ -33,10 +33,8 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let (arg, in_shape) = self
-            .cached
-            .take()
-            .expect("MaxPool2d::backward called without forward(train=true)");
+        let (arg, in_shape) =
+            self.cached.take().expect("MaxPool2d::backward called without forward(train=true)");
         conv::maxpool2d_backward(&grad_out, &arg, in_shape)
     }
 }
@@ -121,10 +119,7 @@ mod tests {
     #[test]
     fn maxpool_layer_roundtrip() {
         let mut p = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            Shape::d4(1, 1, 2, 2),
-            vec![1.0, 5.0, 3.0, 2.0],
-        );
+        let x = Tensor::from_vec(Shape::d4(1, 1, 2, 2), vec![1.0, 5.0, 3.0, 2.0]);
         let y = p.forward(x, true);
         assert_eq!(y.as_slice(), &[5.0]);
         let g = p.backward(Tensor::from_slice(&[7.0]).reshape(Shape::d4(1, 1, 1, 1)));

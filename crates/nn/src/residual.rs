@@ -31,10 +31,7 @@ impl NormKind {
     /// Largest divisor of `channels` that does not exceed the requested
     /// group count (GroupNorm requires divisibility).
     pub fn fit_groups(requested: usize, channels: usize) -> usize {
-        (1..=requested.clamp(1, channels))
-            .rev()
-            .find(|&g| channels.is_multiple_of(g))
-            .unwrap_or(1)
+        (1..=requested.clamp(1, channels)).rev().find(|&g| channels.is_multiple_of(g)).unwrap_or(1)
     }
 }
 
@@ -51,7 +48,14 @@ pub struct ResidualBlock {
 impl ResidualBlock {
     /// Build a basic block mapping `[in_c, h, w]` to
     /// `[out_c, h/stride, w/stride]` with batch normalization.
-    pub fn new(in_c: usize, out_c: usize, h: usize, w: usize, stride: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self::with_norm(in_c, out_c, h, w, stride, NormKind::Batch, rng)
     }
 
@@ -78,11 +82,7 @@ impl ResidualBlock {
 
         let shortcut = if stride != 1 || in_c != out_c {
             let gs = Conv2dGeom { in_c, in_h: h, in_w: w, k_h: 1, k_w: 1, stride, pad: 0 };
-            Some(
-                Sequential::new()
-                    .add(Conv2d::new(gs, out_c, rng))
-                    .add_boxed(norm.build(out_c)),
-            )
+            Some(Sequential::new().add(Conv2d::new(gs, out_c, rng)).add_boxed(norm.build(out_c)))
         } else {
             None
         };

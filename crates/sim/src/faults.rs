@@ -1,0 +1,418 @@
+//! Deterministic fault injection for simulated fleets.
+//!
+//! Real device fleets misbehave: devices crash and never report back,
+//! uploads are lost on flaky links, background load makes a device
+//! temporarily slow, and buggy or adversarial clients ship numerically
+//! broken updates. A [`FaultPlan`] pre-samples all of those behaviours per
+//! device from its own RNG stream ([`crate::rng::streams::FAULTS`]), so
+//!
+//! * a plan is a pure function of `(FaultConfig, num_devices, master_seed)`
+//!   — two runs with the same inputs replay the same faults event for
+//!   event;
+//! * the fault stream is independent of every other stream (fleet build,
+//!   selection, training), so enabling faults never perturbs the healthy
+//!   part of the simulation, and [`FaultConfig::none`] is bit-identical to
+//!   a build without this module;
+//! * the plan is serializable, so a faulty run can be archived and
+//!   replayed.
+//!
+//! Per-attempt decisions (transient upload loss) cannot be pre-sampled —
+//! the number of attempts depends on server behaviour — so they use a
+//! counter-based construction: attempt `i` of device `k` hashes
+//! `(master_seed, FAULT_ATTEMPT_BASE + k, i)` into a uniform draw. The
+//! decision sequence of one device is therefore independent of every other
+//! device's schedule.
+
+use crate::rng::{stream_rng, streams, unit_from_counter};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a Byzantine/buggy device does to its update before uploading.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Overwrite `count` evenly spaced parameters with NaN (a poisoned or
+    /// numerically diverged update).
+    NanBurst { count: usize },
+    /// Scale every parameter by `factor` (a norm-exploded update; factors
+    /// around 10–100 model diverged local training, larger ones model
+    /// deliberate model-boosting attacks).
+    GradientScale { factor: f32 },
+}
+
+/// A temporary per-device slowdown: between `start` and `end` (sim
+/// seconds), local compute runs `factor`× slower.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpeedSpike {
+    pub start: f64,
+    pub end: f64,
+    /// Multiplier on epoch compute time while the spike is active (≥ 1).
+    pub factor: f64,
+}
+
+/// Fleet-level fault model: which faults exist and how often. All
+/// probabilities are per *device* except `upload_drop_prob`, which is per
+/// upload *attempt*. [`FaultConfig::none`] (the default) disables
+/// everything.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a device permanently crashes during the run.
+    pub crash_prob: f64,
+    /// Sim-time window `(lo, hi)` the crash instant is sampled from.
+    pub crash_window: (f64, f64),
+    /// Per-attempt probability that an upload is lost in transit.
+    pub upload_drop_prob: f64,
+    /// Probability a device suffers one straggler spike.
+    pub straggler_prob: f64,
+    /// Sim-time window the spike start is sampled from.
+    pub straggler_window: (f64, f64),
+    /// Spike duration, seconds.
+    pub straggler_duration: f64,
+    /// Compute slowdown factor while the spike is active (≥ 1).
+    pub straggler_factor: f64,
+    /// Probability a device corrupts every update it uploads.
+    pub corrupt_prob: f64,
+    /// What corruption looks like for corrupt devices.
+    pub corruption: CorruptionKind,
+}
+
+impl FaultConfig {
+    /// No faults: the plan built from this config injects nothing.
+    pub fn none() -> Self {
+        FaultConfig {
+            crash_prob: 0.0,
+            crash_window: (0.0, 0.0),
+            upload_drop_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_window: (0.0, 0.0),
+            straggler_duration: 0.0,
+            straggler_factor: 1.0,
+            corrupt_prob: 0.0,
+            corruption: CorruptionKind::NanBurst { count: 1 },
+        }
+    }
+
+    /// True when every fault channel is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.crash_prob == 0.0
+            && self.upload_drop_prob == 0.0
+            && self.straggler_prob == 0.0
+            && self.corrupt_prob == 0.0
+    }
+
+    /// Panic on out-of-range parameters (mirrors `ExperimentConfig`'s
+    /// assert-style validation).
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("upload_drop_prob", self.upload_drop_prob),
+            ("straggler_prob", self.straggler_prob),
+            ("corrupt_prob", self.corrupt_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "faults: {name} {p} outside [0,1]");
+        }
+        assert!(
+            self.upload_drop_prob < 1.0,
+            "faults: upload_drop_prob must be < 1 (every attempt would fail)"
+        );
+        assert!(self.crash_window.0 <= self.crash_window.1, "faults: inverted crash_window");
+        assert!(
+            self.straggler_window.0 <= self.straggler_window.1,
+            "faults: inverted straggler_window"
+        );
+        assert!(self.straggler_duration >= 0.0, "faults: negative straggler_duration");
+        assert!(self.straggler_factor >= 1.0, "faults: straggler_factor must be >= 1");
+        if let CorruptionKind::NanBurst { count } = self.corruption {
+            assert!(count >= 1, "faults: NanBurst count must be >= 1");
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The sampled fault schedule of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFaults {
+    /// Sim time at which the device dies for good (never uploads after).
+    pub crash_at: Option<f64>,
+    /// Per-attempt upload loss probability.
+    pub drop_prob: f64,
+    /// Temporary slowdown window.
+    pub spike: Option<SpeedSpike>,
+    /// Corruption applied to every update this device uploads.
+    pub corruption: Option<CorruptionKind>,
+}
+
+impl DeviceFaults {
+    fn healthy() -> Self {
+        DeviceFaults { crash_at: None, drop_prob: 0.0, spike: None, corruption: None }
+    }
+}
+
+/// The materialized, deterministic fault schedule of a whole fleet.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    master_seed: u64,
+    devices: Vec<DeviceFaults>,
+    /// Upload attempts drawn so far per device (counter-based RNG state).
+    attempt_counters: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Sample the plan for `num_devices` devices. Each device consumes a
+    /// fixed number of draws from the `FAULTS` stream, so device `k`'s
+    /// faults depend only on `(cfg, master_seed, k)`.
+    pub fn build(cfg: &FaultConfig, num_devices: usize, master_seed: u64) -> Self {
+        cfg.validate();
+        let mut rng = stream_rng(master_seed, streams::FAULTS);
+        let devices = (0..num_devices)
+            .map(|_| {
+                // Fixed draw sequence per device: decision + instant for
+                // each channel, drawn unconditionally.
+                let (u_crash, t_crash): (f64, f64) = (rng.gen(), rng.gen());
+                let (u_strag, t_strag): (f64, f64) = (rng.gen(), rng.gen());
+                let u_corrupt: f64 = rng.gen();
+                let crash_at = (u_crash < cfg.crash_prob).then(|| {
+                    cfg.crash_window.0 + t_crash * (cfg.crash_window.1 - cfg.crash_window.0)
+                });
+                let spike = (u_strag < cfg.straggler_prob).then(|| {
+                    let start = cfg.straggler_window.0
+                        + t_strag * (cfg.straggler_window.1 - cfg.straggler_window.0);
+                    SpeedSpike {
+                        start,
+                        end: start + cfg.straggler_duration,
+                        factor: cfg.straggler_factor,
+                    }
+                });
+                let corruption = (u_corrupt < cfg.corrupt_prob).then_some(cfg.corruption);
+                DeviceFaults { crash_at, drop_prob: cfg.upload_drop_prob, spike, corruption }
+            })
+            .collect();
+        FaultPlan { master_seed, devices, attempt_counters: vec![0; num_devices] }
+    }
+
+    /// A plan that injects nothing (what every experiment gets by default).
+    pub fn none(num_devices: usize) -> Self {
+        FaultPlan {
+            master_seed: 0,
+            devices: vec![DeviceFaults::healthy(); num_devices],
+            attempt_counters: vec![0; num_devices],
+        }
+    }
+
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn device(&self, k: usize) -> &DeviceFaults {
+        &self.devices[k]
+    }
+
+    /// True when no device has any fault scheduled.
+    pub fn is_noop(&self) -> bool {
+        self.devices.iter().all(|d| {
+            d.crash_at.is_none()
+                && d.drop_prob == 0.0
+                && d.spike.is_none()
+                && d.corruption.is_none()
+        })
+    }
+
+    /// Sim time at which device `k` permanently crashes, if ever.
+    pub fn crash_time(&self, k: usize) -> Option<f64> {
+        self.devices[k].crash_at
+    }
+
+    /// True iff device `k` is dead at sim time `t`.
+    pub fn crashed_by(&self, k: usize, t: f64) -> bool {
+        self.devices[k].crash_at.is_some_and(|c| c <= t)
+    }
+
+    /// Compute-time multiplier for device `k` at sim time `t` (1.0 =
+    /// nominal speed).
+    pub fn speed_multiplier(&self, k: usize, t: f64) -> f64 {
+        match self.devices[k].spike {
+            Some(s) if t >= s.start && t < s.end => s.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Decide whether device `k`'s next upload attempt is lost in transit.
+    /// Counter-based: attempt `i` of device `k` is a pure function of
+    /// `(master_seed, k, i)`, so one device's decisions never depend on
+    /// another device's attempt count.
+    pub fn upload_attempt_fails(&mut self, k: usize) -> bool {
+        let p = self.devices[k].drop_prob;
+        if p <= 0.0 {
+            return false;
+        }
+        let i = self.attempt_counters[k];
+        self.attempt_counters[k] += 1;
+        unit_from_counter(self.master_seed, streams::FAULT_ATTEMPT_BASE + k as u64, i) < p
+    }
+
+    /// Corruption model of device `k` (None = honest device).
+    pub fn corruption(&self, k: usize) -> Option<CorruptionKind> {
+        self.devices[k].corruption
+    }
+
+    /// Apply device `k`'s corruption to an outgoing update in place.
+    /// Returns true when the update was modified.
+    pub fn corrupt(&self, k: usize, params: &mut [f32]) -> bool {
+        match self.devices[k].corruption {
+            None => false,
+            Some(CorruptionKind::NanBurst { count }) => {
+                if params.is_empty() {
+                    return false;
+                }
+                let n = count.min(params.len());
+                let stride = (params.len() / n).max(1);
+                for i in 0..n {
+                    params[i * stride] = f32::NAN;
+                }
+                true
+            }
+            Some(CorruptionKind::GradientScale { factor }) => {
+                for p in params.iter_mut() {
+                    *p *= factor;
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultConfig {
+        FaultConfig {
+            crash_prob: 0.3,
+            crash_window: (10.0, 500.0),
+            upload_drop_prob: 0.2,
+            straggler_prob: 0.4,
+            straggler_window: (0.0, 300.0),
+            straggler_duration: 100.0,
+            straggler_factor: 5.0,
+            corrupt_prob: 0.25,
+            corruption: CorruptionKind::NanBurst { count: 8 },
+        }
+    }
+
+    #[test]
+    fn none_plan_is_noop() {
+        let plan = FaultPlan::none(10);
+        assert!(plan.is_noop());
+        assert!(FaultConfig::none().is_noop());
+        let mut plan = plan;
+        for k in 0..10 {
+            assert!(!plan.upload_attempt_fails(k));
+            assert_eq!(plan.crash_time(k), None);
+            assert_eq!(plan.speed_multiplier(k, 123.0), 1.0);
+            assert!(!plan.corrupt(k, &mut [1.0, 2.0]));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = chaotic();
+        let a = FaultPlan::build(&cfg, 50, 42);
+        let b = FaultPlan::build(&cfg, 50, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::build(&cfg, 50, 43);
+        assert_ne!(a, c, "different seeds produced identical plans");
+    }
+
+    #[test]
+    fn attempt_decisions_deterministic_and_per_device() {
+        let cfg = chaotic();
+        let mut a = FaultPlan::build(&cfg, 4, 7);
+        let mut b = FaultPlan::build(&cfg, 4, 7);
+        // Interleave device draws differently; per-device sequences match.
+        let seq_a: Vec<bool> = (0..20).map(|_| a.upload_attempt_fails(1)).collect();
+        for _ in 0..5 {
+            b.upload_attempt_fails(0);
+            b.upload_attempt_fails(3);
+        }
+        let seq_b: Vec<bool> = (0..20).map(|_| b.upload_attempt_fails(1)).collect();
+        assert_eq!(seq_a, seq_b, "device 1's decisions depend on other devices");
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let mut cfg = FaultConfig::none();
+        cfg.upload_drop_prob = 0.3;
+        let mut plan = FaultPlan::build(&cfg, 1, 0);
+        let fails = (0..2000).filter(|_| plan.upload_attempt_fails(0)).count();
+        let rate = fails as f64 / 2000.0;
+        assert!((0.25..0.35).contains(&rate), "drop rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn crash_times_inside_window() {
+        let cfg = chaotic();
+        let plan = FaultPlan::build(&cfg, 200, 1);
+        let crashes: Vec<f64> = (0..200).filter_map(|k| plan.crash_time(k)).collect();
+        assert!(!crashes.is_empty(), "crash_prob=0.3 over 200 devices produced none");
+        assert!(crashes.iter().all(|&t| (10.0..=500.0).contains(&t)));
+        assert!(crashes.len() < 200);
+    }
+
+    #[test]
+    fn crashed_by_is_a_step_function() {
+        let mut plan = FaultPlan::none(2);
+        plan.devices[0].crash_at = Some(100.0);
+        assert!(!plan.crashed_by(0, 99.9));
+        assert!(plan.crashed_by(0, 100.0));
+        assert!(plan.crashed_by(0, 1e9));
+        assert!(!plan.crashed_by(1, 1e9));
+    }
+
+    #[test]
+    fn spike_multiplier_applies_only_inside_window() {
+        let mut plan = FaultPlan::none(1);
+        plan.devices[0].spike = Some(SpeedSpike { start: 50.0, end: 150.0, factor: 4.0 });
+        assert_eq!(plan.speed_multiplier(0, 49.0), 1.0);
+        assert_eq!(plan.speed_multiplier(0, 50.0), 4.0);
+        assert_eq!(plan.speed_multiplier(0, 149.9), 4.0);
+        assert_eq!(plan.speed_multiplier(0, 150.0), 1.0);
+    }
+
+    #[test]
+    fn nan_burst_injects_nans() {
+        let mut plan = FaultPlan::none(1);
+        plan.devices[0].corruption = Some(CorruptionKind::NanBurst { count: 4 });
+        let mut params = vec![1.0f32; 100];
+        assert!(plan.corrupt(0, &mut params));
+        assert_eq!(params.iter().filter(|p| p.is_nan()).count(), 4);
+    }
+
+    #[test]
+    fn gradient_scale_scales() {
+        let mut plan = FaultPlan::none(1);
+        plan.devices[0].corruption = Some(CorruptionKind::GradientScale { factor: 100.0 });
+        let mut params = vec![0.5f32; 10];
+        assert!(plan.corrupt(0, &mut params));
+        assert!(params.iter().all(|&p| p == 50.0));
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::build(&chaotic(), 20, 9);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn invalid_probability_panics() {
+        let mut cfg = FaultConfig::none();
+        cfg.crash_prob = 1.5;
+        FaultPlan::build(&cfg, 1, 0);
+    }
+}

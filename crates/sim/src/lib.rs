@@ -15,11 +15,13 @@
 
 pub mod device;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use device::{DeviceProfile, FleetConfig};
 pub use event::EventQueue;
+pub use faults::{CorruptionKind, DeviceFaults, FaultConfig, FaultPlan, SpeedSpike};
 pub use time::SimTime;
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{RejectCause, TerminationReason, TraceEvent, TraceLog};

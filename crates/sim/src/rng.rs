@@ -22,6 +22,18 @@ pub fn stream_rng(master_seed: u64, stream_id: u64) -> StdRng {
     StdRng::seed_from_u64(mixed)
 }
 
+/// Counter-based uniform draw in `[0, 1)`: a pure function of
+/// `(master_seed, stream_id, counter)`. Used where the *number* of draws a
+/// component makes depends on runtime behaviour (e.g. per-attempt fault
+/// decisions) — a stateful RNG there would entangle otherwise independent
+/// components, while a counter keeps every draw addressable and
+/// replay-stable.
+pub fn unit_from_counter(master_seed: u64, stream_id: u64, counter: u64) -> f64 {
+    let mixed = splitmix64(master_seed ^ splitmix64(stream_id) ^ splitmix64(!counter));
+    // 53 high bits → uniform double in [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// Well-known stream ids, so call sites stay readable and collision-free.
 pub mod streams {
     /// Dataset synthesis.
@@ -34,11 +46,15 @@ pub mod streams {
     pub const INIT: u64 = 4;
     /// Server-side client selection.
     pub const SELECTION: u64 = 5;
+    /// Fault-plan sampling (crash times, straggler spikes, corruption).
+    pub const FAULTS: u64 = 6;
     /// Base id for per-client local-training streams; client `k` uses
     /// `CLIENT_BASE + k`.
     pub const CLIENT_BASE: u64 = 1000;
     /// Base id for per-device idle-period draws.
     pub const IDLE_BASE: u64 = 1_000_000;
+    /// Base id for per-device counter-based upload-attempt fault draws.
+    pub const FAULT_ATTEMPT_BASE: u64 = 2_000_000;
 }
 
 #[cfg(test)]
@@ -67,6 +83,20 @@ mod tests {
         let mut a = stream_rng(1, 7);
         let mut b = stream_rng(2, 7);
         assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_from_counter_is_uniform_and_stable() {
+        let a = unit_from_counter(42, 7, 0);
+        let b = unit_from_counter(42, 7, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, unit_from_counter(42, 7, 1));
+        assert_ne!(a, unit_from_counter(42, 8, 0));
+        assert_ne!(a, unit_from_counter(43, 7, 0));
+        // Mean of many consecutive draws is near 1/2.
+        let mean: f64 = (0..4000).map(|i| unit_from_counter(1, 2, i)).sum::<f64>() / 4000.0;
+        assert!((0.47..0.53).contains(&mean), "mean {mean} far from 0.5");
+        assert!((0..4000).all(|i| (0.0..1.0).contains(&unit_from_counter(1, 2, i))));
     }
 
     #[test]

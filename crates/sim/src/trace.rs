@@ -3,13 +3,48 @@
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// Why a run stopped (recorded in the terminal trace event and surfaced in
+/// the engine's run result).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// `stop_at_accuracy` was reached.
+    TargetAccuracy,
+    /// The `max_rounds` aggregation budget was exhausted.
+    MaxRounds,
+    /// The `max_sim_time` clock budget was exhausted.
+    MaxSimTime,
+    /// The event queue drained with an empty update buffer — no client had
+    /// anything left in flight.
+    QueueDrained,
+    /// The event queue drained while updates were still buffered below the
+    /// aggregation trigger: the engine starved (e.g. every remaining
+    /// in-flight client crashed, or a staleness wait could never be
+    /// satisfied). Before this was recorded the engine exited silently.
+    Starved,
+}
+
+/// Why the server's update sanitizer rejected an update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectCause {
+    /// The update contained NaN or infinite parameters.
+    NonFinite,
+    /// The update's distance from the global model exceeded the configured
+    /// norm bound.
+    NormExploded,
+}
+
 /// One recorded simulation event.
+///
+/// Note: there is deliberately no per-epoch event. The event-driven engine
+/// precomputes a session's training eagerly and only materializes the
+/// upload arrival on the virtual clock, so epoch boundaries never pass
+/// through the (time-ordered, append-only) trace; they are recoverable
+/// from the device timing model when needed (see DESIGN.md §"Fault model &
+/// resilience").
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Client `id` started local training on global round `round`.
     ClientStart { id: usize, round: u64 },
-    /// Client `id` finished a local epoch (`epoch` is 1-based).
-    EpochDone { id: usize, epoch: usize },
     /// Client `id` uploaded an update born at round `born_round`, having
     /// completed `epochs` local epochs (may be < E under partial training).
     Upload { id: usize, born_round: u64, epochs: usize },
@@ -23,6 +58,27 @@ pub enum TraceEvent {
     Aggregate { round: u64, num_updates: usize },
     /// Global model evaluated: test accuracy at this instant.
     Eval { round: u64, accuracy: f64 },
+    /// Device `id` permanently crashed (fault injection): nothing it had in
+    /// flight will ever arrive.
+    Crash { id: usize },
+    /// Client `id`'s upload attempt `attempt` (0-based) was lost in
+    /// transit (fault injection).
+    UploadFailed { id: usize, attempt: u32 },
+    /// Client `id` rescheduled its lost upload; `attempt` is the upcoming
+    /// attempt number (retry with capped exponential backoff).
+    Retry { id: usize, attempt: u32 },
+    /// The server's session timeout fired for client `id`: its in-flight
+    /// session was reclaimed and the client excluded from staleness scans.
+    Timeout { id: usize },
+    /// Client `id` was quarantined after repeated session timeouts and will
+    /// no longer be selected.
+    Quarantine { id: usize },
+    /// The update sanitizer rejected client `id`'s update before
+    /// aggregation.
+    Rejected { id: usize, cause: RejectCause },
+    /// Terminal event: why the run stopped, and how many updates were still
+    /// sitting in the buffer at that point.
+    Terminated { reason: TerminationReason, buffered: usize },
 }
 
 /// Time-stamped append-only trace.
@@ -75,6 +131,39 @@ impl TraceLog {
         self.count(|e| matches!(e, TraceEvent::Drop { .. }))
     }
 
+    /// Number of permanent device crashes (fault injection).
+    pub fn num_crashes(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Crash { .. }))
+    }
+
+    /// Number of upload attempts lost in transit (fault injection).
+    pub fn num_upload_failures(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::UploadFailed { .. }))
+    }
+
+    /// Number of upload retries scheduled.
+    pub fn num_retries(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Retry { .. }))
+    }
+
+    /// Number of server session timeouts fired.
+    pub fn num_timeouts(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Timeout { .. }))
+    }
+
+    /// Number of updates the sanitizer rejected.
+    pub fn num_rejections(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Rejected { .. }))
+    }
+
+    /// The terminal event's reason, if one was recorded.
+    pub fn termination(&self) -> Option<TerminationReason> {
+        self.entries.iter().rev().find_map(|(_, e)| match e {
+            TraceEvent::Terminated { reason, .. } => Some(*reason),
+            _ => None,
+        })
+    }
+
     /// All `(time, accuracy)` evaluation points, for accuracy-vs-time curves.
     pub fn accuracy_series(&self) -> Vec<(f64, f64)> {
         self.entries
@@ -95,16 +184,32 @@ mod tests {
     fn push_and_count() {
         let mut log = TraceLog::new();
         log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: 0, round: 0 });
-        log.push(
-            SimTime::from_secs(2.0),
-            TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 },
-        );
+        log.push(SimTime::from_secs(2.0), TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 });
         log.push(SimTime::from_secs(2.0), TraceEvent::Aggregate { round: 1, num_updates: 1 });
         log.push(SimTime::from_secs(2.5), TraceEvent::Eval { round: 1, accuracy: 0.5 });
         assert_eq!(log.len(), 4);
         assert_eq!(log.num_aggregations(), 1);
         assert_eq!(log.num_notifications(), 0);
         assert_eq!(log.accuracy_series(), vec![(2.5, 0.5)]);
+    }
+
+    #[test]
+    fn fault_counters_and_termination() {
+        let mut log = TraceLog::new();
+        let t = SimTime::from_secs(1.0);
+        log.push(t, TraceEvent::Crash { id: 3 });
+        log.push(t, TraceEvent::UploadFailed { id: 1, attempt: 0 });
+        log.push(t, TraceEvent::Retry { id: 1, attempt: 1 });
+        log.push(t, TraceEvent::Timeout { id: 3 });
+        log.push(t, TraceEvent::Rejected { id: 2, cause: RejectCause::NonFinite });
+        assert_eq!(log.termination(), None);
+        log.push(t, TraceEvent::Terminated { reason: TerminationReason::Starved, buffered: 2 });
+        assert_eq!(log.num_crashes(), 1);
+        assert_eq!(log.num_upload_failures(), 1);
+        assert_eq!(log.num_retries(), 1);
+        assert_eq!(log.num_timeouts(), 1);
+        assert_eq!(log.num_rejections(), 1);
+        assert_eq!(log.termination(), Some(TerminationReason::Starved));
     }
 
     #[test]

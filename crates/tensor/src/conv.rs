@@ -41,10 +41,7 @@ impl Conv2dGeom {
 
 fn out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     let padded = input + 2 * pad;
-    assert!(
-        padded >= kernel,
-        "kernel {kernel} larger than padded input {padded}"
-    );
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
     assert!(stride > 0, "stride must be positive");
     (padded - kernel) / stride + 1
 }
@@ -63,36 +60,30 @@ pub fn im2col(input: &Tensor, g: &Conv2dGeom) -> Tensor {
     let x = input.as_slice();
     let img_stride = c * h * w;
 
-    out.par_chunks_mut(rows_per_img * patch)
-        .enumerate()
-        .for_each(|(ni, img_rows)| {
-            let img = &x[ni * img_stride..(ni + 1) * img_stride];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = &mut img_rows[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
-                    let mut idx = 0;
-                    for ci in 0..c {
-                        let chan = &img[ci * h * w..(ci + 1) * h * w];
-                        for ky in 0..g.k_h {
-                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                            for kx in 0..g.k_w {
-                                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                                row[idx] = if iy >= 0
-                                    && iy < h as isize
-                                    && ix >= 0
-                                    && ix < w as isize
-                                {
-                                    chan[iy as usize * w + ix as usize]
-                                } else {
-                                    0.0
-                                };
-                                idx += 1;
-                            }
+    out.par_chunks_mut(rows_per_img * patch).enumerate().for_each(|(ni, img_rows)| {
+        let img = &x[ni * img_stride..(ni + 1) * img_stride];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = &mut img_rows[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
+                let mut idx = 0;
+                for ci in 0..c {
+                    let chan = &img[ci * h * w..(ci + 1) * h * w];
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            row[idx] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                chan[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            idx += 1;
                         }
                     }
                 }
             }
-        });
+        }
+    });
 
     Tensor::from_vec(Shape::d2(n * rows_per_img, patch), out)
 }

@@ -25,10 +25,7 @@ pub fn he_normal(shape: Shape, fan_in: usize, rng: &mut impl Rng) -> Tensor {
     assert!(fan_in > 0, "he_normal: zero fan_in");
     let std = (2.0 / fan_in as f64).sqrt();
     let dist = Normal::new(0.0, std).expect("valid normal");
-    Tensor::from_vec(
-        shape,
-        (0..shape.len()).map(|_| dist.sample(rng) as f32).collect(),
-    )
+    Tensor::from_vec(shape, (0..shape.len()).map(|_| dist.sample(rng) as f32).collect())
 }
 
 /// Uniform `U(lo, hi)` initializer.
@@ -41,10 +38,7 @@ pub fn uniform(shape: Shape, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
 /// Standard normal scaled by `std`.
 pub fn normal(shape: Shape, std: f32, rng: &mut impl Rng) -> Tensor {
     let dist = Normal::new(0.0, std as f64).expect("valid normal");
-    Tensor::from_vec(
-        shape,
-        (0..shape.len()).map(|_| dist.sample(rng) as f32).collect(),
-    )
+    Tensor::from_vec(shape, (0..shape.len()).map(|_| dist.sample(rng) as f32).collect())
 }
 
 #[cfg(test)]
@@ -85,8 +79,8 @@ mod tests {
         let fan_in = 50;
         let t = he_normal(Shape::d1(20_000), fan_in, &mut rng);
         let mean = t.mean();
-        let var: f32 = t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
-            / t.len() as f32;
+        let var: f32 =
+            t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
         let expected = 2.0 / fan_in as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - expected).abs() / expected < 0.1, "var {var} vs {expected}");

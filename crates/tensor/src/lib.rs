@@ -38,13 +38,7 @@ pub use tensor::Tensor;
 ///
 /// The result is clamped to `[-1, 1]` to absorb f32 rounding.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "cosine_similarity: length mismatch {} vs {}",
-        a.len(),
-        b.len()
-    );
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch {} vs {}", a.len(), b.len());
     // One fused pass; f64 accumulators so model-sized (1e6+) vectors do not
     // lose the small-angle signal to cancellation.
     let (mut dot, mut na, mut nb) = (0f64, 0f64, 0f64);

@@ -95,9 +95,7 @@ impl Shape {
     #[inline]
     pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert_eq!(self.rank(), 4);
-        debug_assert!(
-            n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]
-        );
+        debug_assert!(n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3]);
         ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
     }
 

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts() {
-        let l = Tensor::from_vec(
-            Shape::d2(3, 2),
-            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4],
-        );
+        let l = Tensor::from_vec(Shape::d2(3, 2), vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
         assert!((accuracy(&l, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert!((accuracy(&l, &[0, 1, 0]) - 1.0).abs() < 1e-9);
     }

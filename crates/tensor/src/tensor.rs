@@ -143,10 +143,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            shape: self.shape,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Elementwise zip into a new tensor.
@@ -154,23 +151,15 @@ impl Tensor {
         assert_eq!(self.len(), other.len(), "zip: length mismatch");
         Tensor {
             shape: self.shape,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         }
     }
 
     /// Dot product (flattened), f64 accumulator.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| a as f64 * b as f64)
-            .sum::<f64>() as f32
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a as f64 * b as f64).sum::<f64>()
+            as f32
     }
 
     /// Sum of all elements, f64 accumulator.
@@ -208,10 +197,7 @@ impl Tensor {
         assert_eq!(self.shape.rank(), 4, "batch_item requires rank-4");
         let (c, h, w) = (self.shape.dim(1), self.shape.dim(2), self.shape.dim(3));
         let stride = c * h * w;
-        Tensor::from_vec(
-            Shape::d3(c, h, w),
-            self.data[n * stride..(n + 1) * stride].to_vec(),
-        )
+        Tensor::from_vec(Shape::d3(c, h, w), self.data[n * stride..(n + 1) * stride].to_vec())
     }
 
     /// Row `r` of a rank-2 tensor as a slice.
@@ -244,11 +230,7 @@ impl Tensor {
     /// Maximum absolute elementwise difference (useful in tests).
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "max_abs_diff: length mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(other.data.iter()).map(|(&a, &b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

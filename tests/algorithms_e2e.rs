@@ -89,9 +89,6 @@ fn max_sim_time_is_respected() {
     let r = run_experiment(&cfg);
     // The engine stops at the first event past the limit; allow one
     // in-flight session of slack.
-    assert!(
-        r.accuracy.iter().all(|&(t, _)| t <= 30.0),
-        "evaluated past the time limit"
-    );
+    assert!(r.accuracy.iter().all(|&(t, _)| t <= 30.0), "evaluated past the time limit");
     assert!(r.rounds < 100_000);
 }

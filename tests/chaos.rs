@@ -1,0 +1,175 @@
+//! Fault-injection acceptance tests: the four scenarios the resilience
+//! layer must survive (crash + timeout liveness, Byzantine rejection,
+//! transient-loss retry, and fault-schedule reproducibility).
+
+use seafl::core::{run_experiment, Algorithm, ExperimentConfig};
+use seafl::nn::ModelKind;
+use seafl::sim::{CorruptionKind, FaultPlan, FleetConfig, TerminationReason, TraceEvent};
+
+fn cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(seed, algorithm);
+    c.num_clients = 12;
+    c.fleet = FleetConfig::pareto_fleet(12);
+    c.train_per_class = 24;
+    c.test_per_class = 8;
+    c.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 24, num_classes: 10 };
+    c.max_rounds = 40;
+    c.max_sim_time = 100_000.0;
+    c.stop_at_accuracy = None;
+    c
+}
+
+/// Find a seed whose sampled fault plan has between `lo` and `hi` devices
+/// affected by the given selector — keeps the scenario tests deterministic
+/// without hand-picking magic seeds.
+fn seed_where(
+    base: &ExperimentConfig,
+    lo: usize,
+    hi: usize,
+    affected: impl Fn(&FaultPlan, usize) -> bool,
+) -> u64 {
+    (1000..1200)
+        .find(|&s| {
+            let plan = FaultPlan::build(&base.faults, base.num_clients, s);
+            let n = (0..base.num_clients).filter(|&k| affected(&plan, k)).count();
+            (lo..=hi).contains(&n)
+        })
+        .expect("no seed in 1000..1200 matches the fault-count window")
+}
+
+/// (a) A crashed device stalls SEAFL's wait-for-stale scan forever; the
+/// session timeout reclaims it and restores liveness.
+#[test]
+fn crash_starves_seafl_and_timeout_restores_liveness() {
+    let mut base = cfg(0, Algorithm::seafl(6, 3, Some(3)));
+    base.faults.crash_prob = 0.25;
+    base.faults.crash_window = (0.0, 10.0);
+    let seed = seed_where(&base, 1, 3, |p, k| p.crash_time(k).is_some());
+
+    let mut no_timeout = cfg(seed, Algorithm::seafl(6, 3, Some(3)));
+    no_timeout.faults = base.faults;
+    let mut with_timeout = no_timeout.clone();
+    with_timeout.resilience.session_timeout = Some(25.0);
+
+    let stalled = run_experiment(&no_timeout);
+    let recovered = run_experiment(&with_timeout);
+
+    // Without a timeout the crashed in-flight session eventually exceeds
+    // beta and blocks aggregation; the queue runs dry with updates stuck
+    // in the buffer.
+    assert_eq!(stalled.termination, TerminationReason::Starved);
+    assert_eq!(stalled.timeouts, 0);
+    // With the timeout the server reclaims the dead session and the run
+    // reaches its round budget.
+    assert!(recovered.timeouts > 0, "timeout never fired");
+    assert_eq!(recovered.termination, TerminationReason::MaxRounds);
+    assert!(
+        recovered.rounds > stalled.rounds,
+        "timeout did not unblock progress: {} vs {}",
+        recovered.rounds,
+        stalled.rounds
+    );
+}
+
+/// (b) NaN-corrupting clients are all rejected by the sanitizer; the run
+/// still learns from the honest majority and the global model never goes
+/// non-finite.
+#[test]
+fn nan_corrupters_are_rejected_and_run_still_improves() {
+    let mut base = cfg(0, Algorithm::fedbuff(6, 3));
+    base.faults.corrupt_prob = 0.2;
+    base.faults.corruption = CorruptionKind::NanBurst { count: 8 };
+    let seed = seed_where(&base, 1, 3, |p, k| p.corruption(k).is_some());
+
+    let mut faulty = cfg(seed, Algorithm::fedbuff(6, 3));
+    faulty.faults = base.faults;
+    faulty.max_rounds = 60; // room for the honest majority to clearly learn
+    let r = run_experiment(&faulty);
+
+    assert!(r.rejected_updates > 0, "sanitizer never fired");
+    // Every rejection names a corrupt device, and no corrupt device's
+    // update is ever aggregated: the updates consumed by each Aggregate
+    // exclude the corrupters.
+    let plan = FaultPlan::build(&faulty.faults, faulty.num_clients, faulty.seed);
+    let mut pending: Vec<usize> = Vec::new();
+    for (_, ev) in r.trace.entries() {
+        match ev {
+            TraceEvent::Upload { id, .. } => pending.push(*id),
+            TraceEvent::Rejected { id, .. } => {
+                assert!(plan.corruption(*id).is_some(), "honest client {id} rejected");
+                pending.retain(|&p| p != *id);
+            }
+            TraceEvent::Aggregate { .. } => {
+                for id in pending.drain(..) {
+                    assert!(plan.corruption(id).is_none(), "corrupt client {id} aggregated");
+                }
+            }
+            _ => {}
+        }
+    }
+    for (_, acc) in &r.accuracy {
+        assert!(acc.is_finite(), "global model went non-finite");
+    }
+    let first = r.accuracy.first().unwrap().1;
+    assert!(r.best_accuracy() > first + 0.2, "honest majority failed to learn");
+}
+
+/// (c) Transient upload loss with retry/backoff reaches the same accuracy
+/// milestone within 2x the fault-free sim time.
+#[test]
+fn transient_loss_with_retry_converges_within_2x() {
+    let healthy_cfg = cfg(7, Algorithm::fedbuff(6, 3));
+    let mut lossy_cfg = healthy_cfg.clone();
+    lossy_cfg.faults.upload_drop_prob = 0.2;
+
+    let healthy = run_experiment(&healthy_cfg);
+    let lossy = run_experiment(&lossy_cfg);
+    assert!(lossy.upload_failures > 0, "no upload was ever dropped");
+    assert!(lossy.retries > 0, "no retry was scheduled");
+
+    // Milestone: 70 % of the healthy run's accuracy gain — on the steep
+    // part of both curves, so trajectory noise can't strand the lossy run
+    // below it.
+    let first = healthy.accuracy.first().unwrap().1;
+    let target = first + 0.7 * (healthy.best_accuracy() - first);
+    let t_healthy = healthy.time_to_accuracy(target).expect("healthy run misses own milestone");
+    let t_lossy =
+        lossy.time_to_accuracy(target).expect("lossy run never reached the fault-free milestone");
+    assert!(
+        t_lossy <= 2.0 * t_healthy,
+        "retry failed the 2x bound: {t_lossy:.1}s vs {t_healthy:.1}s fault-free"
+    );
+}
+
+/// (d) Same seed + same fault config reproduce identical traces, for every
+/// algorithm, under the full fault mix.
+#[test]
+fn same_seed_and_fault_plan_reproduce_identical_traces() {
+    for alg in [
+        Algorithm::seafl(5, 3, Some(5)),
+        Algorithm::seafl2(5, 3, 2),
+        Algorithm::fedbuff(5, 3),
+        Algorithm::fedasync(5),
+    ] {
+        let mut c = cfg(77, alg);
+        c.max_rounds = 15;
+        c.faults.crash_prob = 0.2;
+        c.faults.crash_window = (0.0, 20.0);
+        c.faults.upload_drop_prob = 0.15;
+        c.faults.straggler_prob = 0.3;
+        c.faults.straggler_window = (0.0, 10.0);
+        c.faults.straggler_duration = 10.0;
+        c.faults.straggler_factor = 3.0;
+        c.faults.corrupt_prob = 0.1;
+        c.resilience.session_timeout = Some(25.0);
+        let a = run_experiment(&c);
+        let b = run_experiment(&c);
+        assert_eq!(a.trace.entries(), b.trace.entries(), "{} trace diverged", a.algorithm);
+        assert_eq!(a.accuracy, b.accuracy, "{} accuracy diverged", a.algorithm);
+        assert_eq!(a.sim_time_end, b.sim_time_end);
+        assert_eq!(
+            (a.crashes, a.upload_failures, a.retries, a.timeouts, a.rejected_updates),
+            (b.crashes, b.upload_failures, b.retries, b.timeouts, b.rejected_updates),
+        );
+    }
+}

@@ -28,11 +28,7 @@ fn every_partition_strategy_runs_and_learns() {
     ] {
         let r = run_experiment(&cfg(1, partition));
         assert_eq!(r.rounds, 20, "{partition:?}");
-        assert!(
-            r.best_accuracy() > 0.4,
-            "{partition:?} failed to learn: {:.3}",
-            r.best_accuracy()
-        );
+        assert!(r.best_accuracy() > 0.4, "{partition:?} failed to learn: {:.3}", r.best_accuracy());
     }
 }
 

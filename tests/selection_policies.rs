@@ -34,7 +34,8 @@ fn mean_started_speed(r: &seafl::core::RunResult, fleet: &[f64]) -> f64 {
 #[test]
 fn fast_bias_starts_faster_devices() {
     let base = cfg(1, SelectionPolicy::Uniform);
-    let fleet_speeds: Vec<f64> = base.fleet.build(base.seed).iter().map(|d| d.speed_factor).collect();
+    let fleet_speeds: Vec<f64> =
+        base.fleet.build(base.seed).iter().map(|d| d.speed_factor).collect();
 
     let uniform = run_experiment(&base);
     let fast = run_experiment(&cfg(1, SelectionPolicy::SpeedBiased { exponent: 3.0 }));

@@ -46,10 +46,7 @@ fn wait_for_stale_enforces_beta() {
     for beta in [1u64, 2, 5] {
         let r = run_experiment(&cfg(1, Algorithm::seafl(8, 3, Some(beta))));
         let max_s = max_aggregated_staleness(&r);
-        assert!(
-            max_s <= beta,
-            "beta={beta}: aggregated staleness reached {max_s}"
-        );
+        assert!(max_s <= beta, "beta={beta}: aggregated staleness reached {max_s}");
     }
 }
 
@@ -106,7 +103,9 @@ fn wait_policy_can_aggregate_more_than_k() {
         .trace
         .entries()
         .iter()
-        .filter(|(_, ev)| matches!(ev, TraceEvent::Aggregate { num_updates, .. } if *num_updates > 3))
+        .filter(
+            |(_, ev)| matches!(ev, TraceEvent::Aggregate { num_updates, .. } if *num_updates > 3),
+        )
         .count();
     assert!(oversized > 0, "wait policy never overflowed the buffer");
 }
