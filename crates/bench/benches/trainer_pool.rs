@@ -1,0 +1,70 @@
+//! Cohort fan-out throughput of the [`TrainerPool`] — the same 8-client
+//! cohort trained through pools of 1, 2, and 4 workers. The 1-worker case is
+//! the exact sequential legacy code path, so the ratio between groups is the
+//! executor's parallel speedup (results are bitwise identical across all
+//! three; `tests/parallel_determinism.rs` pins that).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seafl_core::{LocalTrainer, TrainJob, TrainerPool};
+use seafl_data::{ImageDataset, SyntheticSpec};
+use seafl_nn::ModelKind;
+use std::time::Duration;
+
+const COHORT: usize = 8;
+
+fn fixture() -> (Vec<ImageDataset>, Vec<f32>, LocalTrainer) {
+    let task = SyntheticSpec::emnist_like().generate(24, 2, 0);
+    let model = ModelKind::Mlp { in_features: 28 * 28, hidden: 32, num_classes: 10 }.build(3);
+    let global = model.params_flat();
+    let proto = LocalTrainer::new(model, 0.05, 0.0, 16);
+    let n = task.train.len();
+    let shards = (0..COHORT)
+        .map(|s| {
+            let idx: Vec<usize> = (s * n / COHORT..(s + 1) * n / COHORT).collect();
+            task.train.subset(&idx)
+        })
+        .collect();
+    (shards, global, proto)
+}
+
+fn jobs(shards: &[ImageDataset]) -> Vec<TrainJob<'_>> {
+    shards
+        .iter()
+        .enumerate()
+        .map(|(k, data)| TrainJob {
+            client_id: k,
+            data,
+            epochs: 2,
+            rng: StdRng::seed_from_u64(100 + k as u64),
+            keep_snapshots: false,
+        })
+        .collect()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let (shards, global, proto) = fixture();
+    let mut g = c.benchmark_group("trainer_pool_cohort8");
+    for workers in [1usize, 2, 4] {
+        let pool = TrainerPool::new(proto.clone(), workers);
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &pool, |b, pool| {
+            b.iter(|| pool.train_cohort(&global, jobs(&shards)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pool
+}
+criterion_main!(benches);

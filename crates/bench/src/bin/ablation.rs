@@ -46,15 +46,17 @@ fn main() {
         ];
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
-        for (label, r) in &results {
+        for a in &results {
+            let r = &a.result;
             if r.dropped_updates > 0 || r.partial_updates > 0 {
                 println!(
-                    "  {label}: dropped={} partial={} notifications={}",
-                    r.dropped_updates, r.partial_updates, r.notifications
+                    "  {}: dropped={} partial={} notifications={}",
+                    a.label, r.dropped_updates, r.partial_updates, r.notifications
                 );
             }
         }
         report::write_accuracy_csv("ablation_policy", &results);
+        report::write_run_json("ablation_policy_runs", &results);
         println!();
     }
 
@@ -77,6 +79,7 @@ fn main() {
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_importance", &results);
+        report::write_run_json("ablation_importance_runs", &results);
         println!();
     }
 
@@ -93,6 +96,7 @@ fn main() {
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_prox", &results);
+        report::write_run_json("ablation_prox_runs", &results);
         println!();
     }
 
@@ -112,5 +116,6 @@ fn main() {
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_theta", &results);
+        report::write_run_json("ablation_theta_runs", &results);
     }
 }

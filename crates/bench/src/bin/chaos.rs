@@ -46,15 +46,17 @@ fn main() {
     report::print_time_to_target(&results, &[INSIGHTS_TARGET]);
     report::print_curves(&results, 8);
     report::write_accuracy_csv("chaos", &results);
+    report::write_run_json("chaos_runs", &results);
 
     println!(
         "\n{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "arm", "crash", "lost", "retry", "t/out", "quar", "reject"
     );
-    for (label, r) in &results {
+    for a in &results {
+        let r = &a.result;
         println!(
             "{:<20} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-            label,
+            a.label,
             r.crashes,
             r.upload_failures,
             r.retries,
@@ -66,8 +68,9 @@ fn main() {
 
     println!("\nfault tax (faulty vs healthy wall-clock to {:.0}%):", INSIGHTS_TARGET * 100.0);
     for pair in results.chunks(2) {
-        let [(name, healthy), (_, faulty)] = pair else { continue };
-        let name = name.trim_end_matches(" (healthy)");
+        let [healthy_arm, faulty_arm] = pair else { continue };
+        let name = healthy_arm.label.trim_end_matches(" (healthy)");
+        let (healthy, faulty) = (&healthy_arm.result, &faulty_arm.result);
         match (healthy.time_to_accuracy(INSIGHTS_TARGET), faulty.time_to_accuracy(INSIGHTS_TARGET))
         {
             (Some(h), Some(f)) => {

@@ -46,17 +46,18 @@ fn main() {
 
     println!("{:<16} | mean ||grad||^2 (first 1/3) | (last 1/3) | decay ratio", "arm");
     println!("{}", "-".repeat(72));
-    for (label, r) in &results {
-        let g = &r.grad_norms;
+    for a in &results {
+        let g = &a.result.grad_norms;
         if g.len() < 3 {
-            println!("{label:<16} | insufficient data");
+            println!("{:<16} | insufficient data", a.label);
             continue;
         }
         let third = g.len() / 3;
         let head: f64 = g[..third].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
         let tail: f64 = g[g.len() - third..].iter().map(|&(_, v)| v).sum::<f64>() / third as f64;
-        println!("{label:<16} | {head:>26.4e} | {tail:>10.4e} | {:>10.3}", tail / head);
+        println!("{:<16} | {head:>26.4e} | {tail:>10.4e} | {:>10.3}", a.label, tail / head);
     }
     report::write_grad_norm_csv("convergence_grad_norms", &results);
+    report::write_run_json("convergence_runs", &results);
     report::print_time_to_target(&results, &[0.7, 0.85]);
 }

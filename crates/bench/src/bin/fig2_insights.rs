@@ -58,6 +58,7 @@ fn main() {
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);
         report::write_accuracy_csv("fig2a_buffer_size", &results);
+        report::write_run_json("fig2a_buffer_size_runs", &results);
         println!();
     }
 
@@ -80,6 +81,7 @@ fn main() {
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);
         report::write_accuracy_csv("fig2b_staleness_limit", &results);
+        report::write_run_json("fig2b_staleness_limit_runs", &results);
         println!();
     }
 
@@ -101,6 +103,7 @@ fn main() {
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);
         report::write_accuracy_csv("fig2c_importance", &results);
+        report::write_run_json("fig2c_importance_runs", &results);
     }
 
     // Silence unused import when parts are filtered.

@@ -41,4 +41,5 @@ fn main() {
     report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
     report::print_curves(&results, 8);
     report::write_accuracy_csv("fig4_hyperparams", &results);
+    report::write_run_json("fig4_hyperparams_runs", &results);
 }

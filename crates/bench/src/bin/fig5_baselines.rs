@@ -7,15 +7,24 @@
 //! * SEAFL(β=10) ≥ SEAFL(β=∞) ≈ FedBuff, with SEAFL fastest to target.
 //!
 //! Run: `cargo run --release -p seafl-bench --bin fig5_baselines
-//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std]`
+//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std] [--threads 1,4]`
+//!
+//! `--threads` takes a comma-separated sweep of executor widths; every
+//! setting reruns the whole workload, the JSON report records per-run
+//! wall-clock and the speedup of each multi-threaded run over its
+//! `threads=1` twin, and the accuracy curves are checked to be bitwise
+//! identical across settings (the TrainerPool determinism guarantee).
 
 use seafl_bench::profiles::{fig5_arms, Workload};
-use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm};
+use seafl_bench::{
+    arg_value, report, run_arms, scale_from_args, threads_from_args, Arm, ArmResult,
+};
 
 fn main() {
     let scale = scale_from_args();
     let seed = 42;
     let only = arg_value("workload");
+    let sweep = threads_from_args();
 
     let workloads: Vec<Workload> = match only.as_deref() {
         Some("emnist") => vec![Workload::Emnist],
@@ -26,24 +35,63 @@ fn main() {
     };
 
     for w in workloads {
-        println!("=== Fig. 5 ({}): SEAFL vs baselines ===", w.name());
-        let arms: Vec<Arm> = fig5_arms(seed, w, scale)
-            .into_iter()
-            .map(|(label, config)| Arm { label, config })
-            .collect();
-        let results = run_arms(arms);
-        report::print_time_to_target(&results, w.targets());
-        report::print_curves(&results, 8);
-        report::write_accuracy_csv(&format!("fig5_{}", w.name().replace('-', "_")), &results);
-
-        // Headline comparison: SEAFL(β) vs FedBuff.
-        let seafl = &results[0].1;
-        let fedbuff = &results[2].1;
-        for &t in w.targets() {
-            if let Some(s) = report::speedup_pct(seafl, fedbuff, t) {
-                println!("SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock", t * 100.0);
+        let mut all_results: Vec<ArmResult> = Vec::new();
+        // No --threads: one pass with the profile default.
+        let passes: Vec<Option<usize>> =
+            if sweep.is_empty() { vec![None] } else { sweep.iter().map(|&t| Some(t)).collect() };
+        for threads in passes {
+            match threads {
+                Some(t) => {
+                    println!("=== Fig. 5 ({}, threads={t}): SEAFL vs baselines ===", w.name())
+                }
+                None => println!("=== Fig. 5 ({}): SEAFL vs baselines ===", w.name()),
             }
+            let arms: Vec<Arm> = fig5_arms(seed, w, scale)
+                .into_iter()
+                .map(|(label, mut config)| {
+                    if let Some(t) = threads {
+                        config.threads = t;
+                    }
+                    Arm { label, config }
+                })
+                .collect();
+            let results = run_arms(arms);
+            report::print_time_to_target(&results, w.targets());
+            report::print_curves(&results, 8);
+
+            // Headline comparison: SEAFL(β) vs FedBuff.
+            let seafl = &results[0].result;
+            let fedbuff = &results[2].result;
+            for &t in w.targets() {
+                if let Some(s) = report::speedup_pct(seafl, fedbuff, t) {
+                    println!("SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock", t * 100.0);
+                }
+            }
+            all_results.extend(results);
+            println!();
         }
-        println!();
+
+        let stem = format!("fig5_{}", w.name().replace('-', "_"));
+        report::write_accuracy_csv(&stem, &all_results);
+        report::write_run_json(&format!("{stem}_runs"), &all_results);
+
+        // Cross-thread checks: determinism (curves bitwise equal) and the
+        // parallel speedup over the threads=1 baseline.
+        for a in all_results.iter().filter(|a| a.threads != 1) {
+            let Some(base) = all_results.iter().find(|b| b.threads == 1 && b.label == a.label)
+            else {
+                continue;
+            };
+            let matches = base.result.accuracy == a.result.accuracy
+                && base.result.rounds == a.result.rounds
+                && base.result.total_updates == a.result.total_updates;
+            println!(
+                "{}: threads={} speedup {:.2}x vs threads=1, bitwise identical: {}",
+                a.label,
+                a.threads,
+                base.wall_secs / a.wall_secs,
+                if matches { "yes" } else { "NO (DETERMINISM BUG)" }
+            );
+        }
     }
 }

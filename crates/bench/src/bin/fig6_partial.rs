@@ -59,13 +59,12 @@ fn run_part(workload: Workload, beta: u64, scale: Scale, seed: u64) {
     let results = run_arms(arms);
     report::print_time_to_target(&results, workload.targets());
     report::print_curves(&results, 8);
-    report::write_accuracy_csv(
-        &format!("fig6_{}_beta{beta}", workload.name().replace('-', "_")),
-        &results,
-    );
+    let stem = format!("fig6_{}_beta{beta}", workload.name().replace('-', "_"));
+    report::write_accuracy_csv(&stem, &results);
+    report::write_run_json(&format!("{stem}_runs"), &results);
 
-    let seafl2 = &results[0].1;
-    let fedbuff = &results[2].1;
+    let seafl2 = &results[0].result;
+    let fedbuff = &results[2].result;
     println!(
         "SEAFL^2 sent {} notifications, {} partial updates",
         seafl2.notifications, seafl2.partial_updates

@@ -24,8 +24,18 @@ pub struct Arm {
     pub config: ExperimentConfig,
 }
 
+/// One finished arm: the simulation result plus host-side measurements.
+pub struct ArmResult {
+    pub label: String,
+    /// The `threads` knob the arm ran with (0 = rayon default).
+    pub threads: usize,
+    /// Host wall-clock seconds the run took.
+    pub wall_secs: f64,
+    pub result: RunResult,
+}
+
 /// Run a set of arms sequentially, printing progress to stderr.
-pub fn run_arms(arms: Vec<Arm>) -> Vec<(String, RunResult)> {
+pub fn run_arms(arms: Vec<Arm>) -> Vec<ArmResult> {
     let total = arms.len();
     arms.into_iter()
         .enumerate()
@@ -33,13 +43,13 @@ pub fn run_arms(arms: Vec<Arm>) -> Vec<(String, RunResult)> {
             let t0 = Instant::now();
             eprint!("[{}/{}] running {} ... ", i + 1, total, arm.label);
             let result = run_experiment(&arm.config);
+            let wall_secs = t0.elapsed().as_secs_f64();
             eprintln!(
-                "done in {:.1}s (rounds={}, best acc={:.3})",
-                t0.elapsed().as_secs_f64(),
+                "done in {wall_secs:.1}s (rounds={}, best acc={:.3})",
                 result.rounds,
                 result.best_accuracy()
             );
-            (arm.label, result)
+            ArmResult { label: arm.label, threads: arm.config.threads, wall_secs, result }
         })
         .collect()
 }
@@ -58,6 +68,18 @@ pub enum Scale {
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parse `--threads` as a comma-separated sweep, e.g. `--threads 1,4`.
+/// Empty when the flag is absent (arms then keep their profile default).
+pub fn threads_from_args() -> Vec<usize> {
+    arg_value("threads")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad --threads value {s:?}")))
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 /// Parse `--scale` (default `std`).
@@ -81,5 +103,10 @@ mod tests {
     #[test]
     fn arg_value_absent_is_none() {
         assert_eq!(arg_value("definitely-not-passed"), None);
+    }
+
+    #[test]
+    fn threads_sweep_absent_is_empty() {
+        assert!(threads_from_args().is_empty());
     }
 }

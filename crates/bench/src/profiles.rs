@@ -64,6 +64,7 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         eval_every: 1,
         stop_at_accuracy: Some(INSIGHTS_TARGET + 0.02),
         grad_norm_probe: false,
+        threads: 0,
         faults: FaultConfig::none(),
         resilience: ResilienceConfig::default(),
     }
@@ -179,6 +180,7 @@ pub fn evaluation_config(
         eval_every: 1,
         stop_at_accuracy: Some(top_target + 0.04),
         grad_norm_probe: false,
+        threads: 0,
         faults: FaultConfig::none(),
         resilience: ResilienceConfig::default(),
     }

@@ -1,5 +1,6 @@
-//! Result tables and CSV output for the figure binaries.
+//! Result tables, CSV and JSON output for the figure binaries.
 
+use crate::ArmResult;
 use seafl_core::{metrics, RunResult};
 use std::fs;
 use std::io::Write;
@@ -13,46 +14,54 @@ pub fn experiments_dir() -> PathBuf {
 }
 
 /// Print the headline table: time (simulated seconds) to reach each target
-/// accuracy, per arm — the quantity every figure in the paper reports.
-pub fn print_time_to_target(results: &[(String, RunResult)], targets: &[f64]) {
+/// accuracy, per arm — the quantity every figure in the paper reports —
+/// plus the host wall-clock each run took.
+pub fn print_time_to_target(results: &[ArmResult], targets: &[f64]) {
     print!("{:<18}", "arm");
     for t in targets {
         print!(" | t→{:.0}% (s)", t * 100.0);
     }
-    println!(" | best acc | rounds | updates");
-    let width = 18 + targets.len() * 14 + 30;
+    println!(" | best acc | rounds | updates | wall (s)");
+    let width = 18 + targets.len() * 14 + 41;
     println!("{}", "-".repeat(width));
-    for (label, r) in results {
-        print!("{label:<18}");
+    for a in results {
+        let r = &a.result;
+        print!("{:<18}", a.label);
         for &t in targets {
             match r.time_to_accuracy(t) {
                 Some(secs) => print!(" | {secs:>10.0}"),
                 None => print!(" | {:>10}", "—"),
             }
         }
-        println!(" | {:>8.3} | {:>6} | {:>7}", r.best_accuracy(), r.rounds, r.total_updates);
+        println!(
+            " | {:>8.3} | {:>6} | {:>7} | {:>8.1}",
+            r.best_accuracy(),
+            r.rounds,
+            r.total_updates,
+            a.wall_secs
+        );
     }
 }
 
 /// Print compact accuracy-vs-time curves (downsampled).
-pub fn print_curves(results: &[(String, RunResult)], points: usize) {
-    for (label, r) in results {
-        let d = metrics::downsample(&r.accuracy, points.max(2));
+pub fn print_curves(results: &[ArmResult], points: usize) {
+    for a in results {
+        let d = metrics::downsample(&a.result.accuracy, points.max(2));
         let line: Vec<String> =
-            d.iter().map(|(t, a)| format!("{t:.0}s:{:.0}%", a * 100.0)).collect();
-        println!("  {label:<18} {}", line.join("  "));
+            d.iter().map(|(t, acc)| format!("{t:.0}s:{:.0}%", acc * 100.0)).collect();
+        println!("  {:<18} {}", a.label, line.join("  "));
     }
 }
 
 /// Write every arm's full accuracy series into one long-format CSV:
 /// `arm,sim_seconds,accuracy`.
-pub fn write_accuracy_csv(name: &str, results: &[(String, RunResult)]) -> PathBuf {
+pub fn write_accuracy_csv(name: &str, results: &[ArmResult]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
     let mut f = fs::File::create(&path).expect("create csv");
     writeln!(f, "arm,sim_seconds,accuracy").unwrap();
-    for (label, r) in results {
-        for (t, a) in &r.accuracy {
-            writeln!(f, "{label},{t:.3},{a:.5}").unwrap();
+    for a in results {
+        for (t, acc) in &a.result.accuracy {
+            writeln!(f, "{},{t:.3},{acc:.5}", a.label).unwrap();
         }
     }
     eprintln!("wrote {}", path.display());
@@ -60,15 +69,51 @@ pub fn write_accuracy_csv(name: &str, results: &[(String, RunResult)]) -> PathBu
 }
 
 /// Write `(arm, sim_seconds, grad_norm_sq)` rows.
-pub fn write_grad_norm_csv(name: &str, results: &[(String, RunResult)]) -> PathBuf {
+pub fn write_grad_norm_csv(name: &str, results: &[ArmResult]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
     let mut f = fs::File::create(&path).expect("create csv");
     writeln!(f, "arm,sim_seconds,grad_norm_sq").unwrap();
-    for (label, r) in results {
-        for (t, g) in &r.grad_norms {
-            writeln!(f, "{label},{t:.3},{g:.6e}").unwrap();
+    for a in results {
+        for (t, g) in &a.result.grad_norms {
+            writeln!(f, "{},{t:.3},{g:.6e}", a.label).unwrap();
         }
     }
+    eprintln!("wrote {}", path.display());
+    path
+}
+
+/// Write one JSON record per arm: the run's headline numbers plus the host
+/// wall-clock, and — when a `threads = 1` run with the same label is present
+/// in the slice — the parallel speedup over it.
+pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let records: Vec<serde_json::Value> = results
+        .iter()
+        .map(|a| {
+            let speedup = if a.threads == 1 {
+                None
+            } else {
+                results
+                    .iter()
+                    .find(|b| b.threads == 1 && b.label == a.label)
+                    .map(|b| b.wall_secs / a.wall_secs)
+            };
+            serde_json::json!({
+                "label": a.label,
+                "algorithm": a.result.algorithm,
+                "threads": a.threads,
+                "wall_secs": a.wall_secs,
+                "sim_time_end": a.result.sim_time_end,
+                "rounds": a.result.rounds,
+                "total_updates": a.result.total_updates,
+                "best_accuracy": a.result.best_accuracy(),
+                "termination": format!("{:?}", a.result.termination),
+                "speedup_vs_threads1": speedup,
+            })
+        })
+        .collect();
+    let body = serde_json::to_string_pretty(&records).expect("serialize run records");
+    fs::write(&path, body).expect("write json");
     eprintln!("wrote {}", path.display());
     path
 }
@@ -109,6 +154,10 @@ mod tests {
         }
     }
 
+    fn arm(label: &str, threads: usize, wall: f64, series: Vec<(f64, f64)>) -> ArmResult {
+        ArmResult { label: label.into(), threads, wall_secs: wall, result: dummy(series) }
+    }
+
     #[test]
     fn speedup_positive_when_a_faster() {
         let a = dummy(vec![(0.0, 0.0), (50.0, 0.9)]);
@@ -120,11 +169,32 @@ mod tests {
 
     #[test]
     fn csv_written_and_parsable() {
-        let rs = vec![("x".to_string(), dummy(vec![(0.0, 0.1), (10.0, 0.5)]))];
+        let rs = vec![arm("x", 1, 1.0, vec![(0.0, 0.1), (10.0, 0.5)])];
         let p = write_accuracy_csv("unit_test_tmp", &rs);
         let body = fs::read_to_string(&p).unwrap();
         assert!(body.starts_with("arm,sim_seconds,accuracy"));
         assert_eq!(body.lines().count(), 3);
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn run_json_records_wall_clock_and_speedup() {
+        let rs = vec![
+            arm("x", 1, 8.0, vec![(0.0, 0.1)]),
+            arm("x", 4, 2.0, vec![(0.0, 0.1)]),
+            arm("y", 4, 2.0, vec![(0.0, 0.1)]),
+        ];
+        let p = write_run_json("unit_test_runs_tmp", &rs);
+        let body = fs::read_to_string(&p).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 3);
+        assert!((v[0]["wall_secs"].as_f64().unwrap() - 8.0).abs() < 1e-9);
+        // The threads=1 baseline itself records no speedup.
+        assert!(v[0]["speedup_vs_threads1"].is_null());
+        // Same-label threads=4 run: 8s -> 2s = 4x.
+        assert!((v[1]["speedup_vs_threads1"].as_f64().unwrap() - 4.0).abs() < 1e-9);
+        // No threads=1 baseline with label "y".
+        assert!(v[2]["speedup_vs_threads1"].is_null());
         fs::remove_file(p).ok();
     }
 }

@@ -53,6 +53,12 @@ impl TrainOutcome {
 /// every client: weights are loaded from the incoming global state before
 /// each session and exported after, and the SGD state is reset per session
 /// (local momentum never crosses clients).
+///
+/// `Clone` duplicates the full scratch state (model + optimizer), which is
+/// how [`crate::pool::TrainerPool`] builds its per-worker instances. Because
+/// every session starts by loading the global weights and resetting the
+/// optimizer, any clone produces bit-identical sessions.
+#[derive(Clone)]
 pub struct LocalTrainer {
     model: Model,
     opt: Sgd,
@@ -95,6 +101,11 @@ impl LocalTrainer {
     /// Batches per epoch for a dataset of `n` samples.
     pub fn batches_per_epoch(&self, n: usize) -> usize {
         n.div_ceil(self.batch_size)
+    }
+
+    /// The minibatch size local epochs are cut into.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Run `epochs` local epochs starting from `global` on `data`.

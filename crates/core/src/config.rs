@@ -277,6 +277,11 @@ pub struct ExperimentConfig {
     /// Also record ‖∇f(w_t)‖² on a fixed probe batch at every evaluation
     /// (used by the convergence-rate experiment).
     pub grad_norm_probe: bool,
+    /// Worker threads for the parallel training executor: `0` sizes to the
+    /// rayon default (all cores, or `RAYON_NUM_THREADS`), `1` forces the
+    /// exact sequential legacy code path, `n ≥ 2` uses a dedicated pool.
+    /// Results are bitwise identical for every setting.
+    pub threads: usize,
     /// Fleet fault model (crashes, upload loss, straggler spikes,
     /// corrupted updates). Off by default: [`FaultConfig::none`] keeps
     /// every run bit-identical to the fault-free simulator.
@@ -319,6 +324,7 @@ impl ExperimentConfig {
             eval_every: 1,
             stop_at_accuracy: Some(0.88),
             grad_norm_probe: false,
+            threads: 0,
             faults: FaultConfig::none(),
             resilience: ResilienceConfig::default(),
         }
@@ -439,7 +445,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero local epochs")]
     fn zero_local_epochs_rejected() {
-        // Regression guard: `start_training` indexes
+        // Regression guard: `begin_session` indexes
         // `epoch_ends[local_epochs - 1]`, so E = 0 must be caught here with
         // a clear error, not surface as an engine panic.
         let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));

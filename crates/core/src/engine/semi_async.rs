@@ -65,6 +65,7 @@ use crate::client::TrainOutcome;
 use crate::config::{ExperimentConfig, StalenessPolicy};
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
+use crate::pool::TrainJob;
 use crate::sanitize;
 use crate::update::ModelUpdate;
 use crate::Aggregator;
@@ -296,28 +297,23 @@ impl State {
         self.queue.schedule(arrival, Ev::Upload { client, generation, attempt });
     }
 
-    /// Start local training on client `k` at time `now`: compute the
-    /// training result eagerly (model math is time-independent) and schedule
-    /// its upload arrival on the virtual clock.
-    fn start_training(
+    /// Put a freshly trained session for client `k` on the virtual clock at
+    /// time `now`: timing draws, upload/timeout scheduling, session record.
+    /// The training itself happens up front in [`State::refill`] (model math
+    /// is time-independent); every RNG draw here (idle periods) stays on the
+    /// engine thread in call order, so the schedule is independent of how
+    /// the cohort was trained.
+    fn begin_session(
         &mut self,
         cfg: &ExperimentConfig,
         env: &mut Environment,
         k: usize,
         now: SimTime,
+        outcome: TrainOutcome,
     ) {
         debug_assert_eq!(self.phase[k], ClientPhase::Idle);
-        let keep_snapshots = self.params.policy == StalenessPolicy::NotifyPartial;
-        let outcome = env.trainer.train(
-            &self.global,
-            &env.client_data[k],
-            cfg.local_epochs,
-            &mut env.client_rngs[k],
-            keep_snapshots,
-        );
-
         let device = &env.fleet[k];
-        let batches = env.trainer.batches_per_epoch(env.client_data[k].len());
+        let batches = env.pool.batches_per_epoch(env.client_data[k].len());
         let mut t = now.after(device.download_time(env.model_bytes));
         let mut epoch_ends = Vec::with_capacity(cfg.local_epochs);
         for _ in 0..cfg.local_epochs {
@@ -551,7 +547,7 @@ impl State {
         reached
     }
 
-    fn grad_norm(&self, env: &mut Environment) -> f64 {
+    fn grad_norm(&self, env: &Environment) -> f64 {
         env.grad_norm_sq(&self.global)
     }
 
@@ -601,8 +597,29 @@ impl State {
             need,
             &mut self.sel_rng,
         );
-        for k in picked {
-            self.start_training(cfg, env, k, now);
+        if picked.is_empty() {
+            return;
+        }
+        // Train the whole picked cohort through the pool before anything is
+        // put on the clock. Jobs carry clones of the per-client RNG streams
+        // (written back below in selection order), and the timing/idle draws
+        // all happen afterwards in `begin_session`, so the virtual-clock
+        // schedule is exactly the one the sequential engine produced.
+        let keep_snapshots = self.params.policy == StalenessPolicy::NotifyPartial;
+        let jobs: Vec<TrainJob<'_>> = picked
+            .iter()
+            .map(|&k| TrainJob {
+                client_id: k,
+                data: &env.client_data[k],
+                epochs: cfg.local_epochs,
+                rng: env.client_rngs[k].clone(),
+                keep_snapshots,
+            })
+            .collect();
+        let outcomes = env.pool.train_cohort(&self.global, jobs);
+        for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
+            env.client_rngs[k] = rng;
+            self.begin_session(cfg, env, k, now, outcome);
         }
     }
 }

@@ -2,22 +2,24 @@
 
 use crate::client::LocalTrainer;
 use crate::config::{ExperimentConfig, PartitionStrategy};
+use crate::pool::TrainerPool;
 use rand::rngs::StdRng;
+use rayon::prelude::*;
 use seafl_data::synthetic::{apply_feature_shift, sample_feature_shift};
 use seafl_data::{
     dirichlet_partition, iid_partition, quantity_skew_partition, shard_partition, ImageDataset,
 };
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::DeviceProfile;
-use seafl_tensor::Tensor;
 
 /// Largest evaluation minibatch (bounds peak activation memory).
 const EVAL_CHUNK: usize = 256;
 
 /// Materialized experiment state shared by both engines.
 pub struct Environment {
-    /// Scratch trainer holding the single shared model instance.
-    pub trainer: LocalTrainer,
+    /// Parallel training executor holding the per-worker scratch trainers
+    /// (sized by `cfg.threads`; see [`TrainerPool`]).
+    pub pool: TrainerPool,
     /// Per-client training shards.
     pub client_data: Vec<ImageDataset>,
     /// Server-side test set.
@@ -32,8 +34,10 @@ pub struct Environment {
     pub client_rngs: Vec<StdRng>,
     /// Per-client idle-period RNGs.
     pub idle_rngs: Vec<StdRng>,
-    /// Fixed probe batch for gradient-norm measurements.
-    probe: Option<(Tensor, Vec<usize>)>,
+    /// Probe size for gradient-norm measurements: the first `probe_len`
+    /// test samples, materialized on demand via `batch_range` instead of
+    /// keeping (and cloning) a resident tensor.
+    probe_len: Option<usize>,
 }
 
 impl Environment {
@@ -82,6 +86,7 @@ impl Environment {
         let model_bytes = initial_global.len() * std::mem::size_of::<f32>();
         let trainer =
             LocalTrainer::new(model, cfg.lr, cfg.momentum, cfg.batch_size).with_prox(cfg.prox_mu);
+        let pool = TrainerPool::new(trainer, cfg.threads);
 
         let client_rngs = (0..cfg.num_clients)
             .map(|k| stream_rng(cfg.seed, streams::CLIENT_BASE + k as u64))
@@ -90,14 +95,10 @@ impl Environment {
             .map(|k| stream_rng(cfg.seed, streams::IDLE_BASE + k as u64))
             .collect();
 
-        let probe = cfg.grad_norm_probe.then(|| {
-            let n = task.test.len().min(EVAL_CHUNK);
-            let idx: Vec<usize> = (0..n).collect();
-            task.test.batch(&idx)
-        });
+        let probe_len = cfg.grad_norm_probe.then(|| task.test.len().min(EVAL_CHUNK));
 
         Environment {
-            trainer,
+            pool,
             client_data,
             test: task.test,
             fleet,
@@ -105,37 +106,54 @@ impl Environment {
             model_bytes,
             client_rngs,
             idle_rngs,
-            probe,
+            probe_len,
         }
     }
 
     /// Test-set accuracy of the given global state (chunked evaluation).
-    pub fn evaluate(&mut self, global: &[f32]) -> f64 {
-        self.trainer.model_mut().set_params_flat(global);
+    ///
+    /// Chunks evaluate independently (possibly across pool workers) and the
+    /// per-chunk weighted accuracies are folded in chunk order, so the f64
+    /// accumulation sequence — and hence the result — is bit-identical to
+    /// the old sequential sweep no matter how many threads run.
+    pub fn evaluate(&self, global: &[f32]) -> f64 {
         let n = self.test.len();
-        let mut correct_weighted = 0.0f64;
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + EVAL_CHUNK).min(n);
-            let idx: Vec<usize> = (start..end).collect();
-            let (x, y) = self.test.batch(&idx);
-            let (_, acc) = self.trainer.model_mut().evaluate(x, &y);
-            correct_weighted += acc * (end - start) as f64;
-            start = end;
-        }
-        correct_weighted / n as f64
+        let ranges: Vec<(usize, usize)> =
+            (0..n).step_by(EVAL_CHUNK).map(|s| (s, (s + EVAL_CHUNK).min(n))).collect();
+        let partials: Vec<f64> = if self.pool.is_sequential() || ranges.len() <= 1 {
+            ranges.iter().map(|&(s, e)| self.eval_chunk(global, s, e)).collect()
+        } else {
+            self.pool
+                .run(|| ranges.par_iter().map(|&(s, e)| self.eval_chunk(global, s, e)).collect())
+        };
+        partials.into_iter().sum::<f64>() / n as f64
+    }
+
+    /// Weighted accuracy (`accuracy × chunk size`) of one contiguous test
+    /// chunk on a scratch model loaded with `global`.
+    fn eval_chunk(&self, global: &[f32], start: usize, end: usize) -> f64 {
+        let (x, y) = self.test.batch_range(start..end);
+        self.pool.with_trainer(|t| {
+            let model = t.model_mut();
+            model.set_params_flat(global);
+            let (_, acc) = model.evaluate(x, &y);
+            acc * (end - start) as f64
+        })
     }
 
     /// ‖∇f(w)‖² on the fixed probe batch (requires `grad_norm_probe`).
-    pub fn grad_norm_sq(&mut self, global: &[f32]) -> f64 {
-        let (x, y) = self.probe.as_ref().expect("grad_norm_probe disabled").clone();
-        let model = self.trainer.model_mut();
-        model.set_params_flat(global);
-        model.zero_grads();
-        model.accumulate_grads(x, &y);
-        let g = model.grads_flat();
-        model.zero_grads();
-        g.iter().map(|&v| v as f64 * v as f64).sum()
+    pub fn grad_norm_sq(&self, global: &[f32]) -> f64 {
+        let n = self.probe_len.expect("grad_norm_probe disabled");
+        let (x, y) = self.test.batch_range(0..n);
+        self.pool.with_trainer(|t| {
+            let model = t.model_mut();
+            model.set_params_flat(global);
+            model.zero_grads();
+            model.accumulate_grads(x, &y);
+            let g = model.grads_flat();
+            model.zero_grads();
+            g.iter().map(|&v| v as f64 * v as f64).sum()
+        })
     }
 
     /// Total local training samples across all clients.
@@ -196,7 +214,7 @@ mod tests {
     #[test]
     fn untrained_model_accuracy_near_chance() {
         let cfg = tiny_cfg(1);
-        let mut env = Environment::build(&cfg);
+        let env = Environment::build(&cfg);
         let g = env.initial_global.clone();
         let acc = env.evaluate(&g);
         assert!(acc < 0.35, "untrained accuracy {acc} suspiciously high");
@@ -206,16 +224,29 @@ mod tests {
     fn grad_norm_positive_for_untrained_model() {
         let mut cfg = tiny_cfg(2);
         cfg.grad_norm_probe = true;
-        let mut env = Environment::build(&cfg);
+        let env = Environment::build(&cfg);
         let g = env.initial_global.clone();
         assert!(env.grad_norm_sq(&g) > 0.0);
+    }
+
+    #[test]
+    fn parallel_evaluate_bitwise_matches_sequential() {
+        // Enough test samples for several EVAL_CHUNK-sized chunks.
+        let mut cfg = tiny_cfg(4);
+        cfg.test_per_class = 60;
+        cfg.threads = 1;
+        let seq_env = Environment::build(&cfg);
+        cfg.threads = 4;
+        let par_env = Environment::build(&cfg);
+        let g = seq_env.initial_global.clone();
+        assert_eq!(seq_env.evaluate(&g).to_bits(), par_env.evaluate(&g).to_bits());
     }
 
     #[test]
     #[should_panic(expected = "grad_norm_probe disabled")]
     fn grad_norm_requires_flag() {
         let cfg = tiny_cfg(2);
-        let mut env = Environment::build(&cfg);
+        let env = Environment::build(&cfg);
         let g = env.initial_global.clone();
         env.grad_norm_sq(&g);
     }

@@ -4,6 +4,7 @@ use crate::aggregator::{Aggregator, FedAvgAggregator};
 use crate::config::ExperimentConfig;
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
+use crate::pool::TrainJob;
 use crate::update::ModelUpdate;
 use rand::seq::SliceRandom;
 use seafl_sim::rng::{stream_rng, streams};
@@ -53,13 +54,18 @@ pub fn run_sync(
             ),
         };
 
-        let mut updates = Vec::with_capacity(selected.len());
+        // Pass 1 (engine thread): tracing, timing, and idle-RNG draws in
+        // selection order — the virtual-clock schedule is identical to the
+        // old per-client loop. Each job takes a clone of the client's
+        // training RNG; the advanced copy is stored back after training, so
+        // the per-client stream sees exactly the sequential draw order.
+        let mut jobs = Vec::with_capacity(selected.len());
         let mut round_duration = 0.0f64;
         for &k in &selected {
             trace.push(now, TraceEvent::ClientStart { id: k, round });
             let device = &env.fleet[k];
             let data = &env.client_data[k];
-            let batches = env.trainer.batches_per_epoch(data.len());
+            let batches = env.pool.batches_per_epoch(data.len());
 
             let mut elapsed = device.download_time(env.model_bytes);
             for _ in 0..cfg.local_epochs {
@@ -69,13 +75,21 @@ pub fn run_sync(
             elapsed += device.upload_time(env.model_bytes);
             round_duration = round_duration.max(elapsed);
 
-            let outcome = env.trainer.train(
-                &global,
-                &env.client_data[k],
-                cfg.local_epochs,
-                &mut env.client_rngs[k],
-                false,
-            );
+            jobs.push(TrainJob {
+                client_id: k,
+                data,
+                epochs: cfg.local_epochs,
+                rng: env.client_rngs[k].clone(),
+                keep_snapshots: false,
+            });
+        }
+
+        // Pass 2: train the whole cohort through the pool (bitwise equal to
+        // the sequential loop — see `pool` module docs).
+        let outcomes = env.pool.train_cohort(&global, jobs);
+        let mut updates = Vec::with_capacity(selected.len());
+        for (&k, (outcome, rng)) in selected.iter().zip(outcomes) {
+            env.client_rngs[k] = rng;
             updates.push(ModelUpdate {
                 client_id: k,
                 params: outcome.final_state().to_vec(),

@@ -26,16 +26,19 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod pool;
 pub mod sanitize;
 pub mod selection;
 pub mod update;
 pub mod weighting;
 
 pub use aggregator::{Aggregator, FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
+pub use client::{LocalTrainer, TrainOutcome};
 pub use config::{
     Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
     StalenessPolicy,
 };
 pub use engine::{run_experiment, RunResult};
+pub use pool::{TrainJob, TrainerPool};
 pub use update::ModelUpdate;
 pub use weighting::ImportanceMode;

@@ -91,10 +91,29 @@ impl ImageDataset {
         )
     }
 
+    /// Gather the contiguous sample range `start..end` into an NCHW batch
+    /// tensor plus labels. Samples are stored contiguously, so unlike
+    /// [`ImageDataset::batch`] this needs no index buffer and copies the
+    /// image block with a single `memcpy`-style extend — the fast path for
+    /// chunked evaluation sweeps.
+    pub fn batch_range(&self, range: std::ops::Range<usize>) -> (Tensor, Vec<usize>) {
+        assert!(range.start <= range.end, "batch_range: start {} > end {}", range.start, range.end);
+        assert!(
+            range.end <= self.len(),
+            "batch_range: end {} out of range ({})",
+            range.end,
+            self.len()
+        );
+        let img = self.image_len();
+        let n = range.end - range.start;
+        let buf = self.data[range.start * img..range.end * img].to_vec();
+        let labels = self.labels[range.clone()].to_vec();
+        (Tensor::from_vec(Shape::d4(n, self.channels, self.height, self.width), buf), labels)
+    }
+
     /// The whole dataset as one batch (evaluation sets are small here).
     pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
-        let idx: Vec<usize> = (0..self.len()).collect();
-        self.batch(&idx)
+        self.batch_range(0..self.len())
     }
 
     /// Subset view (copies the selected images).
@@ -181,6 +200,26 @@ mod tests {
         let b1 = d.epoch_batches(2, &mut StdRng::seed_from_u64(5));
         let b2 = d.epoch_batches(2, &mut StdRng::seed_from_u64(5));
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn batch_range_matches_indexed_batch() {
+        let d = tiny();
+        let (xr, yr) = d.batch_range(1..3);
+        let (xi, yi) = d.batch(&[1, 2]);
+        assert_eq!(xr, xi);
+        assert_eq!(yr, yi);
+        let (full, _) = d.batch_range(0..d.len());
+        assert_eq!(full.shape(), Shape::d4(4, 1, 2, 2));
+        let (empty, labels) = d.batch_range(2..2);
+        assert_eq!(empty.len(), 0);
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_range: end")]
+    fn batch_range_out_of_bounds_panics() {
+        tiny().batch_range(2..9);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use seafl_tensor::Tensor;
 ///
 /// The backward pass uses the cached *output* mask (`y > 0` ⇔ `x > 0`), so
 /// only a bitmask-equivalent tensor is retained.
+#[derive(Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
 }
@@ -24,6 +25,10 @@ impl Default for Relu {
 }
 
 impl Layer for Relu {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "relu"
     }
@@ -54,6 +59,7 @@ impl Layer for Relu {
 }
 
 /// Hyperbolic tangent activation (used by the classical LeNet-5 variant).
+#[derive(Clone)]
 pub struct Tanh {
     output: Option<Tensor>,
 }
@@ -71,6 +77,10 @@ impl Default for Tanh {
 }
 
 impl Layer for Tanh {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "tanh"
     }
@@ -94,6 +104,7 @@ impl Layer for Tanh {
 /// probability `p` and survivors are scaled by `1/(1−p)`, so inference is
 /// the identity. The mask RNG is owned by the layer and seeded explicitly —
 /// simulation determinism is preserved.
+#[derive(Clone)]
 pub struct Dropout {
     p: f32,
     rng: rand::rngs::StdRng,
@@ -109,6 +120,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dropout"
     }

@@ -9,6 +9,7 @@ use seafl_tensor::{init, Shape, Tensor};
 ///
 /// Weights are stored pre-flattened as `[out_channels, in_c*k*k]` so the
 /// forward pass is a single GEMM against the im2col buffer.
+#[derive(Clone)]
 pub struct Conv2d {
     geom: Conv2dGeom,
     out_channels: usize,
@@ -50,6 +51,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }

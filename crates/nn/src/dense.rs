@@ -10,6 +10,7 @@ use seafl_tensor::{init, matmul, Shape, Tensor};
 /// * weight `[out_features, in_features]` (row-major, each row one neuron)
 /// * bias `[out_features]`
 /// * output `[batch, out_features]`
+#[derive(Clone)]
 pub struct Dense {
     weight: Tensor,
     bias: Tensor,
@@ -58,6 +59,10 @@ impl Dense {
 }
 
 impl Layer for Dense {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "dense"
     }

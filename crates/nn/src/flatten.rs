@@ -4,6 +4,7 @@ use crate::layer::Layer;
 use seafl_tensor::{Shape, Tensor};
 
 /// Reshape a rank-4 batch to rank-2 rows, preserving the batch dimension.
+#[derive(Clone)]
 pub struct Flatten {
     cached_shape: Option<Shape>,
 }
@@ -21,6 +22,10 @@ impl Default for Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "flatten"
     }

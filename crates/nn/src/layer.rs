@@ -16,6 +16,14 @@ pub trait Layer: Send {
     /// Human-readable layer kind, used in summaries and error messages.
     fn name(&self) -> &'static str;
 
+    /// Clone the layer behind the trait object (parameters, buffers and any
+    /// internal RNG state included). This is what lets a whole [`Model`] be
+    /// duplicated for the per-worker trainer pool without re-running weight
+    /// initialization.
+    ///
+    /// [`Model`]: ../models/struct.Model.html
+    fn clone_layer(&self) -> Box<dyn Layer>;
+
     /// Forward pass. `train` controls activation caching and
     /// train-vs-inference behaviour (batch-norm statistics, etc.).
     fn forward(&mut self, x: Tensor, train: bool) -> Tensor;
@@ -66,10 +74,14 @@ mod tests {
     use seafl_tensor::Shape;
 
     /// Minimal layer to exercise the default methods.
+    #[derive(Clone)]
     struct Identity;
     impl Layer for Identity {
         fn name(&self) -> &'static str {
             "identity"
+        }
+        fn clone_layer(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
         }
         fn forward(&mut self, x: Tensor, _train: bool) -> Tensor {
             x

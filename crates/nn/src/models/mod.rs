@@ -80,6 +80,7 @@ impl ModelKind {
 /// which expose the *entire* model state (trainable parameters followed by
 /// batch-norm running statistics) as one `Vec<f32>`. All of SEAFL's
 /// aggregation math (Eqs. 4–8) operates on these flat vectors.
+#[derive(Clone)]
 pub struct Model {
     net: Sequential,
     kind: ModelKind,

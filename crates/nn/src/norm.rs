@@ -13,6 +13,7 @@ const EPS: f32 = 1e-5;
 /// parameters (they are part of the flattened state vector in
 /// [`crate::Model`]'s buffers), matching what PLATO/PyTorch ship between
 /// server and clients.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     channels: usize,
     gamma: Tensor,
@@ -67,6 +68,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "batchnorm2d"
     }
@@ -205,6 +210,7 @@ impl Layer for BatchNorm2d {
 /// *within each sample*, so it has no batch-statistics and no running
 /// buffers — the norm of choice for federated learning, where batch-norm's
 /// running statistics mix poorly across non-IID clients.
+#[derive(Clone)]
 pub struct GroupNorm {
     channels: usize,
     groups: usize,
@@ -240,6 +246,10 @@ impl GroupNorm {
 }
 
 impl Layer for GroupNorm {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "groupnorm"
     }

@@ -5,6 +5,7 @@ use crate::layer::Layer;
 /// Stochastic gradient descent with classical (heavyball) momentum and L2
 /// weight decay — the optimizer the paper's experiments use (`η` in
 /// Algorithm 1).
+#[derive(Clone)]
 pub struct Sgd {
     pub lr: f32,
     pub momentum: f32,

@@ -5,6 +5,7 @@ use seafl_tensor::conv;
 use seafl_tensor::{Shape, Tensor};
 
 /// Max pooling over `k × k` windows.
+#[derive(Clone)]
 pub struct MaxPool2d {
     k: usize,
     stride: usize,
@@ -19,6 +20,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "maxpool2d"
     }
@@ -40,6 +45,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling over `k × k` windows.
+#[derive(Clone)]
 pub struct AvgPool2d {
     k: usize,
     stride: usize,
@@ -54,6 +60,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "avgpool2d"
     }
@@ -75,6 +85,7 @@ impl Layer for AvgPool2d {
 }
 
 /// Global average pooling `[n, c, h, w] -> [n, c]` (ResNet head).
+#[derive(Clone)]
 pub struct GlobalAvgPool {
     cached_shape: Option<Shape>,
 }
@@ -92,6 +103,10 @@ impl Default for GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "global_avgpool"
     }

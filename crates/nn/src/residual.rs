@@ -38,6 +38,7 @@ impl NormKind {
 /// ResNet basic block: `y = relu(main(x) + shortcut(x))` where `main` is
 /// conv-bn-relu-conv-bn and `shortcut` is identity or a strided 1×1
 /// conv-bn projection when the shape changes.
+#[derive(Clone)]
 pub struct ResidualBlock {
     main: Sequential,
     shortcut: Option<Sequential>,
@@ -92,6 +93,10 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "residual_block"
     }

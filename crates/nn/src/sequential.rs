@@ -52,9 +52,19 @@ impl Default for Sequential {
     }
 }
 
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.iter().map(|l| l.clone_layer()).collect() }
+    }
+}
+
 impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn forward(&mut self, mut x: Tensor, train: bool) -> Tensor {

@@ -48,7 +48,6 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
 
     let body = |(block_i, chunk): (usize, &mut [f32])| {
         let row0 = block_i * ROW_BLOCK;
-        let rows = chunk.len() / n;
         // out[i,j] = sum_p A[p,i] * B[p,j]
         for p in 0..k {
             let arow = &av[p * m..(p + 1) * m];
@@ -62,7 +61,6 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
                 }
             }
         }
-        let _ = rows;
     };
 
     if work >= PAR_THRESHOLD {
