@@ -5,11 +5,11 @@
 //! three; `tests/parallel_determinism.rs` pins that).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seafl_core::{LocalTrainer, TrainJob, TrainerPool};
 use seafl_data::{ImageDataset, SyntheticSpec};
 use seafl_nn::ModelKind;
+use seafl_sim::SimRng;
 use std::time::Duration;
 
 const COHORT: usize = 8;
@@ -37,7 +37,7 @@ fn jobs(shards: &[ImageDataset]) -> Vec<TrainJob<'_>> {
             client_id: k,
             data,
             epochs: 2,
-            rng: StdRng::seed_from_u64(100 + k as u64),
+            rng: SimRng::seed_from_u64(100 + k as u64),
             keep_snapshots: false,
         })
         .collect()

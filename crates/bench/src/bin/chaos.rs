@@ -11,13 +11,134 @@
 //!
 //! Run: `cargo run --release -p seafl-bench --bin chaos
 //!       [-- --scale smoke|std]`
+//!
+//! Checkpoint/resume modes (a *server*-crash on top of the device faults):
+//! * `--server-crash --checkpoint-dir DIR` — run one SEAFL arm that is
+//!   killed mid-run by a seeded server crash, snapshotting into DIR.
+//! * `--resume DIR` — resume that run from its newest valid snapshot.
+//! * `--verify-resume` — crash, resume and an uninterrupted reference run
+//!   in one process; assert the resumed run's event trace and final model
+//!   are bit-identical to the reference (the CI kill-and-resume smoke job).
 
 use seafl_bench::profiles::{chaos_overlay, insights_config, INSIGHTS_TARGET};
-use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
-use seafl_core::Algorithm;
+use seafl_bench::{arg_value, has_flag, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_core::{resume_experiment, run_experiment, Algorithm, ExperimentConfig, RunResult};
+use seafl_sim::TerminationReason;
+use std::path::{Path, PathBuf};
+
+/// The canonical crash/resume config: the faulty-fleet SEAFL arm with a
+/// certain (probability-1) server crash drawn mid-run and round-boundary
+/// checkpointing every 2 rounds. Accuracy/time stops are disabled so the
+/// crash round is always reached and both runs end at `max_rounds`.
+fn crash_cfg(scale: Scale) -> ExperimentConfig {
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (20, 10),
+    };
+    let mut cfg = insights_config(42, Algorithm::seafl(m, k, Some(10)), scale);
+    chaos_overlay(&mut cfg);
+    cfg.stop_at_accuracy = None;
+    cfg.max_sim_time = 1e9;
+    cfg.max_rounds = match scale {
+        Scale::Smoke => 12,
+        Scale::Std => 30,
+    };
+    cfg.faults.server_crash_prob = 1.0;
+    cfg.faults.server_crash_window = (cfg.max_rounds / 2, cfg.max_rounds / 2 + 2);
+    cfg.checkpoint_every = Some(2);
+    cfg
+}
+
+fn print_run(tag: &str, r: &RunResult) {
+    println!(
+        "{tag}: termination={:?} rounds={} sim_time={:.1}s model_digest={:016x} trace_digest={:016x}",
+        r.termination,
+        r.rounds,
+        r.sim_time_end,
+        r.model_digest,
+        r.trace.digest(),
+    );
+}
+
+/// `--server-crash --checkpoint-dir DIR`: run until the seeded server crash.
+fn crash_run(scale: Scale, dir: &Path) {
+    let mut cfg = crash_cfg(scale);
+    cfg.checkpoint_dir = Some(dir.to_path_buf());
+    let r = run_experiment(&cfg);
+    print_run("crashed", &r);
+}
+
+/// `--resume DIR`: continue the crashed run from its newest snapshot.
+fn resume_run(scale: Scale, dir: &Path) {
+    let cfg = crash_cfg(scale);
+    let r = resume_experiment(&cfg, dir).unwrap_or_else(|e| panic!("resume failed: {e}"));
+    print_run("resumed", &r);
+}
+
+/// `--verify-resume`: crash + resume + reference, assert bit-identity.
+fn verify_resume(scale: Scale) {
+    let dir = std::env::temp_dir().join(format!("seafl-chaos-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut crash = crash_cfg(scale);
+    crash.checkpoint_dir = Some(dir.clone());
+    let crashed = run_experiment(&crash);
+    print_run("crashed", &crashed);
+    assert_eq!(
+        crashed.termination,
+        TerminationReason::ServerCrash,
+        "crash run did not die at the seeded server-crash round"
+    );
+
+    let resumed = resume_experiment(&crash, &dir).unwrap_or_else(|e| panic!("resume failed: {e}"));
+    print_run("resumed", &resumed);
+
+    // The reference: the same experiment, uninterrupted. The server-crash
+    // draw never perturbs device schedules, so disabling it is the
+    // counterfactual "the host never died".
+    let mut reference_cfg = crash_cfg(scale);
+    reference_cfg.faults.server_crash_prob = 0.0;
+    reference_cfg.faults.server_crash_window = (0, 0);
+    let reference = run_experiment(&reference_cfg);
+    print_run("reference", &reference);
+
+    assert!(crashed.rounds < reference.rounds, "crash did not interrupt the run");
+    assert_eq!(resumed.rounds, reference.rounds, "resumed run round count diverged");
+    assert_eq!(
+        resumed.sim_time_end.to_bits(),
+        reference.sim_time_end.to_bits(),
+        "resumed run clock diverged"
+    );
+    assert_eq!(
+        resumed.trace.digest(),
+        reference.trace.digest(),
+        "resumed run event trace diverged from the uninterrupted reference"
+    );
+    assert_eq!(
+        resumed.model_digest, reference.model_digest,
+        "resumed run final model diverged from the uninterrupted reference"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("PASS: kill-and-resume is bit-identical to the uninterrupted run");
+}
 
 fn main() {
     let scale = scale_from_args();
+    if has_flag("verify-resume") {
+        verify_resume(scale);
+        return;
+    }
+    if let Some(dir) = arg_value("resume") {
+        resume_run(scale, Path::new(&dir));
+        return;
+    }
+    if has_flag("server-crash") {
+        let dir = arg_value("checkpoint-dir")
+            .map(PathBuf::from)
+            .expect("--server-crash needs --checkpoint-dir DIR to snapshot into");
+        crash_run(scale, &dir);
+        return;
+    }
     let seed = 42;
     let (m, k) = match scale {
         Scale::Smoke => (6, 3),

@@ -70,6 +70,12 @@ pub fn arg_value(name: &str) -> Option<String> {
     args.iter().position(|a| a == &format!("--{name}")).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// True when the bare flag `--<name>` was passed.
+pub fn has_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
 /// Parse `--threads` as a comma-separated sweep, e.g. `--threads 1,4`.
 /// Empty when the flag is absent (arms then keep their profile default).
 pub fn threads_from_args() -> Vec<usize> {
@@ -108,5 +114,10 @@ mod tests {
     #[test]
     fn threads_sweep_absent_is_empty() {
         assert!(threads_from_args().is_empty());
+    }
+
+    #[test]
+    fn flag_absent_is_false() {
+        assert!(!has_flag("definitely-not-passed"));
     }
 }

@@ -67,6 +67,9 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         threads: 0,
         faults: FaultConfig::none(),
         resilience: ResilienceConfig::default(),
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        keep_last: 2,
     }
 }
 
@@ -183,6 +186,9 @@ pub fn evaluation_config(
         threads: 0,
         faults: FaultConfig::none(),
         resilience: ResilienceConfig::default(),
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        keep_last: 2,
     }
 }
 
@@ -201,6 +207,8 @@ pub fn chaos_overlay(cfg: &mut ExperimentConfig) {
         straggler_factor: 3.0,
         corrupt_prob: 0.10,
         corruption: CorruptionKind::NanBurst { count: 8 },
+        server_crash_prob: 0.0,
+        server_crash_window: (0, 0),
     };
     cfg.resilience = ResilienceConfig {
         // Generous relative to a healthy session so only dead devices trip.

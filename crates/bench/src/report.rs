@@ -9,7 +9,7 @@ use std::path::PathBuf;
 /// Directory the binaries write CSVs into.
 pub fn experiments_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
-    fs::create_dir_all(&dir).expect("create target/experiments");
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("failed to create {}: {e}", dir.display()));
     dir
 }
 
@@ -57,11 +57,12 @@ pub fn print_curves(results: &[ArmResult], points: usize) {
 /// `arm,sim_seconds,accuracy`.
 pub fn write_accuracy_csv(name: &str, results: &[ArmResult]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "arm,sim_seconds,accuracy").unwrap();
+    let fail = |e: std::io::Error| -> ! { panic!("failed to write {}: {e}", path.display()) };
+    let mut f = fs::File::create(&path).unwrap_or_else(|e| fail(e));
+    writeln!(f, "arm,sim_seconds,accuracy").unwrap_or_else(|e| fail(e));
     for a in results {
         for (t, acc) in &a.result.accuracy {
-            writeln!(f, "{},{t:.3},{acc:.5}", a.label).unwrap();
+            writeln!(f, "{},{t:.3},{acc:.5}", a.label).unwrap_or_else(|e| fail(e));
         }
     }
     eprintln!("wrote {}", path.display());
@@ -71,11 +72,12 @@ pub fn write_accuracy_csv(name: &str, results: &[ArmResult]) -> PathBuf {
 /// Write `(arm, sim_seconds, grad_norm_sq)` rows.
 pub fn write_grad_norm_csv(name: &str, results: &[ArmResult]) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.csv"));
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "arm,sim_seconds,grad_norm_sq").unwrap();
+    let fail = |e: std::io::Error| -> ! { panic!("failed to write {}: {e}", path.display()) };
+    let mut f = fs::File::create(&path).unwrap_or_else(|e| fail(e));
+    writeln!(f, "arm,sim_seconds,grad_norm_sq").unwrap_or_else(|e| fail(e));
     for a in results {
         for (t, g) in &a.result.grad_norms {
-            writeln!(f, "{},{t:.3},{g:.6e}", a.label).unwrap();
+            writeln!(f, "{},{t:.3},{g:.6e}", a.label).unwrap_or_else(|e| fail(e));
         }
     }
     eprintln!("wrote {}", path.display());
@@ -108,12 +110,16 @@ pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
                 "total_updates": a.result.total_updates,
                 "best_accuracy": a.result.best_accuracy(),
                 "termination": format!("{:?}", a.result.termination),
+                // Hex fingerprints of the final model weights and the full
+                // event trace — what the CI kill-and-resume job diffs.
+                "model_digest": format!("{:016x}", a.result.model_digest),
+                "trace_digest": format!("{:016x}", a.result.trace.digest()),
                 "speedup_vs_threads1": speedup,
             })
         })
         .collect();
     let body = serde_json::to_string_pretty(&records).expect("serialize run records");
-    fs::write(&path, body).expect("write json");
+    fs::write(&path, body).unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
     path
 }
@@ -149,6 +155,7 @@ mod tests {
             quarantined: 0,
             rejected_updates: 0,
             superseded_uploads: 0,
+            model_digest: 0,
             sim_time_end: 100.0,
             trace: TraceLog::new(),
         }
@@ -191,6 +198,9 @@ mod tests {
         assert!((v[0]["wall_secs"].as_f64().unwrap() - 8.0).abs() < 1e-9);
         // The threads=1 baseline itself records no speedup.
         assert!(v[0]["speedup_vs_threads1"].is_null());
+        // Digests are 16-hex-digit strings (zero model/empty trace here).
+        assert_eq!(v[0]["model_digest"].as_str().unwrap().len(), 16);
+        assert_eq!(v[0]["trace_digest"].as_str().unwrap().len(), 16);
         // Same-label threads=4 run: 8s -> 2s = 4x.
         assert!((v[1]["speedup_vs_threads1"].as_f64().unwrap() - 4.0).abs() < 1e-9);
         // No threads=1 baseline with label "y".

@@ -1,0 +1,524 @@
+//! Minimal binary codec for checkpoint payloads.
+//!
+//! Checkpoints must round-trip *bit-exactly* — including NaN payloads a
+//! corrupt client may have planted in a buffered update — and must fail
+//! loudly on truncation. A textual format (serde_json) can do neither for
+//! `f32` (non-finite values are unrepresentable), so payloads use an
+//! explicit little-endian byte codec: fixed-width integers, floats as their
+//! IEEE-754 bit patterns, `usize` widened to `u64`, enums as one-byte tags.
+//! Every read is bounds-checked and returns a [`CodecError`] instead of
+//! panicking; the file-level checksum (see [`super`]) makes a decode error
+//! after a clean checksum a format bug, not a corruption symptom.
+
+use seafl_sim::rng::{rng_from_state, rng_state};
+use seafl_sim::{RejectCause, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog};
+
+/// A malformed or truncated checkpoint payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+/// Append-only little-endian byte writer.
+#[derive(Default)]
+pub struct BinWriter {
+    buf: Vec<u8>,
+}
+
+impl BinWriter {
+    pub fn new() -> Self {
+        BinWriter { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub fn vec_f32(&mut self, v: &[f32]) {
+        self.usize(v.len());
+        for &x in v {
+            self.f32(x);
+        }
+    }
+
+    pub fn vec_u64(&mut self, v: &[u64]) {
+        self.usize(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    pub fn sim_time(&mut self, t: SimTime) {
+        self.f64(t.as_secs());
+    }
+
+    pub fn rng(&mut self, rng: &SimRng) {
+        let (seed, stream, word_pos) = rng_state(rng);
+        self.bytes(&seed);
+        self.u64(stream);
+        self.u128(word_pos);
+    }
+
+    pub fn rngs(&mut self, rngs: &[SimRng]) {
+        self.usize(rngs.len());
+        for r in rngs {
+            self.rng(r);
+        }
+    }
+
+    pub fn trace(&mut self, log: &TraceLog) {
+        self.usize(log.len());
+        for (t, e) in log.entries() {
+            self.sim_time(*t);
+            self.trace_event(e);
+        }
+    }
+
+    pub fn f64_pairs(&mut self, v: &[(f64, f64)]) {
+        self.usize(v.len());
+        for &(a, b) in v {
+            self.f64(a);
+            self.f64(b);
+        }
+    }
+
+    fn trace_event(&mut self, e: &TraceEvent) {
+        match *e {
+            TraceEvent::ClientStart { id, round } => {
+                self.u8(0);
+                self.usize(id);
+                self.u64(round);
+            }
+            TraceEvent::Upload { id, born_round, epochs } => {
+                self.u8(1);
+                self.usize(id);
+                self.u64(born_round);
+                self.usize(epochs);
+            }
+            TraceEvent::Notify { id } => {
+                self.u8(2);
+                self.usize(id);
+            }
+            TraceEvent::Drop { id, staleness } => {
+                self.u8(3);
+                self.usize(id);
+                self.u64(staleness);
+            }
+            TraceEvent::Aggregate { round, num_updates } => {
+                self.u8(4);
+                self.u64(round);
+                self.usize(num_updates);
+            }
+            TraceEvent::Eval { round, accuracy } => {
+                self.u8(5);
+                self.u64(round);
+                self.f64(accuracy);
+            }
+            TraceEvent::Crash { id } => {
+                self.u8(6);
+                self.usize(id);
+            }
+            TraceEvent::UploadFailed { id, attempt } => {
+                self.u8(7);
+                self.usize(id);
+                self.u32(attempt);
+            }
+            TraceEvent::Retry { id, attempt } => {
+                self.u8(8);
+                self.usize(id);
+                self.u32(attempt);
+            }
+            TraceEvent::Timeout { id } => {
+                self.u8(9);
+                self.usize(id);
+            }
+            TraceEvent::Quarantine { id } => {
+                self.u8(10);
+                self.usize(id);
+            }
+            TraceEvent::Rejected { id, cause } => {
+                self.u8(11);
+                self.usize(id);
+                self.u8(match cause {
+                    RejectCause::NonFinite => 0,
+                    RejectCause::NormExploded => 1,
+                });
+            }
+            TraceEvent::Terminated { reason, buffered } => {
+                self.u8(12);
+                self.u8(match reason {
+                    TerminationReason::TargetAccuracy => 0,
+                    TerminationReason::MaxRounds => 1,
+                    TerminationReason::MaxSimTime => 2,
+                    TerminationReason::QueueDrained => 3,
+                    TerminationReason::Starved => 4,
+                    TerminationReason::ServerCrash => 5,
+                });
+                self.usize(buffered);
+            }
+        }
+    }
+}
+
+/// Bounds-checked little-endian byte reader over a decoded payload.
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        BinReader { buf, pos: 0 }
+    }
+
+    /// Error unless every byte was consumed — trailing garbage means the
+    /// writer and reader disagree about the format.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            err(format!("{} unread trailing bytes", self.buf.len() - self.pos))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => err(format!(
+                "truncated: wanted {n} bytes at offset {}, payload is {} bytes",
+                self.pos,
+                self.buf.len()
+            )),
+        }
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).or_else(|_| err(format!("usize value {v} overflows this platform")))
+    }
+
+    /// A `usize` used as an upcoming element count: additionally bounded by
+    /// the bytes actually remaining, so a corrupt length can never trigger
+    /// a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.usize()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes) > remaining {
+            return err(format!("implausible element count {n} for {remaining} remaining bytes"));
+        }
+        Ok(n)
+    }
+
+    pub fn f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn vec_f32(&mut self) -> Result<Vec<f32>, CodecError> {
+        let n = self.count(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    pub fn vec_u64(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub fn sim_time(&mut self) -> Result<SimTime, CodecError> {
+        let secs = self.f64()?;
+        if !secs.is_finite() || secs < 0.0 {
+            return err(format!("invalid sim time {secs}"));
+        }
+        Ok(SimTime::from_secs(secs))
+    }
+
+    pub fn rng(&mut self) -> Result<SimRng, CodecError> {
+        let seed: [u8; 32] = self.take(32)?.try_into().unwrap();
+        let stream = self.u64()?;
+        let word_pos = self.u128()?;
+        Ok(rng_from_state((seed, stream, word_pos)))
+    }
+
+    pub fn rngs(&mut self) -> Result<Vec<SimRng>, CodecError> {
+        let n = self.count(32 + 8 + 16)?;
+        (0..n).map(|_| self.rng()).collect()
+    }
+
+    pub fn trace(&mut self) -> Result<TraceLog, CodecError> {
+        let n = self.count(8 + 1)?;
+        let mut log = TraceLog::new();
+        for _ in 0..n {
+            let t = self.sim_time()?;
+            let e = self.trace_event()?;
+            log.push(t, e);
+        }
+        Ok(log)
+    }
+
+    pub fn f64_pairs(&mut self) -> Result<Vec<(f64, f64)>, CodecError> {
+        let n = self.count(16)?;
+        (0..n).map(|_| Ok((self.f64()?, self.f64()?))).collect()
+    }
+
+    fn trace_event(&mut self) -> Result<TraceEvent, CodecError> {
+        Ok(match self.u8()? {
+            0 => TraceEvent::ClientStart { id: self.usize()?, round: self.u64()? },
+            1 => TraceEvent::Upload {
+                id: self.usize()?,
+                born_round: self.u64()?,
+                epochs: self.usize()?,
+            },
+            2 => TraceEvent::Notify { id: self.usize()? },
+            3 => TraceEvent::Drop { id: self.usize()?, staleness: self.u64()? },
+            4 => TraceEvent::Aggregate { round: self.u64()?, num_updates: self.usize()? },
+            5 => TraceEvent::Eval { round: self.u64()?, accuracy: self.f64()? },
+            6 => TraceEvent::Crash { id: self.usize()? },
+            7 => TraceEvent::UploadFailed { id: self.usize()?, attempt: self.u32()? },
+            8 => TraceEvent::Retry { id: self.usize()?, attempt: self.u32()? },
+            9 => TraceEvent::Timeout { id: self.usize()? },
+            10 => TraceEvent::Quarantine { id: self.usize()? },
+            11 => TraceEvent::Rejected {
+                id: self.usize()?,
+                cause: match self.u8()? {
+                    0 => RejectCause::NonFinite,
+                    1 => RejectCause::NormExploded,
+                    b => return err(format!("invalid RejectCause tag {b}")),
+                },
+            },
+            12 => TraceEvent::Terminated {
+                reason: match self.u8()? {
+                    0 => TerminationReason::TargetAccuracy,
+                    1 => TerminationReason::MaxRounds,
+                    2 => TerminationReason::MaxSimTime,
+                    3 => TerminationReason::QueueDrained,
+                    4 => TerminationReason::Starved,
+                    5 => TerminationReason::ServerCrash,
+                    b => return err(format!("invalid TerminationReason tag {b}")),
+                },
+                buffered: self.usize()?,
+            },
+            b => return err(format!("invalid TraceEvent tag {b}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use seafl_sim::rng::stream_rng;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = BinWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.u128(u128::MAX - 1);
+        w.usize(12345);
+        w.f32(f32::NAN);
+        w.f32(-0.0);
+        w.f64(f64::NEG_INFINITY);
+        w.sim_time(SimTime::from_secs(1.25));
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u128().unwrap(), u128::MAX - 1);
+        assert_eq!(r.usize().unwrap(), 12345);
+        // NaN round-trips bit-exactly — the reason this codec exists.
+        assert_eq!(r.f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::NEG_INFINITY);
+        assert_eq!(r.sim_time().unwrap(), SimTime::from_secs(1.25));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = BinWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes[..5]);
+        assert!(r.u64().unwrap_err().0.contains("truncated"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut w = BinWriter::new();
+        w.u32(1);
+        w.u8(9);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        r.u32().unwrap();
+        assert!(r.finish().unwrap_err().0.contains("trailing"));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_rejected_without_allocating() {
+        let mut w = BinWriter::new();
+        w.vec_f32(&[1.0, 2.0]);
+        let mut bytes = w.into_bytes();
+        bytes[0] = 0xFF; // explode the element count
+        let mut r = BinReader::new(&bytes);
+        assert!(r.vec_f32().unwrap_err().0.contains("implausible"));
+    }
+
+    #[test]
+    fn rng_roundtrip_continues_stream() {
+        let mut rng = stream_rng(3, 14);
+        for _ in 0..9 {
+            let _ = rng.gen::<u64>();
+        }
+        let mut w = BinWriter::new();
+        w.rng(&rng);
+        let bytes = w.into_bytes();
+        let mut restored = BinReader::new(&bytes).rng().unwrap();
+        let a: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+        let b: Vec<u64> = (0..8).map(|_| restored.gen()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rngs_and_vecs_roundtrip() {
+        let rngs: Vec<SimRng> = (0..4).map(|k| SimRng::seed_from_u64(k)).collect();
+        let mut w = BinWriter::new();
+        w.rngs(&rngs);
+        w.vec_f32(&[1.5, f32::INFINITY, -7.25]);
+        w.vec_u64(&[3, 1, 4, 1, 5]);
+        w.f64_pairs(&[(0.0, 0.5), (10.0, 0.75)]);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        assert_eq!(r.rngs().unwrap(), rngs);
+        let v = r.vec_f32().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 1.5);
+        assert_eq!(v[1], f32::INFINITY);
+        assert_eq!(r.vec_u64().unwrap(), vec![3, 1, 4, 1, 5]);
+        assert_eq!(r.f64_pairs().unwrap(), vec![(0.0, 0.5), (10.0, 0.75)]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_trace_event_roundtrips() {
+        let mut log = TraceLog::new();
+        let t = SimTime::from_secs(2.0);
+        let events = vec![
+            TraceEvent::ClientStart { id: 1, round: 2 },
+            TraceEvent::Upload { id: 3, born_round: 1, epochs: 5 },
+            TraceEvent::Notify { id: 4 },
+            TraceEvent::Drop { id: 5, staleness: 9 },
+            TraceEvent::Aggregate { round: 3, num_updates: 4 },
+            TraceEvent::Eval { round: 3, accuracy: 0.625 },
+            TraceEvent::Crash { id: 6 },
+            TraceEvent::UploadFailed { id: 7, attempt: 0 },
+            TraceEvent::Retry { id: 7, attempt: 1 },
+            TraceEvent::Timeout { id: 8 },
+            TraceEvent::Quarantine { id: 8 },
+            TraceEvent::Rejected { id: 9, cause: RejectCause::NormExploded },
+            TraceEvent::Terminated { reason: TerminationReason::ServerCrash, buffered: 2 },
+        ];
+        for e in &events {
+            log.push(t, e.clone());
+        }
+        let mut w = BinWriter::new();
+        w.trace(&log);
+        let bytes = w.into_bytes();
+        let mut r = BinReader::new(&bytes);
+        let back = r.trace().unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.entries(), log.entries());
+        assert_eq!(back.digest(), log.digest());
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let mut w = BinWriter::new();
+        w.usize(1);
+        w.f64(1.0); // time
+        w.u8(99); // bogus event tag
+        let bytes = w.into_bytes();
+        assert!(BinReader::new(&bytes).trace().unwrap_err().0.contains("invalid TraceEvent tag"));
+    }
+}

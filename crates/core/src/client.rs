@@ -1,9 +1,9 @@
 //! Client-side local training (Algorithm 1's `ClientUpdate`, plus the
 //! per-epoch snapshots SEAFL²'s partial uploads need).
 
-use rand::rngs::StdRng;
 use seafl_data::ImageDataset;
 use seafl_nn::{Model, Sgd};
+use seafl_sim::SimRng;
 
 /// Result of one local training session.
 pub struct TrainOutcome {
@@ -117,7 +117,7 @@ impl LocalTrainer {
         global: &[f32],
         data: &ImageDataset,
         epochs: usize,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
         keep_snapshots: bool,
     ) -> TrainOutcome {
         assert!(epochs >= 1, "train: zero epochs");
@@ -181,7 +181,7 @@ mod tests {
     fn training_changes_weights_and_reduces_loss() {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let out = t.train(&global, &data, 4, &mut rng, false);
         assert_eq!(out.snapshots.len(), 1);
         assert_eq!(out.epoch_losses.len(), 4);
@@ -197,7 +197,7 @@ mod tests {
     fn snapshots_kept_when_requested() {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let out = t.train(&global, &data, 3, &mut rng, true);
         assert_eq!(out.snapshots.len(), 3);
         // Successive epochs move the weights.
@@ -209,8 +209,8 @@ mod tests {
     fn deterministic_given_rng_state() {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let a = t.train(&global, &data, 2, &mut StdRng::seed_from_u64(5), false);
-        let b = t.train(&global, &data, 2, &mut StdRng::seed_from_u64(5), false);
+        let a = t.train(&global, &data, 2, &mut SimRng::seed_from_u64(5), false);
+        let b = t.train(&global, &data, 2, &mut SimRng::seed_from_u64(5), false);
         assert_eq!(a.final_state(), b.final_state());
     }
 
@@ -222,11 +222,11 @@ mod tests {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
         let b_alone =
-            t.train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false).final_state().to_vec();
+            t.train(&global, &data, 2, &mut SimRng::seed_from_u64(9), false).final_state().to_vec();
         // Interleave an unrelated session.
-        t.train(&global, &data, 3, &mut StdRng::seed_from_u64(77), false);
+        t.train(&global, &data, 3, &mut SimRng::seed_from_u64(77), false);
         let b_after =
-            t.train(&global, &data, 2, &mut StdRng::seed_from_u64(9), false).final_state().to_vec();
+            t.train(&global, &data, 2, &mut SimRng::seed_from_u64(9), false).final_state().to_vec();
         assert_eq!(b_alone, b_after);
     }
 
@@ -239,11 +239,11 @@ mod tests {
         let global = plain.model_mut().params_flat();
 
         let d_plain = {
-            let out = plain.train(&global, &task.train, 4, &mut StdRng::seed_from_u64(3), false);
+            let out = plain.train(&global, &task.train, 4, &mut SimRng::seed_from_u64(3), false);
             seafl_tensor::l2_distance_sq(out.final_state(), &global)
         };
         let d_prox = {
-            let out = prox.train(&global, &task.train, 4, &mut StdRng::seed_from_u64(3), false);
+            let out = prox.train(&global, &task.train, 4, &mut SimRng::seed_from_u64(3), false);
             seafl_tensor::l2_distance_sq(out.final_state(), &global)
         };
         assert!(d_prox < d_plain * 0.9, "prox did not constrain drift: {d_prox} vs {d_plain}");
@@ -253,7 +253,7 @@ mod tests {
     fn prox_zero_is_identity() {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let a = t.train(&global, &data, 2, &mut StdRng::seed_from_u64(4), false);
+        let a = t.train(&global, &data, 2, &mut SimRng::seed_from_u64(4), false);
         let mut t2 = LocalTrainer::new(
             ModelKind::Mlp { in_features: 28 * 28, hidden: 32, num_classes: 10 }.build(0),
             0.05,
@@ -261,7 +261,7 @@ mod tests {
             16,
         )
         .with_prox(0.0);
-        let b = t2.train(&global, &data, 2, &mut StdRng::seed_from_u64(4), false);
+        let b = t2.train(&global, &data, 2, &mut SimRng::seed_from_u64(4), false);
         assert_eq!(a.final_state(), b.final_state());
     }
 
@@ -270,7 +270,7 @@ mod tests {
     fn partial_state_requires_snapshots() {
         let (mut t, data) = setup();
         let global = t.model_mut().params_flat();
-        let out = t.train(&global, &data, 3, &mut StdRng::seed_from_u64(0), false);
+        let out = t.train(&global, &data, 3, &mut SimRng::seed_from_u64(0), false);
         out.state_after(2);
     }
 

@@ -289,6 +289,18 @@ pub struct ExperimentConfig {
     /// Server/client fault tolerance (session timeouts, upload retry with
     /// backoff, update sanitization).
     pub resilience: ResilienceConfig,
+    /// Write a durable checkpoint every this many aggregation rounds
+    /// (requires `checkpoint_dir`). `None` with a directory set means every
+    /// round. Checkpoint writes are pure I/O — they never touch simulation
+    /// state, so a checkpointed run is bit-identical to an unchecked one.
+    pub checkpoint_every: Option<u64>,
+    /// Directory for durable server snapshots; `None` (the default)
+    /// disables checkpointing entirely.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// How many most-recent checkpoints to retain (older ones are pruned
+    /// after each successful write). Keeping ≥ 2 lets resume fall back to
+    /// the previous snapshot if the newest one is torn or corrupted.
+    pub keep_last: usize,
 }
 
 impl ExperimentConfig {
@@ -327,7 +339,26 @@ impl ExperimentConfig {
             threads: 0,
             faults: FaultConfig::none(),
             resilience: ResilienceConfig::default(),
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            keep_last: 2,
         }
+    }
+
+    /// Stable fingerprint of everything that determines the *simulation
+    /// state trajectory* of a run. Execution-only knobs — `threads` (the
+    /// executor is bitwise thread-count-independent) and the checkpoint
+    /// knobs themselves — are normalized out, so a checkpoint written by a
+    /// `threads = 1` run resumes cleanly under `threads = 4`, while any
+    /// drift in seed, data, fleet, algorithm or fault model is rejected at
+    /// load time.
+    pub fn state_hash(&self) -> u64 {
+        let mut c = self.clone();
+        c.threads = 0;
+        c.checkpoint_every = None;
+        c.checkpoint_dir = None;
+        c.keep_last = 0;
+        seafl_sim::digest::fnv1a64(format!("{c:?}").as_bytes())
     }
 
     /// Sanity-check invariants before running.
@@ -359,6 +390,10 @@ impl ExperimentConfig {
         }
         assert!(self.max_sim_time > 0.0, "config: non-positive time limit");
         assert!(self.eval_every >= 1, "config: eval_every must be >= 1");
+        if let Some(every) = self.checkpoint_every {
+            assert!(every >= 1, "config: checkpoint_every must be >= 1");
+        }
+        assert!(self.keep_last >= 1, "config: keep_last must be >= 1");
         self.faults.validate();
         self.resilience.validate();
         assert!(
@@ -476,6 +511,48 @@ mod tests {
         assert!(cfg.resilience.session_timeout.is_none());
         assert!(cfg.resilience.reject_non_finite);
         assert!(cfg.resilience.max_update_norm_ratio.is_none());
+        cfg.validate();
+    }
+
+    #[test]
+    fn state_hash_ignores_execution_knobs_only() {
+        let base = ExperimentConfig::quick(1, Algorithm::seafl(10, 5, Some(10)));
+        let h = base.state_hash();
+
+        // Execution details: hash must NOT move.
+        let mut c = base.clone();
+        c.threads = 8;
+        assert_eq!(c.state_hash(), h, "threads changed the state hash");
+        c.checkpoint_every = Some(3);
+        c.checkpoint_dir = Some(std::path::PathBuf::from("/tmp/x"));
+        c.keep_last = 7;
+        assert_eq!(c.state_hash(), h, "checkpoint knobs changed the state hash");
+
+        // State-relevant drift: hash MUST move.
+        let mut c = base.clone();
+        c.seed = 2;
+        assert_ne!(c.state_hash(), h, "seed drift not detected");
+        let mut c = base.clone();
+        c.lr = 0.05;
+        assert_ne!(c.state_hash(), h, "lr drift not detected");
+        let mut c = base.clone();
+        c.faults.crash_prob = 0.1;
+        assert_ne!(c.state_hash(), h, "fault-model drift not detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every must be >= 1")]
+    fn zero_checkpoint_interval_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.checkpoint_every = Some(0);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_last must be >= 1")]
+    fn zero_keep_last_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.keep_last = 0;
         cfg.validate();
     }
 

@@ -6,10 +6,12 @@ pub mod setup;
 pub mod sync;
 
 use crate::aggregator::{FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
+use crate::checkpoint::{CheckpointError, CheckpointStore, ENGINE_SEMI_ASYNC, ENGINE_SYNC};
 use crate::config::{Algorithm, ExperimentConfig, StalenessPolicy};
 use crate::metrics;
 use seafl_sim::{TerminationReason, TraceLog};
 use serde::Serialize;
+use std::path::Path;
 
 /// Everything a finished run reports.
 #[derive(Debug, Serialize)]
@@ -47,6 +49,11 @@ pub struct RunResult {
     /// Upload events ignored because a newer generation superseded them
     /// (notification reschedules and retries).
     pub superseded_uploads: usize,
+    /// FNV-1a 64 digest over the final global model's weight bits. Two runs
+    /// with equal digests ended on the bit-identical model — the compact
+    /// fingerprint the resume guarantee and the CI kill-and-resume job
+    /// compare.
+    pub model_digest: u64,
     /// Simulated time at termination, seconds.
     pub sim_time_end: f64,
     /// Full event trace.
@@ -72,14 +79,25 @@ impl RunResult {
     }
 }
 
-/// Run one experiment end to end: synthesize data, partition, build the
-/// fleet and model, then drive the configured algorithm to termination.
-pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
-    cfg.validate();
-    let mut env = setup::Environment::build(cfg);
-
+/// The checkpoint engine tag for a config's algorithm.
+fn engine_tag(cfg: &ExperimentConfig) -> u8 {
     match cfg.algorithm {
-        Algorithm::FedAvg { clients_per_round } => sync::run_sync(cfg, &mut env, clients_per_round),
+        Algorithm::FedAvg { .. } => ENGINE_SYNC,
+        _ => ENGINE_SEMI_ASYNC,
+    }
+}
+
+/// Drive the configured algorithm over a built environment, optionally
+/// resuming from a checkpoint payload.
+fn dispatch(
+    cfg: &ExperimentConfig,
+    env: &mut setup::Environment,
+    resume: Option<&[u8]>,
+) -> Result<RunResult, CheckpointError> {
+    match cfg.algorithm {
+        Algorithm::FedAvg { clients_per_round } => {
+            sync::drive_sync(cfg, env, clients_per_round, resume)
+        }
         Algorithm::FedAsync { concurrency, mixing_alpha, poly_a } => {
             let params = semi_async::Params {
                 concurrency,
@@ -89,7 +107,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
                 aggregator: Box::new(FedAsyncAggregator { mixing_alpha, poly_a }),
                 name: "fedasync",
             };
-            semi_async::run_semi_async(cfg, &mut env, params)
+            semi_async::drive(cfg, env, params, resume)
         }
         Algorithm::FedBuff { concurrency, buffer_k, theta } => {
             let params = semi_async::Params {
@@ -100,7 +118,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
                 aggregator: Box::new(FedBuffAggregator { theta }),
                 name: "fedbuff",
             };
-            semi_async::run_semi_async(cfg, &mut env, params)
+            semi_async::drive(cfg, env, params, resume)
         }
         Algorithm::Seafl { concurrency, buffer_k, alpha, mu, beta, theta, policy, importance } => {
             let params = semi_async::Params {
@@ -115,7 +133,34 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
                     _ => "seafl",
                 },
             };
-            semi_async::run_semi_async(cfg, &mut env, params)
+            semi_async::drive(cfg, env, params, resume)
         }
     }
+}
+
+/// Run one experiment end to end: synthesize data, partition, build the
+/// fleet and model, then drive the configured algorithm to termination.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
+    cfg.validate();
+    let mut env = setup::Environment::build(cfg);
+    dispatch(cfg, &mut env, None).unwrap_or_else(|e| panic!("run_experiment: {e}"))
+}
+
+/// Resume a crashed (or interrupted) run from the newest valid snapshot in
+/// `dir`, continuing checkpointing into the same directory.
+///
+/// The config must be the crashed run's config (the snapshot's embedded
+/// config hash is verified — state from a different experiment is rejected,
+/// never silently restored). Execution knobs excluded from the hash
+/// (`threads`, the checkpoint knobs themselves) may differ. The resumed run
+/// finishes with the event trace and final model of an uninterrupted run of
+/// the same config without its server-crash fault, bit for bit.
+pub fn resume_experiment(cfg: &ExperimentConfig, dir: &Path) -> Result<RunResult, CheckpointError> {
+    let mut cfg = cfg.clone();
+    cfg.checkpoint_dir = Some(dir.to_path_buf());
+    cfg.validate();
+    let store = CheckpointStore::new(dir, cfg.keep_last)?;
+    let (_round, payload) = store.load_latest(engine_tag(&cfg), cfg.state_hash())?;
+    let mut env = setup::Environment::build(&cfg);
+    dispatch(&cfg, &mut env, Some(&payload))
 }

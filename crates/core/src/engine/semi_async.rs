@@ -61,6 +61,9 @@
 //! idle pool (documented in DESIGN.md §2).
 
 use crate::buffer::UpdateBuffer;
+use crate::checkpoint::{
+    BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_SEMI_ASYNC,
+};
 use crate::client::TrainOutcome;
 use crate::config::{ExperimentConfig, StalenessPolicy};
 use crate::engine::setup::Environment;
@@ -70,7 +73,10 @@ use crate::sanitize;
 use crate::update::ModelUpdate;
 use crate::Aggregator;
 use seafl_sim::rng::{stream_rng, streams};
-use seafl_sim::{EventQueue, FaultPlan, SimTime, TerminationReason, TraceEvent, TraceLog};
+use seafl_sim::{
+    EventQueue, EventQueueSnapshot, FaultPlan, SimRng, SimTime, TerminationReason, TraceEvent,
+    TraceLog,
+};
 
 /// Engine parameters distilled from [`crate::Algorithm`].
 pub struct Params {
@@ -130,46 +136,56 @@ enum ClientPhase {
 
 /// Run the semi-asynchronous protocol to termination.
 pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Params) -> RunResult {
-    let mut st = State {
-        global: env.initial_global.clone(),
-        round: 0,
-        queue: EventQueue::new(),
-        buffer: UpdateBuffer::new(),
-        sessions: (0..cfg.num_clients).map(|_| None).collect(),
-        phase: vec![ClientPhase::Idle; cfg.num_clients],
-        next_generation: vec![0; cfg.num_clients],
-        next_session_seq: vec![0; cfg.num_clients],
-        consecutive_timeouts: vec![0; cfg.num_clients],
-        crash_scheduled: vec![false; cfg.num_clients],
-        plan: FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed),
-        sel_rng: stream_rng(cfg.seed, streams::SELECTION),
-        trace: TraceLog::new(),
-        accuracy: Vec::new(),
-        grad_norms: Vec::new(),
-        total_updates: 0,
-        partial_updates: 0,
-        dropped_updates: 0,
-        crashes: 0,
-        upload_failures: 0,
-        retries: 0,
-        timeouts: 0,
-        quarantined: 0,
-        rejected_updates: 0,
-        superseded_uploads: 0,
-        params,
+    drive(cfg, env, params, None).unwrap_or_else(|e| panic!("semi-async engine: {e}"))
+}
+
+/// Run the protocol, optionally resuming from a decoded checkpoint payload,
+/// writing periodic snapshots when the config enables them.
+///
+/// Snapshots are taken at round boundaries, immediately after an
+/// aggregation: the buffer was just drained or left in a well-defined state,
+/// every in-flight session's training outcome is precomputed, and the only
+/// live state is the enumerable set captured by [`State::encode`]. A run
+/// resumed from such a snapshot replays the exact remaining event sequence
+/// of an uninterrupted run (`tests/checkpoint_resume.rs` pins this
+/// bit-identically for every algorithm).
+pub(crate) fn drive(
+    cfg: &ExperimentConfig,
+    env: &mut Environment,
+    params: Params,
+    resume: Option<&[u8]>,
+) -> Result<RunResult, CheckpointError> {
+    let store = CheckpointStore::from_cfg(cfg)?;
+    let resuming = resume.is_some();
+    let mut st = match resume {
+        Some(payload) => State::decode(cfg, env, params, payload)?,
+        None => State::fresh(cfg, env, params),
     };
+    // The server-crash fault models the original process dying; a resumed
+    // run is a restarted server, so `decode` cleared its crash round.
+    let crash_round = st.plan.server_crash_round();
 
-    // Baseline evaluation at t = 0.
-    let acc0 = env.evaluate(&st.global);
-    st.accuracy.push((0.0, acc0));
-    st.trace.push(SimTime::ZERO, TraceEvent::Eval { round: 0, accuracy: acc0 });
+    if !resuming {
+        // Baseline evaluation at t = 0.
+        let acc0 = env.evaluate(&st.global);
+        st.accuracy.push((0.0, acc0));
+        st.trace.push(SimTime::ZERO, TraceEvent::Eval { round: 0, accuracy: acc0 });
 
-    // Kick off the initial cohort.
-    st.refill(cfg, env, SimTime::ZERO);
+        // Kick off the initial cohort.
+        st.refill(cfg, env, SimTime::ZERO);
+    }
+
+    let every = cfg.checkpoint_every.unwrap_or(1);
+    let config_hash = cfg.state_hash();
+    let mut last_saved = st.round;
 
     let mut reached_target = false;
     let mut termination = None;
     while let Some((now, ev)) = st.queue.pop() {
+        if crash_round.is_some_and(|cr| st.round >= cr) {
+            termination = Some(TerminationReason::ServerCrash);
+            break;
+        }
         if now.as_secs() > cfg.max_sim_time {
             termination = Some(TerminationReason::MaxSimTime);
             break;
@@ -195,6 +211,16 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
             }
         }
         reached_target = st.try_aggregate(cfg, env, now);
+        // Round-boundary snapshot. Never taken in the reached-target state:
+        // that flag is not part of the snapshot (the next pop terminates the
+        // run), so persisting such a round would let a resume run past the
+        // point where the original stopped.
+        if let Some(store) = &store {
+            if !reached_target && st.round > last_saved && st.round.is_multiple_of(every) {
+                store.save(ENGINE_SEMI_ASYNC, config_hash, st.round, &st.encode(env))?;
+                last_saved = st.round;
+            }
+        }
     }
     let termination = termination.unwrap_or(if reached_target {
         TerminationReason::TargetAccuracy
@@ -209,7 +235,7 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
 
     let end = st.queue.now();
     st.trace.push(end, TraceEvent::Terminated { reason: termination, buffered: st.buffer.len() });
-    RunResult {
+    Ok(RunResult {
         algorithm: st.params.name,
         accuracy: st.accuracy,
         grad_norms: st.grad_norms,
@@ -226,9 +252,10 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
         quarantined: st.quarantined,
         rejected_updates: st.rejected_updates,
         superseded_uploads: st.superseded_uploads,
+        model_digest: seafl_sim::digest::digest_f32(&st.global),
         sim_time_end: end.as_secs(),
         trace: st.trace,
-    }
+    })
 }
 
 struct State {
@@ -250,7 +277,7 @@ struct State {
     /// Whether a client's crash instant has been put on the clock already.
     crash_scheduled: Vec<bool>,
     plan: FaultPlan,
-    sel_rng: rand::rngs::StdRng,
+    sel_rng: SimRng,
     trace: TraceLog,
     accuracy: Vec<(f64, f64)>,
     grad_norms: Vec<(f64, f64)>,
@@ -268,6 +295,327 @@ struct State {
 }
 
 impl State {
+    /// Engine state at the start of a fresh run.
+    fn fresh(cfg: &ExperimentConfig, env: &Environment, params: Params) -> Self {
+        State {
+            global: env.initial_global.clone(),
+            round: 0,
+            queue: EventQueue::new(),
+            buffer: UpdateBuffer::new(),
+            sessions: (0..cfg.num_clients).map(|_| None).collect(),
+            phase: vec![ClientPhase::Idle; cfg.num_clients],
+            next_generation: vec![0; cfg.num_clients],
+            next_session_seq: vec![0; cfg.num_clients],
+            consecutive_timeouts: vec![0; cfg.num_clients],
+            crash_scheduled: vec![false; cfg.num_clients],
+            plan: FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed),
+            sel_rng: stream_rng(cfg.seed, streams::SELECTION),
+            trace: TraceLog::new(),
+            accuracy: Vec::new(),
+            grad_norms: Vec::new(),
+            total_updates: 0,
+            partial_updates: 0,
+            dropped_updates: 0,
+            crashes: 0,
+            upload_failures: 0,
+            retries: 0,
+            timeouts: 0,
+            quarantined: 0,
+            rejected_updates: 0,
+            superseded_uploads: 0,
+            params,
+        }
+    }
+
+    /// Serialize the complete engine state (plus the environment's per-client
+    /// RNG streams, which advance during refills) into a checkpoint payload.
+    fn encode(&self, env: &Environment) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.vec_f32(&self.global);
+        w.u64(self.round);
+
+        // Virtual clock: frozen "now", next sequence number, pending events
+        // in canonical (sequence) order.
+        let snap = self.queue.snapshot();
+        w.sim_time(snap.last_popped);
+        w.u64(snap.next_seq);
+        w.usize(snap.entries.len());
+        for (t, seq, ev) in &snap.entries {
+            w.sim_time(*t);
+            w.u64(*seq);
+            match *ev {
+                Ev::Upload { client, generation, attempt } => {
+                    w.u8(0);
+                    w.usize(client);
+                    w.u64(generation);
+                    w.u32(attempt);
+                }
+                Ev::Timeout { client, session_seq } => {
+                    w.u8(1);
+                    w.usize(client);
+                    w.u64(session_seq);
+                }
+                Ev::Crash { client } => {
+                    w.u8(2);
+                    w.usize(client);
+                }
+            }
+        }
+
+        w.usize(self.buffer.len());
+        for u in self.buffer.updates() {
+            w.usize(u.client_id);
+            w.vec_f32(&u.params);
+            w.usize(u.num_samples);
+            w.u64(u.born_round);
+            w.usize(u.epochs_completed);
+            w.f32(u.train_loss);
+        }
+
+        w.usize(self.sessions.len());
+        for s in &self.sessions {
+            match s {
+                None => w.bool(false),
+                Some(s) => {
+                    w.bool(true);
+                    w.u64(s.born_round);
+                    w.u64(s.seq);
+                    w.u64(s.generation);
+                    w.usize(s.epoch_ends.len());
+                    for &t in &s.epoch_ends {
+                        w.sim_time(t);
+                    }
+                    w.usize(s.outcome.snapshots.len());
+                    for snap in &s.outcome.snapshots {
+                        w.vec_f32(snap);
+                    }
+                    w.vec_f32(&s.outcome.epoch_losses);
+                    w.usize(s.scheduled_epochs);
+                    w.bool(s.notified);
+                }
+            }
+        }
+
+        for &p in &self.phase {
+            w.u8(match p {
+                ClientPhase::Idle => 0,
+                ClientPhase::Training => 1,
+                ClientPhase::Buffered => 2,
+                ClientPhase::Quarantined => 3,
+            });
+        }
+        w.vec_u64(&self.next_generation);
+        w.vec_u64(&self.next_session_seq);
+        w.usize(self.consecutive_timeouts.len());
+        for &c in &self.consecutive_timeouts {
+            w.u32(c);
+        }
+        w.usize(self.crash_scheduled.len());
+        for &b in &self.crash_scheduled {
+            w.bool(b);
+        }
+        w.vec_u64(self.plan.attempt_counters());
+        w.rng(&self.sel_rng);
+        w.trace(&self.trace);
+        w.f64_pairs(&self.accuracy);
+        w.f64_pairs(&self.grad_norms);
+        for c in [
+            self.total_updates,
+            self.partial_updates,
+            self.dropped_updates,
+            self.crashes,
+            self.upload_failures,
+            self.retries,
+            self.timeouts,
+            self.quarantined,
+            self.rejected_updates,
+            self.superseded_uploads,
+        ] {
+            w.usize(c);
+        }
+        w.rngs(&env.client_rngs);
+        w.rngs(&env.idle_rngs);
+        w.into_bytes()
+    }
+
+    /// Rebuild engine state from a checkpoint payload, restoring the
+    /// environment's per-client RNG streams in place. Any structural
+    /// mismatch against the running config is a [`CheckpointError`] —
+    /// never a panic, never a partial restore.
+    fn decode(
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        params: Params,
+        payload: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let n = cfg.num_clients;
+        let bad = |msg: String| CheckpointError::Malformed(msg);
+        let mut r = BinReader::new(payload);
+
+        let global = r.vec_f32()?;
+        if global.len() != env.initial_global.len() {
+            return Err(bad(format!(
+                "global model has {} parameters, this experiment has {}",
+                global.len(),
+                env.initial_global.len()
+            )));
+        }
+        let round = r.u64()?;
+
+        let last_popped = r.sim_time()?;
+        let next_seq = r.u64()?;
+        let n_events = r.usize()?;
+        let mut entries = Vec::new();
+        for _ in 0..n_events {
+            let t = r.sim_time()?;
+            let seq = r.u64()?;
+            let ev = match r.u8()? {
+                0 => Ev::Upload { client: r.usize()?, generation: r.u64()?, attempt: r.u32()? },
+                1 => Ev::Timeout { client: r.usize()?, session_seq: r.u64()? },
+                2 => Ev::Crash { client: r.usize()? },
+                b => return Err(bad(format!("invalid clock event tag {b}"))),
+            };
+            entries.push((t, seq, ev));
+        }
+        let queue =
+            EventQueue::from_snapshot(EventQueueSnapshot { entries, next_seq, last_popped });
+
+        let n_buf = r.usize()?;
+        let mut buffer = UpdateBuffer::new();
+        for _ in 0..n_buf {
+            buffer.push(ModelUpdate {
+                client_id: r.usize()?,
+                params: r.vec_f32()?,
+                num_samples: r.usize()?,
+                born_round: r.u64()?,
+                epochs_completed: r.usize()?,
+                train_loss: r.f32()?,
+            });
+        }
+
+        let n_sessions = r.usize()?;
+        if n_sessions != n {
+            return Err(bad(format!("{n_sessions} session slots for {n} clients")));
+        }
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            sessions.push(if r.bool()? {
+                let born_round = r.u64()?;
+                let seq = r.u64()?;
+                let generation = r.u64()?;
+                let n_ends = r.usize()?;
+                let epoch_ends =
+                    (0..n_ends).map(|_| r.sim_time()).collect::<Result<Vec<_>, _>>()?;
+                let n_snaps = r.usize()?;
+                let snapshots = (0..n_snaps).map(|_| r.vec_f32()).collect::<Result<Vec<_>, _>>()?;
+                let epoch_losses = r.vec_f32()?;
+                Some(Session {
+                    born_round,
+                    seq,
+                    generation,
+                    epoch_ends,
+                    outcome: TrainOutcome { snapshots, epoch_losses },
+                    scheduled_epochs: r.usize()?,
+                    notified: r.bool()?,
+                })
+            } else {
+                None
+            });
+        }
+
+        let mut phase = Vec::with_capacity(n);
+        for _ in 0..n {
+            phase.push(match r.u8()? {
+                0 => ClientPhase::Idle,
+                1 => ClientPhase::Training,
+                2 => ClientPhase::Buffered,
+                3 => ClientPhase::Quarantined,
+                b => return Err(bad(format!("invalid client phase {b}"))),
+            });
+        }
+        let next_generation = r.vec_u64()?;
+        let next_session_seq = r.vec_u64()?;
+        let n_ct = r.usize()?;
+        let consecutive_timeouts = (0..n_ct).map(|_| r.u32()).collect::<Result<Vec<_>, _>>()?;
+        let n_cs = r.usize()?;
+        let crash_scheduled = (0..n_cs).map(|_| r.bool()).collect::<Result<Vec<_>, _>>()?;
+        let attempt_counters = r.vec_u64()?;
+        for (what, len) in [
+            ("next_generation", next_generation.len()),
+            ("next_session_seq", next_session_seq.len()),
+            ("consecutive_timeouts", consecutive_timeouts.len()),
+            ("crash_scheduled", crash_scheduled.len()),
+            ("attempt_counters", attempt_counters.len()),
+        ] {
+            if len != n {
+                return Err(bad(format!("{what} has {len} entries for {n} clients")));
+            }
+        }
+        // Rebuild the deterministic fault plan from the config, then overlay
+        // the dynamic parts: the restarted server never re-crashes, and the
+        // per-device upload-loss streams continue where the original
+        // process left off.
+        let mut plan = FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed);
+        plan.clear_server_crash();
+        plan.restore_attempt_counters(attempt_counters);
+
+        let sel_rng = r.rng()?;
+        let trace = r.trace()?;
+        let accuracy = r.f64_pairs()?;
+        let grad_norms = r.f64_pairs()?;
+        let total_updates = r.usize()?;
+        let partial_updates = r.usize()?;
+        let dropped_updates = r.usize()?;
+        let crashes = r.usize()?;
+        let upload_failures = r.usize()?;
+        let retries = r.usize()?;
+        let timeouts = r.usize()?;
+        let quarantined = r.usize()?;
+        let rejected_updates = r.usize()?;
+        let superseded_uploads = r.usize()?;
+        let client_rngs = r.rngs()?;
+        let idle_rngs = r.rngs()?;
+        if client_rngs.len() != n || idle_rngs.len() != n {
+            return Err(bad(format!(
+                "{}/{} client/idle RNG streams for {n} clients",
+                client_rngs.len(),
+                idle_rngs.len()
+            )));
+        }
+        r.finish()?;
+
+        env.client_rngs = client_rngs;
+        env.idle_rngs = idle_rngs;
+        Ok(State {
+            global,
+            round,
+            queue,
+            buffer,
+            sessions,
+            phase,
+            next_generation,
+            next_session_seq,
+            consecutive_timeouts,
+            crash_scheduled,
+            plan,
+            sel_rng,
+            trace,
+            accuracy,
+            grad_norms,
+            total_updates,
+            partial_updates,
+            dropped_updates,
+            crashes,
+            upload_failures,
+            retries,
+            timeouts,
+            quarantined,
+            rejected_updates,
+            superseded_uploads,
+            params,
+        })
+    }
+
     /// Number of clients currently training.
     fn active(&self) -> usize {
         self.phase.iter().filter(|&&p| p == ClientPhase::Training).count()

@@ -3,14 +3,13 @@
 use crate::client::LocalTrainer;
 use crate::config::{ExperimentConfig, PartitionStrategy};
 use crate::pool::TrainerPool;
-use rand::rngs::StdRng;
 use rayon::prelude::*;
 use seafl_data::synthetic::{apply_feature_shift, sample_feature_shift};
 use seafl_data::{
     dirichlet_partition, iid_partition, quantity_skew_partition, shard_partition, ImageDataset,
 };
 use seafl_sim::rng::{stream_rng, streams};
-use seafl_sim::DeviceProfile;
+use seafl_sim::{DeviceProfile, SimRng};
 
 /// Largest evaluation minibatch (bounds peak activation memory).
 const EVAL_CHUNK: usize = 256;
@@ -30,10 +29,11 @@ pub struct Environment {
     pub initial_global: Vec<f32>,
     /// Serialized model size in bytes (network transfer model).
     pub model_bytes: usize,
-    /// Per-client batch-shuffle RNGs.
-    pub client_rngs: Vec<StdRng>,
-    /// Per-client idle-period RNGs.
-    pub idle_rngs: Vec<StdRng>,
+    /// Per-client batch-shuffle RNGs. Checkpointed: the engines snapshot and
+    /// restore these streams so resumed runs replay bit-identically.
+    pub client_rngs: Vec<SimRng>,
+    /// Per-client idle-period RNGs. Checkpointed alongside `client_rngs`.
+    pub idle_rngs: Vec<SimRng>,
     /// Probe size for gradient-norm measurements: the first `probe_len`
     /// test samples, materialized on demand via `batch_range` instead of
     /// keeping (and cloning) a resident tensor.
@@ -162,12 +162,12 @@ impl Environment {
     }
 }
 
-// Small extension trait to pull a u64 out of an StdRng without importing
+// Small extension trait to pull a u64 out of a SimRng without importing
 // rand::Rng at every call site.
 trait NextU64 {
     fn next_u64(&mut self) -> u64;
 }
-impl NextU64 for StdRng {
+impl NextU64 for SimRng {
     fn next_u64(&mut self) -> u64 {
         rand::RngCore::next_u64(self)
     }

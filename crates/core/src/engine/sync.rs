@@ -1,6 +1,7 @@
 //! The synchronous engine (FedAvg, Eq. 3): sample, wait for all, average.
 
 use crate::aggregator::{Aggregator, FedAvgAggregator};
+use crate::checkpoint::{BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_SYNC};
 use crate::config::ExperimentConfig;
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
@@ -8,7 +9,7 @@ use crate::pool::TrainJob;
 use crate::update::ModelUpdate;
 use rand::seq::SliceRandom;
 use seafl_sim::rng::{stream_rng, streams};
-use seafl_sim::{SimTime, TerminationReason, TraceEvent, TraceLog};
+use seafl_sim::{FaultPlan, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog};
 
 /// Run synchronous FedAvg with `clients_per_round` devices per round.
 ///
@@ -20,37 +21,165 @@ pub fn run_sync(
     env: &mut Environment,
     clients_per_round: usize,
 ) -> RunResult {
-    let mut sel_rng = stream_rng(cfg.seed, streams::SELECTION);
-    let mut global = env.initial_global.clone();
-    let mut agg = FedAvgAggregator;
-    let mut trace = TraceLog::new();
-    let mut accuracy = Vec::new();
-    let mut grad_norms = Vec::new();
-    let mut now = SimTime::ZERO;
-    let mut total_updates = 0usize;
-    let mut rejected_updates = 0usize;
-    let mut reached_target = false;
+    drive_sync(cfg, env, clients_per_round, None).unwrap_or_else(|e| panic!("sync engine: {e}"))
+}
 
-    let acc0 = env.evaluate(&global);
-    accuracy.push((0.0, acc0));
-    trace.push(now, TraceEvent::Eval { round: 0, accuracy: acc0 });
+/// The sync engine's mutable state between rounds — exactly what a
+/// checkpoint must capture for a resumed run to replay bit-identically.
+struct SyncState {
+    global: Vec<f32>,
+    round: u64,
+    now: SimTime,
+    sel_rng: SimRng,
+    trace: TraceLog,
+    accuracy: Vec<(f64, f64)>,
+    grad_norms: Vec<(f64, f64)>,
+    total_updates: usize,
+    rejected_updates: usize,
+}
+
+impl SyncState {
+    fn fresh(cfg: &ExperimentConfig, env: &Environment) -> Self {
+        SyncState {
+            global: env.initial_global.clone(),
+            round: 0,
+            now: SimTime::ZERO,
+            sel_rng: stream_rng(cfg.seed, streams::SELECTION),
+            trace: TraceLog::new(),
+            accuracy: Vec::new(),
+            grad_norms: Vec::new(),
+            total_updates: 0,
+            rejected_updates: 0,
+        }
+    }
+
+    /// Serialize state plus the environment's per-client RNG streams (the
+    /// idle-time and batch-shuffle draws advance every round).
+    fn encode(&self, env: &Environment) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        w.vec_f32(&self.global);
+        w.u64(self.round);
+        w.sim_time(self.now);
+        w.rng(&self.sel_rng);
+        w.trace(&self.trace);
+        w.f64_pairs(&self.accuracy);
+        w.f64_pairs(&self.grad_norms);
+        w.usize(self.total_updates);
+        w.usize(self.rejected_updates);
+        w.rngs(&env.client_rngs);
+        w.rngs(&env.idle_rngs);
+        w.into_bytes()
+    }
+
+    /// Rebuild state from a checkpoint payload, restoring the environment's
+    /// RNG streams in place. Structural mismatches error — never panic,
+    /// never a partial restore.
+    fn decode(
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        payload: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let bad = |msg: String| CheckpointError::Malformed(msg);
+        let mut r = BinReader::new(payload);
+        let global = r.vec_f32()?;
+        if global.len() != env.initial_global.len() {
+            return Err(bad(format!(
+                "global model has {} parameters, this experiment has {}",
+                global.len(),
+                env.initial_global.len()
+            )));
+        }
+        let round = r.u64()?;
+        let now = r.sim_time()?;
+        let sel_rng = r.rng()?;
+        let trace = r.trace()?;
+        let accuracy = r.f64_pairs()?;
+        let grad_norms = r.f64_pairs()?;
+        let total_updates = r.usize()?;
+        let rejected_updates = r.usize()?;
+        let client_rngs = r.rngs()?;
+        let idle_rngs = r.rngs()?;
+        if client_rngs.len() != cfg.num_clients || idle_rngs.len() != cfg.num_clients {
+            return Err(bad(format!(
+                "{}/{} client/idle RNG streams for {} clients",
+                client_rngs.len(),
+                idle_rngs.len(),
+                cfg.num_clients
+            )));
+        }
+        r.finish()?;
+        env.client_rngs = client_rngs;
+        env.idle_rngs = idle_rngs;
+        Ok(SyncState {
+            global,
+            round,
+            now,
+            sel_rng,
+            trace,
+            accuracy,
+            grad_norms,
+            total_updates,
+            rejected_updates,
+        })
+    }
+}
+
+/// Run FedAvg, optionally resuming from a decoded checkpoint payload,
+/// writing round-boundary snapshots when the config enables them.
+pub(crate) fn drive_sync(
+    cfg: &ExperimentConfig,
+    env: &mut Environment,
+    clients_per_round: usize,
+    resume: Option<&[u8]>,
+) -> Result<RunResult, CheckpointError> {
+    let store = CheckpointStore::from_cfg(cfg)?;
+    let resuming = resume.is_some();
+    let mut st = match resume {
+        Some(payload) => SyncState::decode(cfg, env, payload)?,
+        None => SyncState::fresh(cfg, env),
+    };
+    // The sync engine consults the fault plan only for its server-crash
+    // round (device faults model protocol behaviours FedAvg's lockstep
+    // rounds don't exhibit). A resumed run is a restarted server and never
+    // re-crashes.
+    let crash_round = if resuming {
+        None
+    } else {
+        FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed).server_crash_round()
+    };
+    let mut agg = FedAvgAggregator;
+    let mut reached_target = false;
+    let mut crashed = false;
+
+    if !resuming {
+        let acc0 = env.evaluate(&st.global);
+        st.accuracy.push((0.0, acc0));
+        st.trace.push(st.now, TraceEvent::Eval { round: 0, accuracy: acc0 });
+    }
+
+    let every = cfg.checkpoint_every.unwrap_or(1);
+    let config_hash = cfg.state_hash();
+    let mut last_saved = st.round;
 
     let all_ids: Vec<usize> = (0..cfg.num_clients).collect();
-    let mut round: u64 = 0;
 
-    while round < cfg.max_rounds && now.as_secs() < cfg.max_sim_time {
+    while st.round < cfg.max_rounds && st.now.as_secs() < cfg.max_sim_time {
+        if crash_round.is_some_and(|cr| st.round >= cr) {
+            crashed = true;
+            break;
+        }
         // Uniform keeps the historical `choose_multiple` draw so recorded
         // FedAvg schedules stay bit-reproducible across versions.
         let selected: Vec<usize> = match cfg.selection {
             crate::SelectionPolicy::Uniform => {
-                all_ids.choose_multiple(&mut sel_rng, clients_per_round).copied().collect()
+                all_ids.choose_multiple(&mut st.sel_rng, clients_per_round).copied().collect()
             }
             policy => crate::selection::select_clients(
                 policy,
                 &all_ids,
                 &env.fleet,
                 clients_per_round,
-                &mut sel_rng,
+                &mut st.sel_rng,
             ),
         };
 
@@ -62,7 +191,7 @@ pub fn run_sync(
         let mut jobs = Vec::with_capacity(selected.len());
         let mut round_duration = 0.0f64;
         for &k in &selected {
-            trace.push(now, TraceEvent::ClientStart { id: k, round });
+            st.trace.push(st.now, TraceEvent::ClientStart { id: k, round: st.round });
             let device = &env.fleet[k];
             let data = &env.client_data[k];
             let batches = env.pool.batches_per_epoch(data.len());
@@ -86,7 +215,7 @@ pub fn run_sync(
 
         // Pass 2: train the whole cohort through the pool (bitwise equal to
         // the sequential loop — see `pool` module docs).
-        let outcomes = env.pool.train_cohort(&global, jobs);
+        let outcomes = env.pool.train_cohort(&st.global, jobs);
         let mut updates = Vec::with_capacity(selected.len());
         for (&k, (outcome, rng)) in selected.iter().zip(outcomes) {
             env.client_rngs[k] = rng;
@@ -94,42 +223,47 @@ pub fn run_sync(
                 client_id: k,
                 params: outcome.final_state().to_vec(),
                 num_samples: env.client_data[k].len(),
-                born_round: round,
+                born_round: st.round,
                 epochs_completed: cfg.local_epochs,
                 train_loss: outcome.mean_loss(),
             });
         }
-        total_updates += updates.len();
+        st.total_updates += updates.len();
 
-        now += round_duration;
+        st.now += round_duration;
         for u in &updates {
-            trace.push(
-                now,
-                TraceEvent::Upload { id: u.client_id, born_round: round, epochs: cfg.local_epochs },
+            st.trace.push(
+                st.now,
+                TraceEvent::Upload {
+                    id: u.client_id,
+                    born_round: st.round,
+                    epochs: cfg.local_epochs,
+                },
             );
         }
         // Same server hygiene as the async engines: drop numerically broken
         // updates before they can poison the average.
         let (updates, rejected) =
-            crate::sanitize::sanitize_updates(updates, &global, &cfg.resilience);
+            crate::sanitize::sanitize_updates(updates, &st.global, &cfg.resilience);
         for (id, cause) in rejected {
-            rejected_updates += 1;
-            trace.push(now, TraceEvent::Rejected { id, cause });
+            st.rejected_updates += 1;
+            st.trace.push(st.now, TraceEvent::Rejected { id, cause });
         }
         if updates.is_empty() {
             // The whole cohort was rejected; time has advanced, try again.
             continue;
         }
-        global = agg.aggregate(&global, &updates, round);
-        round += 1;
-        trace.push(now, TraceEvent::Aggregate { round, num_updates: updates.len() });
+        st.global = agg.aggregate(&st.global, &updates, st.round);
+        st.round += 1;
+        st.trace
+            .push(st.now, TraceEvent::Aggregate { round: st.round, num_updates: updates.len() });
 
-        if round.is_multiple_of(cfg.eval_every) {
-            let acc = env.evaluate(&global);
-            accuracy.push((now.as_secs(), acc));
-            trace.push(now, TraceEvent::Eval { round, accuracy: acc });
+        if st.round.is_multiple_of(cfg.eval_every) {
+            let acc = env.evaluate(&st.global);
+            st.accuracy.push((st.now.as_secs(), acc));
+            st.trace.push(st.now, TraceEvent::Eval { round: st.round, accuracy: acc });
             if cfg.grad_norm_probe {
-                grad_norms.push((now.as_secs(), env.grad_norm_sq(&global)));
+                st.grad_norms.push((st.now.as_secs(), env.grad_norm_sq(&st.global)));
             }
             if let Some(target) = cfg.stop_at_accuracy {
                 if acc >= target {
@@ -138,22 +272,33 @@ pub fn run_sync(
                 }
             }
         }
+
+        // Round-boundary snapshot (never in the reached-target state — that
+        // break above already exited the loop).
+        if let Some(store) = &store {
+            if st.round > last_saved && st.round.is_multiple_of(every) {
+                store.save(ENGINE_SYNC, config_hash, st.round, &st.encode(env))?;
+                last_saved = st.round;
+            }
+        }
     }
 
-    let termination = if reached_target {
+    let termination = if crashed {
+        TerminationReason::ServerCrash
+    } else if reached_target {
         TerminationReason::TargetAccuracy
-    } else if round >= cfg.max_rounds {
+    } else if st.round >= cfg.max_rounds {
         TerminationReason::MaxRounds
     } else {
         TerminationReason::MaxSimTime
     };
-    trace.push(now, TraceEvent::Terminated { reason: termination, buffered: 0 });
-    RunResult {
+    st.trace.push(st.now, TraceEvent::Terminated { reason: termination, buffered: 0 });
+    Ok(RunResult {
         algorithm: "fedavg",
-        accuracy,
-        grad_norms,
-        rounds: round,
-        total_updates,
+        accuracy: st.accuracy,
+        grad_norms: st.grad_norms,
+        rounds: st.round,
+        total_updates: st.total_updates,
         partial_updates: 0,
         dropped_updates: 0,
         notifications: 0,
@@ -163,9 +308,10 @@ pub fn run_sync(
         retries: 0,
         timeouts: 0,
         quarantined: 0,
-        rejected_updates,
+        rejected_updates: st.rejected_updates,
         superseded_uploads: 0,
-        sim_time_end: now.as_secs(),
-        trace,
-    }
+        model_digest: seafl_sim::digest::digest_f32(&st.global),
+        sim_time_end: st.now.as_secs(),
+        trace: st.trace,
+    })
 }

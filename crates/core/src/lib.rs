@@ -22,6 +22,7 @@
 
 pub mod aggregator;
 pub mod buffer;
+pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod engine;
@@ -33,12 +34,13 @@ pub mod update;
 pub mod weighting;
 
 pub use aggregator::{Aggregator, FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use client::{LocalTrainer, TrainOutcome};
 pub use config::{
     Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
     StalenessPolicy,
 };
-pub use engine::{run_experiment, RunResult};
+pub use engine::{resume_experiment, run_experiment, RunResult};
 pub use pool::{TrainJob, TrainerPool};
 pub use update::ModelUpdate;
 pub use weighting::ImportanceMode;

@@ -25,9 +25,9 @@
 
 use crate::client::{LocalTrainer, TrainOutcome};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
 use rayon::prelude::*;
 use seafl_data::ImageDataset;
+use seafl_sim::SimRng;
 
 /// One client-training work item: everything a session's result depends on.
 pub struct TrainJob<'a> {
@@ -40,7 +40,7 @@ pub struct TrainJob<'a> {
     /// The client's batch-shuffle RNG, owned by the job so the stream
     /// advances identically regardless of execution order. Returned
     /// alongside the outcome so the caller can store it back.
-    pub rng: StdRng,
+    pub rng: SimRng,
     /// Keep per-epoch snapshots (SEAFL² partial uploads).
     pub keep_snapshots: bool,
 }
@@ -146,7 +146,7 @@ impl TrainerPool {
         &self,
         global: &[f32],
         jobs: Vec<TrainJob<'_>>,
-    ) -> Vec<(TrainOutcome, StdRng)> {
+    ) -> Vec<(TrainOutcome, SimRng)> {
         let one = |mut job: TrainJob<'_>, trainer: &mut LocalTrainer| {
             let outcome =
                 trainer.train(global, job.data, job.epochs, &mut job.rng, job.keep_snapshots);
@@ -196,7 +196,7 @@ mod tests {
                 client_id: k,
                 data: &shards[k],
                 epochs: 2,
-                rng: StdRng::seed_from_u64(100 + k as u64),
+                rng: SimRng::seed_from_u64(100 + k as u64),
                 keep_snapshots: k % 2 == 0,
             })
             .collect()

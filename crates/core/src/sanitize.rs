@@ -123,6 +123,61 @@ mod tests {
     }
 
     #[test]
+    fn subnormal_params_are_finite_and_pass() {
+        // Subnormals are finite: the hygiene filter must not confuse "tiny"
+        // with "broken". (Gradient underflow routinely produces these.)
+        let mut c = cfg();
+        c.max_update_norm_ratio = Some(5.0);
+        let sub = f32::MIN_POSITIVE / 2.0;
+        assert!(sub.is_subnormal());
+        let global = vec![0.0; 3];
+        assert!(check_update(&upd(0, vec![sub, -sub, sub]), &global, &c).is_ok());
+    }
+
+    #[test]
+    fn exact_zero_update_against_zero_global_passes() {
+        // ‖u − g‖ = 0 and ‖g‖ = 0: the distance check must neither divide by
+        // zero nor reject — limit floors at ratio · 1.0.
+        let mut c = cfg();
+        c.max_update_norm_ratio = Some(0.5);
+        let global = vec![0.0; 4];
+        assert!(check_update(&upd(0, vec![0.0; 4]), &global, &c).is_ok());
+    }
+
+    #[test]
+    fn negative_zero_treated_as_zero() {
+        let mut c = cfg();
+        c.max_update_norm_ratio = Some(1.0);
+        let global = vec![0.0; 2];
+        assert!(check_update(&upd(0, vec![-0.0, -0.0]), &global, &c).is_ok());
+    }
+
+    #[test]
+    fn fully_rejected_batch_yields_empty_accepted_set() {
+        // The engines handle an all-rejected round by simply retrying; the
+        // sanitizer's contract is an empty-but-well-formed accepted set, not
+        // a panic or a zero-weight aggregation.
+        let mut c = cfg();
+        c.max_update_norm_ratio = Some(1.0);
+        let global = vec![0.0; 2];
+        let batch = vec![
+            upd(0, vec![f32::INFINITY, 0.0]),
+            upd(1, vec![f32::NEG_INFINITY, 0.0]),
+            upd(2, vec![1e9, 1e9]),
+        ];
+        let (ok, bad) = sanitize_updates(batch, &global, &c);
+        assert!(ok.is_empty());
+        assert_eq!(
+            bad,
+            vec![
+                (0, RejectCause::NonFinite),
+                (1, RejectCause::NonFinite),
+                (2, RejectCause::NormExploded),
+            ]
+        );
+    }
+
+    #[test]
     fn sanitize_splits_and_preserves_order() {
         let mut c = cfg();
         c.max_update_norm_ratio = Some(10.0);

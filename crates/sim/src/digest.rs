@@ -1,0 +1,77 @@
+//! Tiny stable digests (FNV-1a, 64-bit) for bitwise-identity checks.
+//!
+//! Checkpoint payloads, final model weights and event traces all need a
+//! cheap fingerprint that is identical across machines, thread counts and
+//! resume boundaries. FNV-1a is not cryptographic — it only has to catch
+//! torn writes, bit flips and genuine divergence, and its one-liner
+//! definition means the same value can be recomputed from any language when
+//! comparing `*_runs.json` reports offline.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an in-progress FNV-1a state `h`.
+pub fn fnv1a64_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a 64-bit hash of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// Digest of an `f32` slice over the exact bit patterns (little-endian
+/// `to_bits` bytes), so `-0.0` vs `0.0` and NaN payloads all distinguish —
+/// this is a *bitwise* identity check, not a numeric one.
+pub fn digest_f32(xs: &[f32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &x in xs {
+        h = fnv1a64_extend(h, &x.to_bits().to_le_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn extend_matches_one_shot() {
+        let whole = fnv1a64(b"hello world");
+        let split = fnv1a64_extend(fnv1a64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn f32_digest_is_bitwise() {
+        assert_eq!(digest_f32(&[1.0, 2.0]), digest_f32(&[1.0, 2.0]));
+        assert_ne!(digest_f32(&[1.0, 2.0]), digest_f32(&[2.0, 1.0]));
+        // Numerically equal but bitwise different.
+        assert_ne!(digest_f32(&[0.0]), digest_f32(&[-0.0]));
+        // NaNs digest stably (same payload, same hash).
+        assert_eq!(digest_f32(&[f32::NAN]), digest_f32(&[f32::NAN]));
+        assert_ne!(digest_f32(&[]), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let base = vec![0.5f32; 257];
+        let mut flipped = base.clone();
+        flipped[200] = f32::from_bits(flipped[200].to_bits() ^ 1);
+        assert_ne!(digest_f32(&base), digest_f32(&flipped));
+    }
+}

@@ -73,6 +73,13 @@ pub struct FaultConfig {
     pub corrupt_prob: f64,
     /// What corruption looks like for corrupt devices.
     pub corruption: CorruptionKind,
+    /// Probability the *server itself* dies mid-run (a host preemption).
+    /// Unlike the device channels this kills the whole experiment at a
+    /// drawn round — it exists to exercise checkpoint/resume.
+    pub server_crash_prob: f64,
+    /// Inclusive round window `(lo, hi)` the server-crash round is sampled
+    /// from.
+    pub server_crash_window: (u64, u64),
 }
 
 impl FaultConfig {
@@ -88,6 +95,8 @@ impl FaultConfig {
             straggler_factor: 1.0,
             corrupt_prob: 0.0,
             corruption: CorruptionKind::NanBurst { count: 1 },
+            server_crash_prob: 0.0,
+            server_crash_window: (0, 0),
         }
     }
 
@@ -97,6 +106,7 @@ impl FaultConfig {
             && self.upload_drop_prob == 0.0
             && self.straggler_prob == 0.0
             && self.corrupt_prob == 0.0
+            && self.server_crash_prob == 0.0
     }
 
     /// Panic on out-of-range parameters (mirrors `ExperimentConfig`'s
@@ -107,6 +117,7 @@ impl FaultConfig {
             ("upload_drop_prob", self.upload_drop_prob),
             ("straggler_prob", self.straggler_prob),
             ("corrupt_prob", self.corrupt_prob),
+            ("server_crash_prob", self.server_crash_prob),
         ] {
             assert!((0.0..=1.0).contains(&p), "faults: {name} {p} outside [0,1]");
         }
@@ -118,6 +129,10 @@ impl FaultConfig {
         assert!(
             self.straggler_window.0 <= self.straggler_window.1,
             "faults: inverted straggler_window"
+        );
+        assert!(
+            self.server_crash_window.0 <= self.server_crash_window.1,
+            "faults: inverted server_crash_window"
         );
         assert!(self.straggler_duration >= 0.0, "faults: negative straggler_duration");
         assert!(self.straggler_factor >= 1.0, "faults: straggler_factor must be >= 1");
@@ -159,6 +174,9 @@ pub struct FaultPlan {
     devices: Vec<DeviceFaults>,
     /// Upload attempts drawn so far per device (counter-based RNG state).
     attempt_counters: Vec<u64>,
+    /// Round at which the *server* dies, if ever. Drawn after all device
+    /// schedules, so enabling it never moves a device fault.
+    server_crash_round: Option<u64>,
 }
 
 impl FaultPlan {
@@ -191,7 +209,20 @@ impl FaultPlan {
                 DeviceFaults { crash_at, drop_prob: cfg.upload_drop_prob, spike, corruption }
             })
             .collect();
-        FaultPlan { master_seed, devices, attempt_counters: vec![0; num_devices] }
+        // Server-crash draws come *after* the per-device loop: a config that
+        // only differs in server_crash_* replays identical device faults.
+        let (u_server, t_server): (f64, f64) = (rng.gen(), rng.gen());
+        let server_crash_round = (u_server < cfg.server_crash_prob).then(|| {
+            let (lo, hi) = cfg.server_crash_window;
+            let span = hi - lo + 1; // inclusive window
+            lo + ((t_server * span as f64) as u64).min(span - 1)
+        });
+        FaultPlan {
+            master_seed,
+            devices,
+            attempt_counters: vec![0; num_devices],
+            server_crash_round,
+        }
     }
 
     /// A plan that injects nothing (what every experiment gets by default).
@@ -200,6 +231,7 @@ impl FaultPlan {
             master_seed: 0,
             devices: vec![DeviceFaults::healthy(); num_devices],
             attempt_counters: vec![0; num_devices],
+            server_crash_round: None,
         }
     }
 
@@ -211,14 +243,45 @@ impl FaultPlan {
         &self.devices[k]
     }
 
-    /// True when no device has any fault scheduled.
+    /// True when no device (and not the server) has any fault scheduled.
     pub fn is_noop(&self) -> bool {
-        self.devices.iter().all(|d| {
-            d.crash_at.is_none()
-                && d.drop_prob == 0.0
-                && d.spike.is_none()
-                && d.corruption.is_none()
-        })
+        self.server_crash_round.is_none()
+            && self.devices.iter().all(|d| {
+                d.crash_at.is_none()
+                    && d.drop_prob == 0.0
+                    && d.spike.is_none()
+                    && d.corruption.is_none()
+            })
+    }
+
+    /// Round at which the server dies, if the plan drew one.
+    pub fn server_crash_round(&self) -> Option<u64> {
+        self.server_crash_round
+    }
+
+    /// Disarm the server crash. A *resumed* run rebuilds its plan from the
+    /// same config (so device faults replay exactly) and then calls this —
+    /// the process already died once; resuming must run to completion.
+    pub fn clear_server_crash(&mut self) {
+        self.server_crash_round = None;
+    }
+
+    /// The per-device upload-attempt counters — the plan's only mutable
+    /// state, exposed for checkpointing. Everything else is a pure function
+    /// of `(FaultConfig, num_devices, master_seed)` and is rebuilt on
+    /// resume rather than stored.
+    pub fn attempt_counters(&self) -> &[u64] {
+        &self.attempt_counters
+    }
+
+    /// Restore checkpointed attempt counters into a freshly rebuilt plan.
+    pub fn restore_attempt_counters(&mut self, counters: Vec<u64>) {
+        assert_eq!(
+            counters.len(),
+            self.devices.len(),
+            "attempt-counter count does not match device count"
+        );
+        self.attempt_counters = counters;
     }
 
     /// Sim time at which device `k` permanently crashes, if ever.
@@ -300,6 +363,8 @@ mod tests {
             straggler_factor: 5.0,
             corrupt_prob: 0.25,
             corruption: CorruptionKind::NanBurst { count: 8 },
+            server_crash_prob: 0.0,
+            server_crash_window: (0, 0),
         }
     }
 
@@ -398,6 +463,81 @@ mod tests {
         let mut params = vec![0.5f32; 10];
         assert!(plan.corrupt(0, &mut params));
         assert!(params.iter().all(|&p| p == 50.0));
+    }
+
+    #[test]
+    fn server_crash_round_drawn_inside_window() {
+        let mut cfg = chaotic();
+        cfg.server_crash_prob = 1.0;
+        cfg.server_crash_window = (5, 9);
+        for seed in 0..50 {
+            let plan = FaultPlan::build(&cfg, 3, seed);
+            let r = plan.server_crash_round().expect("prob=1 drew no crash round");
+            assert!((5..=9).contains(&r), "crash round {r} outside window");
+        }
+        // Determinism.
+        assert_eq!(
+            FaultPlan::build(&cfg, 3, 7).server_crash_round(),
+            FaultPlan::build(&cfg, 3, 7).server_crash_round()
+        );
+        cfg.server_crash_prob = 0.0;
+        assert_eq!(FaultPlan::build(&cfg, 3, 7).server_crash_round(), None);
+    }
+
+    #[test]
+    fn server_crash_never_perturbs_device_schedules() {
+        // The whole resume story rests on this: a run with the server-crash
+        // channel armed sees the exact same device faults as one without.
+        let healthy = chaotic();
+        let mut crashing = chaotic();
+        crashing.server_crash_prob = 1.0;
+        crashing.server_crash_window = (3, 6);
+        let a = FaultPlan::build(&healthy, 40, 42);
+        let b = FaultPlan::build(&crashing, 40, 42);
+        assert_eq!(a.devices, b.devices, "server-crash draw moved a device fault");
+        assert!(a.server_crash_round().is_none());
+        assert!(b.server_crash_round().is_some());
+    }
+
+    #[test]
+    fn clear_and_counter_restore_support_resume() {
+        let mut cfg = chaotic();
+        cfg.server_crash_prob = 1.0;
+        cfg.server_crash_window = (2, 4);
+        let mut plan = FaultPlan::build(&cfg, 4, 11);
+        for _ in 0..7 {
+            plan.upload_attempt_fails(2);
+        }
+        let saved: Vec<u64> = plan.attempt_counters().to_vec();
+        assert_eq!(saved, vec![0, 0, 7, 0]);
+
+        // A resumed run rebuilds the plan, disarms the crash, restores the
+        // counters — and then continues the per-device decision sequences
+        // exactly where the crashed run left off.
+        let mut rebuilt = FaultPlan::build(&cfg, 4, 11);
+        rebuilt.clear_server_crash();
+        rebuilt.restore_attempt_counters(saved);
+        assert_eq!(rebuilt.server_crash_round(), None);
+        assert!(!rebuilt.is_noop(), "device faults must survive the disarm");
+        let cont_a: Vec<bool> = (0..10).map(|_| plan.upload_attempt_fails(2)).collect();
+        let cont_b: Vec<bool> = (0..10).map(|_| rebuilt.upload_attempt_fails(2)).collect();
+        assert_eq!(cont_a, cont_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt-counter count")]
+    fn counter_restore_rejects_wrong_length() {
+        let mut plan = FaultPlan::none(3);
+        plan.restore_attempt_counters(vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted server_crash_window")]
+    fn inverted_server_window_panics() {
+        let mut cfg = FaultConfig::none();
+        cfg.server_crash_prob = 0.5;
+        cfg.server_crash_window = (9, 3);
+        FaultPlan::build(&cfg, 1, 0);
     }
 
     #[test]

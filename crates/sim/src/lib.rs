@@ -14,6 +14,7 @@
 //! a seed.
 
 pub mod device;
+pub mod digest;
 pub mod event;
 pub mod faults;
 pub mod rng;
@@ -21,7 +22,8 @@ pub mod time;
 pub mod trace;
 
 pub use device::{DeviceProfile, FleetConfig};
-pub use event::EventQueue;
+pub use event::{EventQueue, EventQueueSnapshot};
 pub use faults::{CorruptionKind, DeviceFaults, FaultConfig, FaultPlan, SpeedSpike};
+pub use rng::{SimRng, SimRngState};
 pub use time::SimTime;
 pub use trace::{RejectCause, TerminationReason, TraceEvent, TraceLog};

@@ -1,12 +1,43 @@
 //! Deterministic RNG stream derivation.
 //!
-//! Every stochastic component of an experiment gets its own `StdRng` derived
-//! from `(master_seed, stream_id)`, so changing how often one component
-//! draws (e.g. adding an extra evaluation) never perturbs any other
-//! component — the classic counter-based reproducibility discipline.
+//! Every stochastic component of an experiment gets its own [`SimRng`]
+//! derived from `(master_seed, stream_id)`, so changing how often one
+//! component draws (e.g. adding an extra evaluation) never perturbs any
+//! other component — the classic counter-based reproducibility discipline.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The simulator's concrete RNG.
+///
+/// This is the exact generator inside `rand::rngs::StdRng` (rand 0.8 wraps
+/// `ChaCha12Rng`), named explicitly so its internal position is *inspectable*:
+/// checkpointing needs `get_seed`/`get_stream`/`get_word_pos` to persist a
+/// stream mid-flight and resume it bit-exactly, which the opaque `StdRng`
+/// wrapper does not expose. Both types share `SeedableRng::seed_from_u64`'s
+/// default seed expansion, so every historical stream is unchanged — pinned
+/// by [`tests::simrng_is_bit_identical_to_stdrng`].
+pub type SimRng = rand_chacha::ChaCha12Rng;
+
+/// Fully describes a [`SimRng`]'s position: `(seed, stream, word_pos)`.
+///
+/// `SimRng::from_seed(seed)` + `set_stream` + `set_word_pos` reconstructs the
+/// generator exactly (ChaCha's state is a pure function of these three).
+pub type SimRngState = ([u8; 32], u64, u128);
+
+/// Capture an RNG's full state for checkpointing.
+pub fn rng_state(rng: &SimRng) -> SimRngState {
+    (rng.get_seed(), rng.get_stream(), rng.get_word_pos())
+}
+
+/// Rebuild an RNG from a captured state; the restored generator continues
+/// the stream bit-for-bit from where [`rng_state`] observed it.
+pub fn rng_from_state(state: SimRngState) -> SimRng {
+    let (seed, stream, word_pos) = state;
+    let mut rng = SimRng::from_seed(seed);
+    rng.set_stream(stream);
+    rng.set_word_pos(word_pos);
+    rng
+}
 
 /// SplitMix64 finalizer — a high-quality 64-bit mixer.
 fn splitmix64(mut z: u64) -> u64 {
@@ -17,9 +48,9 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// Derive an independent RNG for `(master_seed, stream_id)`.
-pub fn stream_rng(master_seed: u64, stream_id: u64) -> StdRng {
+pub fn stream_rng(master_seed: u64, stream_id: u64) -> SimRng {
     let mixed = splitmix64(master_seed ^ splitmix64(stream_id));
-    StdRng::seed_from_u64(mixed)
+    SimRng::seed_from_u64(mixed)
 }
 
 /// Counter-based uniform draw in `[0, 1)`: a pure function of
@@ -97,6 +128,37 @@ mod tests {
         let mean: f64 = (0..4000).map(|i| unit_from_counter(1, 2, i)).sum::<f64>() / 4000.0;
         assert!((0.47..0.53).contains(&mean), "mean {mean} far from 0.5");
         assert!((0..4000).all(|i| (0.0..1.0).contains(&unit_from_counter(1, 2, i))));
+    }
+
+    #[test]
+    fn simrng_is_bit_identical_to_stdrng() {
+        // The alias swap must not move a single historical stream: StdRng in
+        // rand 0.8 is ChaCha12Rng under the hood and neither type overrides
+        // the default seed_from_u64 expansion.
+        for seed in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let mut a = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut b = SimRng::seed_from_u64(seed);
+            for _ in 0..16 {
+                assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "u64 stream diverged at seed {seed}");
+            }
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+            assert_eq!(a.gen::<f32>(), b.gen::<f32>());
+        }
+    }
+
+    #[test]
+    fn rng_state_roundtrip_continues_stream() {
+        let mut r = stream_rng(7, 9);
+        for _ in 0..5 {
+            let _ = r.gen::<u64>();
+        }
+        // Capture mid-stream (including a partially consumed word position).
+        let _ = r.gen::<u32>();
+        let state = rng_state(&r);
+        let tail: Vec<u64> = (0..16).map(|_| r.gen()).collect();
+        let mut restored = rng_from_state(state);
+        let tail2: Vec<u64> = (0..16).map(|_| restored.gen()).collect();
+        assert_eq!(tail, tail2, "restored RNG diverged from original");
     }
 
     #[test]

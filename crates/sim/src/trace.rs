@@ -21,6 +21,10 @@ pub enum TerminationReason {
     /// in-flight client crashed, or a staleness wait could never be
     /// satisfied). Before this was recorded the engine exited silently.
     Starved,
+    /// The fault plan's server-crash round was reached: the server process
+    /// died mid-run (fault injection). A run ending this way is resumable
+    /// from its latest checkpoint.
+    ServerCrash,
 }
 
 /// Why the server's update sanitizer rejected an update.
@@ -164,6 +168,21 @@ impl TraceLog {
         })
     }
 
+    /// Order-sensitive digest of the full trace, folding each entry's exact
+    /// `Debug` rendering (timestamps print with millisecond precision, but
+    /// `SimTime` values are themselves derived bit-exactly, so any real
+    /// divergence shows up). Two runs whose digests match executed the same
+    /// event sequence — the quantity the resume bit-identity guarantee and
+    /// the CI kill-and-resume job compare.
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::digest::FNV_OFFSET;
+        for (t, e) in &self.entries {
+            h = crate::digest::fnv1a64_extend(h, &t.as_secs().to_bits().to_le_bytes());
+            h = crate::digest::fnv1a64_extend(h, format!("{e:?};").as_bytes());
+        }
+        h
+    }
+
     /// All `(time, accuracy)` evaluation points, for accuracy-vs-time curves.
     pub fn accuracy_series(&self) -> Vec<(f64, f64)> {
         self.entries
@@ -210,6 +229,21 @@ mod tests {
         assert_eq!(log.num_timeouts(), 1);
         assert_eq!(log.num_rejections(), 1);
         assert_eq!(log.termination(), Some(TerminationReason::Starved));
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let mk = |swap: bool| {
+            let mut log = TraceLog::new();
+            let (a, b) = if swap { (1, 0) } else { (0, 1) };
+            log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: a, round: 0 });
+            log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: b, round: 0 });
+            log
+        };
+        assert_eq!(TraceLog::new().digest(), TraceLog::new().digest());
+        assert_eq!(mk(false).digest(), mk(false).digest());
+        assert_ne!(mk(false).digest(), mk(true).digest(), "digest blind to event order");
+        assert_ne!(mk(false).digest(), TraceLog::new().digest());
     }
 
     #[test]

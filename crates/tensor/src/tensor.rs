@@ -192,6 +192,35 @@ impl Tensor {
         self.data.iter().any(|x| !x.is_finite())
     }
 
+    /// Serialize the element buffer as little-endian IEEE-754 bit patterns.
+    /// Bit-exact for every value including NaN payloads, ±0 and subnormals —
+    /// the byte form checkpoints persist and digest.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for &x in &self.data {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a tensor from bytes produced by [`Tensor::to_le_bytes`];
+    /// panics if the byte count does not match the shape.
+    pub fn from_le_bytes(shape: Shape, bytes: &[u8]) -> Self {
+        assert_eq!(
+            bytes.len(),
+            shape.len() * 4,
+            "Tensor::from_le_bytes: {} bytes for shape {} ({} elements)",
+            bytes.len(),
+            shape,
+            shape.len()
+        );
+        let data = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Tensor { shape, data }
+    }
+
     /// Extract batch item `n` of a rank-4 tensor as a rank-3 tensor.
     pub fn batch_item(&self, n: usize) -> Tensor {
         assert_eq!(self.shape.rank(), 4, "batch_item requires rank-4");
@@ -343,6 +372,27 @@ mod tests {
         a.fill_zero();
         assert_eq!(a.as_slice(), &[0.0; 3]);
         assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_is_bit_exact() {
+        let src = Tensor::from_vec(
+            Shape::d2(2, 3),
+            vec![1.5, -0.0, f32::NAN, f32::INFINITY, f32::MIN_POSITIVE / 2.0, -7.25],
+        );
+        let bytes = src.to_le_bytes();
+        assert_eq!(bytes.len(), 24);
+        let back = Tensor::from_le_bytes(Shape::d2(2, 3), &bytes);
+        assert_eq!(back.shape(), src.shape());
+        for (a, b) in src.as_slice().iter().zip(back.as_slice().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "from_le_bytes")]
+    fn le_bytes_length_mismatch_panics() {
+        Tensor::from_le_bytes(Shape::d1(3), &[0u8; 8]);
     }
 
     proptest! {
