@@ -1,12 +1,16 @@
 //! Server-side aggregation cost: SEAFL's adaptive weighting (staleness +
 //! cosine importance, Eqs. 4–6) vs FedBuff's uniform weighting vs
-//! FedAsync's per-update mixing, across buffer sizes.
+//! FedStaleWeight's fairness boost vs FedAsync's per-update mixing, across
+//! buffer sizes. Each policy runs through its [`ServerPolicy::aggregate`]
+//! hook, the same path the engine drives.
 //!
 //! This quantifies the paper's implicit claim that SEAFL's extra weighting
 //! work is negligible next to training/communication.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use seafl_core::{Aggregator, FedAsyncAggregator, FedBuffAggregator, ModelUpdate, SeaflAggregator};
+use seafl_core::{
+    FedAsyncPolicy, FedBuffPolicy, FedStaleWeightPolicy, ModelUpdate, SeaflPolicy, ServerPolicy,
+};
 use std::time::Duration;
 
 /// LeNet-5-sized model.
@@ -34,25 +38,32 @@ fn updates(k: usize) -> (Vec<f32>, Vec<ModelUpdate>) {
     (global, ups)
 }
 
-fn bench_aggregators(c: &mut Criterion) {
+fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("aggregate_lenet_sized");
     for &k in &[5usize, 10, 20] {
         let (global, ups) = updates(k);
         g.bench_function(format!("seafl/K{k}"), |b| {
-            let mut agg = SeaflAggregator::paper_default(Some(10));
-            b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+            let mut p = SeaflPolicy::paper_default(20, k, Some(10));
+            b.iter(|| p.aggregate(black_box(&global), black_box(&ups), 12))
         });
         g.bench_function(format!("fedbuff/K{k}"), |b| {
-            let mut agg = FedBuffAggregator::paper_default();
-            b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+            let mut p = FedBuffPolicy { concurrency: 20, buffer_k: k, theta: 0.8 };
+            b.iter(|| p.aggregate(black_box(&global), black_box(&ups), 12))
+        });
+        g.bench_function(format!("fedstale/K{k}"), |b| {
+            let mut p = FedStaleWeightPolicy::new(20, k, 0.8, k);
+            for u in &ups {
+                p.on_update_received(u, 12);
+            }
+            b.iter(|| p.aggregate(black_box(&global), black_box(&ups), 12))
         });
     }
     // FedAsync folds one update per aggregation but aggregates K× as often:
     // compare one fold.
     let (global, ups) = updates(1);
     g.bench_function("fedasync/single_update", |b| {
-        let mut agg = FedAsyncAggregator::paper_default();
-        b.iter(|| agg.aggregate(black_box(&global), black_box(&ups), 12))
+        let mut p = FedAsyncPolicy { concurrency: 20, mixing_alpha: 0.6, poly_a: 0.5 };
+        b.iter(|| p.aggregate(black_box(&global), black_box(&ups), 12))
     });
     g.finish();
 }
@@ -67,6 +78,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_aggregators
+    targets = bench_policies
 }
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Fig. 5 — SEAFL (without partial training) vs. FedBuff, FedAsync, FedAvg
-//! on the three datasets; accuracy-vs-wall-clock curves.
+//! (plus the FedStaleWeight-style fairness arm) on the three datasets;
+//! accuracy-vs-wall-clock curves.
 //!
 //! Paper findings to reproduce in shape:
 //! * FedAsync fails to converge on all datasets;
@@ -59,9 +60,16 @@ fn main() {
             report::print_time_to_target(&results, w.targets());
             report::print_curves(&results, 8);
 
-            // Headline comparison: SEAFL(β) vs FedBuff.
-            let seafl = &results[0].result;
-            let fedbuff = &results[2].result;
+            // Headline comparison: SEAFL(β) vs FedBuff, located by label so
+            // the arm list can grow without silently comparing wrong arms.
+            let by_label = |l: &str| {
+                results
+                    .iter()
+                    .find(|a| a.label.starts_with(l))
+                    .unwrap_or_else(|| panic!("fig5 arms missing {l}"))
+            };
+            let seafl = &by_label("seafl(beta=").result;
+            let fedbuff = &by_label("fedbuff").result;
             for &t in w.targets() {
                 if let Some(s) = report::speedup_pct(seafl, fedbuff, t) {
                     println!("SEAFL vs FedBuff at {:.0}%: {s:+.1}% wall-clock", t * 100.0);

@@ -218,8 +218,9 @@ pub fn chaos_overlay(cfg: &mut ExperimentConfig) {
     };
 }
 
-/// The five Fig. 5 arms on a workload: SEAFL(β=10), SEAFL(β=∞), FedBuff,
-/// FedAsync, FedAvg.
+/// The Fig. 5 arms on a workload: SEAFL(β=10), SEAFL(β=∞), FedBuff,
+/// FedAsync, FedAvg, plus the FedStaleWeight-style fairness policy as an
+/// extra buffered baseline (same M/K as FedBuff).
 pub fn fig5_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, ExperimentConfig)> {
     let m = CONCURRENCY.min(match scale {
         Scale::Smoke => 6,
@@ -245,6 +246,10 @@ pub fn fig5_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, Ex
         (
             "fedavg".to_string(),
             evaluation_config(seed, workload, Algorithm::FedAvg { clients_per_round: m }, scale),
+        ),
+        (
+            "fedstale".to_string(),
+            evaluation_config(seed, workload, Algorithm::fedstale(m, k), scale),
         ),
     ];
     // FedAsync aggregates per update: give it the same *session* budget as
@@ -283,11 +288,11 @@ mod tests {
     }
 
     #[test]
-    fn fig5_has_five_arms() {
+    fn fig5_arms_cover_all_algorithms() {
         let arms = fig5_arms(0, Workload::Emnist, Scale::Smoke);
-        assert_eq!(arms.len(), 5);
+        assert_eq!(arms.len(), 6);
         let names: Vec<&str> = arms.iter().map(|(_, c)| c.algorithm.name()).collect();
-        assert_eq!(names, vec!["seafl", "seafl", "fedbuff", "fedasync", "fedavg"]);
+        assert_eq!(names, vec!["seafl", "seafl", "fedbuff", "fedasync", "fedavg", "fedstale"]);
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl BinWriter {
         self.buf.extend_from_slice(v);
     }
 
+    /// Write an opaque length-prefixed section (the per-policy checkpoint
+    /// state). The framing lives here once; what a policy writes inside its
+    /// section is its own business.
+    pub fn section(&mut self, body: &[u8]) {
+        self.usize(body.len());
+        self.bytes(body);
+    }
+
     pub fn vec_f32(&mut self, v: &[f32]) {
         self.usize(v.len());
         for &x in v {
@@ -243,6 +251,13 @@ impl<'a> BinReader<'a> {
 
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Read an opaque length-prefixed section written by
+    /// [`BinWriter::section`], returning its raw bytes.
+    pub fn section(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.count(1)?;
+        self.take(n)
     }
 
     pub fn bool(&mut self) -> Result<bool, CodecError> {

@@ -38,11 +38,13 @@ use seafl_sim::digest::fnv1a64;
 /// File magic: identifies a SEAFL checkpoint regardless of extension.
 pub const MAGIC: [u8; 8] = *b"SEAFLCKP";
 /// Bump on any layout change; old versions are rejected, not guessed at.
-pub const FORMAT_VERSION: u32 = 1;
-/// Engine tag for the synchronous (FedAvg) engine.
-pub const ENGINE_SYNC: u8 = 0;
-/// Engine tag for the semi-asynchronous engine.
-pub const ENGINE_SEMI_ASYNC: u8 = 1;
+/// Version history: 1 = the split sync/semi-async engines (tags 0/1);
+/// 2 = the unified event loop (tag [`ENGINE_UNIFIED`]) whose payload ends
+/// with an opaque per-policy state section.
+pub const FORMAT_VERSION: u32 = 2;
+/// Engine tag for the unified event-driven engine. The legacy tags (0 =
+/// sync, 1 = semi-async) died with format version 1.
+pub const ENGINE_UNIFIED: u8 = 2;
 
 const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 8 + 8 + 8;
 
@@ -287,8 +289,8 @@ mod tests {
     fn save_and_load_roundtrip() {
         let store = tmp_store("roundtrip", 2);
         let payload = b"not a real payload, but faithfully checksummed".to_vec();
-        store.save(ENGINE_SEMI_ASYNC, 0xABCD, 4, &payload).unwrap();
-        let (round, back) = store.load_latest(ENGINE_SEMI_ASYNC, 0xABCD).unwrap();
+        store.save(ENGINE_UNIFIED, 0xABCD, 4, &payload).unwrap();
+        let (round, back) = store.load_latest(ENGINE_UNIFIED, 0xABCD).unwrap();
         assert_eq!(round, 4);
         assert_eq!(back, payload);
         fs::remove_dir_all(&store.dir).ok();
@@ -298,11 +300,11 @@ mod tests {
     fn prune_keeps_only_newest() {
         let store = tmp_store("prune", 2);
         for round in 1..=5 {
-            store.save(ENGINE_SYNC, 1, round, &[round as u8]).unwrap();
+            store.save(ENGINE_UNIFIED, 1, round, &[round as u8]).unwrap();
         }
         let files = store.list().unwrap();
         assert_eq!(files.len(), 2);
-        let (round, payload) = store.load_latest(ENGINE_SYNC, 1).unwrap();
+        let (round, payload) = store.load_latest(ENGINE_UNIFIED, 1).unwrap();
         assert_eq!((round, payload), (5, vec![5u8]));
         fs::remove_dir_all(&store.dir).ok();
     }
@@ -310,8 +312,8 @@ mod tests {
     #[test]
     fn bit_flip_rejected_with_fallback_to_previous() {
         let store = tmp_store("bitflip", 3);
-        store.save(ENGINE_SYNC, 9, 2, b"older snapshot").unwrap();
-        store.save(ENGINE_SYNC, 9, 4, b"newer snapshot").unwrap();
+        store.save(ENGINE_UNIFIED, 9, 2, b"older snapshot").unwrap();
+        store.save(ENGINE_UNIFIED, 9, 4, b"newer snapshot").unwrap();
         // Corrupt one payload byte of the newest file.
         let newest = store.list().unwrap().pop().unwrap();
         let mut bytes = fs::read(&newest).unwrap();
@@ -319,7 +321,7 @@ mod tests {
         bytes[last] ^= 0x01;
         fs::write(&newest, &bytes).unwrap();
 
-        let (round, payload) = store.load_latest(ENGINE_SYNC, 9).unwrap();
+        let (round, payload) = store.load_latest(ENGINE_UNIFIED, 9).unwrap();
         assert_eq!((round, payload.as_slice()), (2, b"older snapshot".as_slice()));
         fs::remove_dir_all(&store.dir).ok();
     }
@@ -327,13 +329,13 @@ mod tests {
     #[test]
     fn corruption_everywhere_is_a_clean_error() {
         let store = tmp_store("allbad", 2);
-        store.save(ENGINE_SYNC, 9, 1, b"snapshot one").unwrap();
-        store.save(ENGINE_SYNC, 9, 2, b"snapshot two").unwrap();
+        store.save(ENGINE_UNIFIED, 9, 1, b"snapshot one").unwrap();
+        store.save(ENGINE_UNIFIED, 9, 2, b"snapshot two").unwrap();
         for path in store.list().unwrap() {
             let bytes = fs::read(&path).unwrap();
             fs::write(&path, &bytes[..bytes.len() - 3]).unwrap(); // truncate all
         }
-        let err = store.load_latest(ENGINE_SYNC, 9).unwrap_err();
+        let err = store.load_latest(ENGINE_UNIFIED, 9).unwrap_err();
         match &err {
             CheckpointError::NoValidCheckpoint { tried, .. } => {
                 assert_eq!(tried.len(), 2);
@@ -348,10 +350,11 @@ mod tests {
     #[test]
     fn wrong_config_hash_and_engine_rejected() {
         let store = tmp_store("mismatch", 2);
-        store.save(ENGINE_SEMI_ASYNC, 0x1111, 3, b"payload").unwrap();
-        let err = store.load_latest(ENGINE_SEMI_ASYNC, 0x2222).unwrap_err();
+        store.save(ENGINE_UNIFIED, 0x1111, 3, b"payload").unwrap();
+        let err = store.load_latest(ENGINE_UNIFIED, 0x2222).unwrap_err();
         assert!(err.to_string().contains("config hash"), "unexpected error: {err}");
-        let err = store.load_latest(ENGINE_SYNC, 0x1111).unwrap_err();
+        // A stale engine tag (e.g. format-1's semi-async tag 1) is rejected.
+        let err = store.load_latest(1, 0x1111).unwrap_err();
         assert!(err.to_string().contains("engine tag"), "unexpected error: {err}");
         fs::remove_dir_all(&store.dir).ok();
     }
@@ -359,12 +362,12 @@ mod tests {
     #[test]
     fn header_checksum_corruption_rejected() {
         let store = tmp_store("header", 1);
-        let path = store.save(ENGINE_SYNC, 5, 1, b"x".repeat(64).as_slice()).unwrap();
+        let path = store.save(ENGINE_UNIFIED, 5, 1, b"x".repeat(64).as_slice()).unwrap();
         // Flip a bit inside the stored checksum field.
         let mut bytes = fs::read(&path).unwrap();
         bytes[40] ^= 0x80;
         fs::write(&path, &bytes).unwrap();
-        let err = store.load_latest(ENGINE_SYNC, 5).unwrap_err();
+        let err = store.load_latest(ENGINE_UNIFIED, 5).unwrap_err();
         assert!(err.to_string().contains("checksum mismatch"), "unexpected error: {err}");
         fs::remove_dir_all(&store.dir).ok();
     }
@@ -372,7 +375,7 @@ mod tests {
     #[test]
     fn empty_dir_reports_no_candidates() {
         let store = tmp_store("empty", 1);
-        let err = store.load_latest(ENGINE_SYNC, 0).unwrap_err();
+        let err = store.load_latest(ENGINE_UNIFIED, 0).unwrap_err();
         assert!(err.to_string().contains("no valid checkpoint"));
         assert!(err.to_string().contains("no ckpt-*.seafl files"));
         fs::remove_dir_all(&store.dir).ok();

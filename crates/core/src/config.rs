@@ -79,6 +79,14 @@ pub enum Algorithm {
         /// Importance measurement (paper default: model cosine).
         importance: ImportanceMode,
     },
+    /// Staleness-fair buffered aggregation (FedStaleWeight-style): weight
+    /// each buffered update by `num_samples · (mean staleness + 1)`, where
+    /// the mean is a per-client running average of observed staleness —
+    /// chronically stale devices get *boosted* so their data is not
+    /// under-represented, the opposite bias-correction to SEAFL's Eq. 4
+    /// damping. Added as the proof that a new algorithm is one
+    /// `ServerPolicy` impl plus this variant (see DESIGN.md §8).
+    FedStale { concurrency: usize, buffer_k: usize, theta: f32 },
 }
 
 impl Algorithm {
@@ -147,6 +155,11 @@ impl Algorithm {
         Algorithm::FedAsync { concurrency, mixing_alpha: 0.6, poly_a: 0.0 }
     }
 
+    /// FedStaleWeight-style staleness-fair reweighting with the paper's ϑ.
+    pub fn fedstale(concurrency: usize, buffer_k: usize) -> Self {
+        Algorithm::FedStale { concurrency, buffer_k, theta: 0.8 }
+    }
+
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::FedAvg { .. } => "fedavg",
@@ -155,6 +168,7 @@ impl Algorithm {
             Algorithm::Seafl { policy: StalenessPolicy::NotifyPartial, .. } => "seafl2",
             Algorithm::Seafl { policy: StalenessPolicy::DropStale, .. } => "seafl-drop",
             Algorithm::Seafl { .. } => "seafl",
+            Algorithm::FedStale { .. } => "fedstale",
         }
     }
 }
@@ -425,6 +439,11 @@ impl ExperimentConfig {
                     );
                 }
             }
+            Algorithm::FedStale { concurrency, buffer_k, theta } => {
+                assert!((1..=self.num_clients).contains(&concurrency));
+                assert!((1..=concurrency).contains(&buffer_k), "config: K must be in [1, M]");
+                assert!((0.0..=1.0).contains(&theta), "config: theta out of (0,1]");
+            }
         }
     }
 }
@@ -439,6 +458,7 @@ mod tests {
         ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5)).validate();
         ExperimentConfig::quick(0, Algorithm::fedasync(10)).validate();
         ExperimentConfig::quick(0, Algorithm::FedAvg { clients_per_round: 8 }).validate();
+        ExperimentConfig::quick(0, Algorithm::fedstale(10, 5)).validate();
     }
 
     #[test]
@@ -448,6 +468,7 @@ mod tests {
         assert_eq!(Algorithm::fedbuff(10, 5).name(), "fedbuff");
         assert_eq!(Algorithm::fedasync(10).name(), "fedasync");
         assert_eq!(Algorithm::FedAvg { clients_per_round: 5 }.name(), "fedavg");
+        assert_eq!(Algorithm::fedstale(10, 5).name(), "fedstale");
     }
 
     #[test]

@@ -1,26 +1,35 @@
-//! The event-driven semi-asynchronous engine shared by FedAsync (K = 1),
-//! FedBuff, SEAFL (Algorithm 1) and SEAFL² (Algorithm 2).
+//! The unified event-driven engine behind every algorithm.
+//!
+//! One loop owns the virtual clock, event queue, client sessions,
+//! trainer-pool dispatch, fault handling, update sanitization, the
+//! gradient-norm probe and checkpointing; everything algorithm-specific is
+//! delegated to a [`ServerPolicy`] (see [`crate::policy`] and DESIGN.md §8).
 //!
 //! ## Protocol
 //!
-//! The server keeps `concurrency` devices training at all times. A device
+//! The engine keeps the policy's cohort training at all times. A device
 //! that finishes its local epochs uploads its update; the server buffers
-//! updates and aggregates when the buffer holds `buffer_k` of them, subject
-//! to the staleness policy:
+//! admitted updates ([`ServerPolicy::on_update_received`]) and aggregates
+//! when the policy's trigger fires ([`ServerPolicy::should_aggregate`]):
 //!
-//! * [`StalenessPolicy::Ignore`] — aggregate as soon as K updates are in
-//!   (FedBuff / FedAsync / SEAFL-β=∞).
-//! * [`StalenessPolicy::WaitForStale`] — SEAFL: if any in-flight device's
-//!   update would exceed β after this aggregation, defer until it reports,
-//!   so no aggregated update ever has staleness > β.
-//! * [`StalenessPolicy::NotifyPartial`] — SEAFL²: notify over-limit devices;
-//!   a notified device uploads at the end of its *current* epoch (a partial
+//! * FedBuff / FedAsync / SEAFL-β=∞ — aggregate as soon as K updates are in.
+//! * SEAFL ([`StalenessPolicy::WaitForStale`]) — defer while any in-flight
+//!   device's update would exceed β after this aggregation, so no
+//!   aggregated update ever has staleness > β.
+//! * SEAFL² ([`StalenessPolicy::NotifyPartial`]) — after aggregating,
+//!   notify over-limit devices ([`ServerPolicy::clients_to_notify`]); a
+//!   notified device uploads at the end of its *current* epoch (a partial
 //!   update) instead of finishing all E epochs.
+//! * SAFA-style drop — discard over-limit updates at aggregation time
+//!   ([`ServerPolicy::partition_stale`]).
+//! * FedAvg ([`ServerPolicy::lockstep`]) — dispatch a full cohort at a
+//!   synchronous barrier; every upload lands at the cohort's slowest
+//!   completion time and the round aggregates when all have reported.
 //!
 //! After aggregating, the server evaluates (every `eval_every` rounds),
 //! hands the consumed devices back to the idle pool and refills the training
-//! set by uniform sampling from idle devices — the device-turnover behaviour
-//! the paper leans on in its CINIC-10 discussion.
+//! set under the policy's [`ServerPolicy::select_cohort`] — the
+//! device-turnover behaviour the paper leans on in its CINIC-10 discussion.
 //!
 //! ## Faults and resilience
 //!
@@ -42,7 +51,7 @@
 //!   the session's epoch schedule.
 //! * **Corrupted updates** — Byzantine/buggy devices corrupt their upload;
 //!   the sanitizer ([`crate::sanitize`]) rejects non-finite or
-//!   norm-exploded updates in front of the aggregator.
+//!   norm-exploded updates in front of the aggregation.
 //! * **Timeout quarantine** — a client whose sessions time out
 //!   `quarantine_after` times in a row is excluded from selection for the
 //!   rest of the run.
@@ -50,6 +59,11 @@
 //! With faults disabled and default resilience settings none of these code
 //! paths draw randomness or alter arithmetic, so runs are bit-identical to
 //! the fault-free engine.
+//!
+//! Lockstep policies skip the per-device fault channels (transit loss,
+//! corruption, device crashes, straggler spikes) and session timeouts —
+//! they model protocol behaviours a synchronous barrier round does not
+//! exhibit. Only the server-crash round applies.
 //!
 //! ## Simplification vs. Algorithm 2
 //!
@@ -62,31 +76,23 @@
 
 use crate::buffer::UpdateBuffer;
 use crate::checkpoint::{
-    BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_SEMI_ASYNC,
+    BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_UNIFIED,
 };
 use crate::client::TrainOutcome;
-use crate::config::{ExperimentConfig, StalenessPolicy};
+use crate::config::ExperimentConfig;
+#[allow(unused_imports)] // doc links
+use crate::config::StalenessPolicy;
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
+use crate::policy::{Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView};
 use crate::pool::TrainJob;
 use crate::sanitize;
 use crate::update::ModelUpdate;
-use crate::Aggregator;
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::{
     EventQueue, EventQueueSnapshot, FaultPlan, SimRng, SimTime, TerminationReason, TraceEvent,
     TraceLog,
 };
-
-/// Engine parameters distilled from [`crate::Algorithm`].
-pub struct Params {
-    pub concurrency: usize,
-    pub buffer_k: usize,
-    pub beta: Option<u64>,
-    pub policy: StalenessPolicy,
-    pub aggregator: Box<dyn Aggregator>,
-    pub name: &'static str,
-}
 
 /// Events on the virtual clock.
 #[derive(Debug, Clone, Copy)]
@@ -112,7 +118,8 @@ struct Session {
     /// sessions, so an upload event from a reclaimed session can never be
     /// mistaken for a later session's upload.
     generation: u64,
-    /// Absolute completion time of each local epoch.
+    /// Absolute completion time of each local epoch (empty for lockstep
+    /// sessions — the barrier carries the timing).
     epoch_ends: Vec<SimTime>,
     /// Pre-computed training result (per-epoch snapshots iff partial
     /// training can interrupt this session).
@@ -134,9 +141,13 @@ enum ClientPhase {
     Quarantined,
 }
 
-/// Run the semi-asynchronous protocol to termination.
-pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Params) -> RunResult {
-    drive(cfg, env, params, None).unwrap_or_else(|e| panic!("semi-async engine: {e}"))
+/// Run the engine to termination under the given policy.
+pub fn run_loop(
+    cfg: &ExperimentConfig,
+    env: &mut Environment,
+    policy: Box<dyn ServerPolicy>,
+) -> RunResult {
+    drive(cfg, env, policy, None).unwrap_or_else(|e| panic!("engine: {e}"))
 }
 
 /// Run the protocol, optionally resuming from a decoded checkpoint payload,
@@ -145,25 +156,27 @@ pub fn run_semi_async(cfg: &ExperimentConfig, env: &mut Environment, params: Par
 /// Snapshots are taken at round boundaries, immediately after an
 /// aggregation: the buffer was just drained or left in a well-defined state,
 /// every in-flight session's training outcome is precomputed, and the only
-/// live state is the enumerable set captured by [`State::encode`]. A run
-/// resumed from such a snapshot replays the exact remaining event sequence
-/// of an uninterrupted run (`tests/checkpoint_resume.rs` pins this
-/// bit-identically for every algorithm).
+/// live state is the enumerable set captured by [`State::encode`] (plus the
+/// policy's own opaque section). A run resumed from such a snapshot replays
+/// the exact remaining event sequence of an uninterrupted run
+/// (`tests/checkpoint_resume.rs` pins this bit-identically for every
+/// algorithm).
 pub(crate) fn drive(
     cfg: &ExperimentConfig,
     env: &mut Environment,
-    params: Params,
+    policy: Box<dyn ServerPolicy>,
     resume: Option<&[u8]>,
 ) -> Result<RunResult, CheckpointError> {
     let store = CheckpointStore::from_cfg(cfg)?;
     let resuming = resume.is_some();
     let mut st = match resume {
-        Some(payload) => State::decode(cfg, env, params, payload)?,
-        None => State::fresh(cfg, env, params),
+        Some(payload) => State::decode(cfg, env, policy, payload)?,
+        None => State::fresh(cfg, env, policy),
     };
     // The server-crash fault models the original process dying; a resumed
     // run is a restarted server, so `decode` cleared its crash round.
-    let crash_round = st.plan.server_crash_round();
+    st.crash_round = st.plan.server_crash_round();
+    let lockstep = st.policy.lockstep();
 
     if !resuming {
         // Baseline evaluation at t = 0.
@@ -173,30 +186,44 @@ pub(crate) fn drive(
 
         // Kick off the initial cohort.
         st.refill(cfg, env, SimTime::ZERO);
+    } else if lockstep && st.queue.is_empty() {
+        // A lockstep snapshot's queue is empty exactly when the dispatch
+        // guard declined at save time (crash fired, or a budget ran out).
+        // The restarted server never re-crashes, so ask the policy again —
+        // the guard returned before any selection draw, so the saved RNG is
+        // positioned for exactly this dispatch. Event-driven snapshots
+        // always carry their in-flight uploads instead, and their refill
+        // already consumed its selection draw before the save — refilling
+        // them here would double-draw.
+        st.refill(cfg, env, st.queue.now());
     }
 
     let every = cfg.checkpoint_every.unwrap_or(1);
     let config_hash = cfg.state_hash();
     let mut last_saved = st.round;
 
-    let mut reached_target = false;
     let mut termination = None;
     while let Some((now, ev)) = st.queue.pop() {
-        if crash_round.is_some_and(|cr| st.round >= cr) {
-            termination = Some(TerminationReason::ServerCrash);
-            break;
-        }
-        if now.as_secs() > cfg.max_sim_time {
-            termination = Some(TerminationReason::MaxSimTime);
-            break;
-        }
-        if st.round >= cfg.max_rounds {
-            termination = Some(TerminationReason::MaxRounds);
-            break;
-        }
-        if reached_target {
-            termination = Some(TerminationReason::TargetAccuracy);
-            break;
+        // A lockstep round runs to its barrier unconditionally (the old
+        // synchronous loop checked its budgets only between rounds, at
+        // dispatch time — the policy's dispatch guard does that here).
+        if !lockstep {
+            if st.crash_round.is_some_and(|cr| st.round >= cr) {
+                termination = Some(TerminationReason::ServerCrash);
+                break;
+            }
+            if now.as_secs() > cfg.max_sim_time {
+                termination = Some(TerminationReason::MaxSimTime);
+                break;
+            }
+            if st.round >= cfg.max_rounds {
+                termination = Some(TerminationReason::MaxRounds);
+                break;
+            }
+            if st.reached_target {
+                termination = Some(TerminationReason::TargetAccuracy);
+                break;
+            }
         }
         match ev {
             Ev::Upload { client, generation, attempt } => {
@@ -210,33 +237,46 @@ pub(crate) fn drive(
                 st.trace.push(now, TraceEvent::Crash { id: client });
             }
         }
-        reached_target = st.try_aggregate(cfg, env, now);
+        st.try_aggregate(cfg, env, now);
         // Round-boundary snapshot. Never taken in the reached-target state:
         // that flag is not part of the snapshot (the next pop terminates the
         // run), so persisting such a round would let a resume run past the
         // point where the original stopped.
         if let Some(store) = &store {
-            if !reached_target && st.round > last_saved && st.round.is_multiple_of(every) {
-                store.save(ENGINE_SEMI_ASYNC, config_hash, st.round, &st.encode(env))?;
+            if !st.reached_target && st.round > last_saved && st.round.is_multiple_of(every) {
+                store.save(ENGINE_UNIFIED, config_hash, st.round, &st.encode(env))?;
                 last_saved = st.round;
             }
         }
     }
-    let termination = termination.unwrap_or(if reached_target {
-        TerminationReason::TargetAccuracy
-    } else if st.buffer.is_empty() {
-        TerminationReason::QueueDrained
-    } else {
-        // The clock ran out of events while updates sat below the trigger:
-        // the engine starved (e.g. remaining in-flight devices all crashed,
-        // or a staleness wait could never be satisfied).
-        TerminationReason::Starved
+    let termination = termination.unwrap_or_else(|| {
+        // The clock ran dry. Let the policy name the reason its protocol
+        // implies (lockstep's closed-form round loop does); otherwise fall
+        // back to the generic event-driven classification.
+        let drain = DrainCtx {
+            round: st.round,
+            now_secs: st.queue.now().as_secs(),
+            max_rounds: cfg.max_rounds,
+            max_sim_time: cfg.max_sim_time,
+            crash_round: st.crash_round,
+            reached_target: st.reached_target,
+        };
+        st.policy.drained_termination(&drain).unwrap_or(if st.reached_target {
+            TerminationReason::TargetAccuracy
+        } else if st.buffer.is_empty() {
+            TerminationReason::QueueDrained
+        } else {
+            // The clock ran out of events while updates sat below the
+            // trigger: the engine starved (e.g. remaining in-flight devices
+            // all crashed, or a staleness wait could never be satisfied).
+            TerminationReason::Starved
+        })
     });
 
     let end = st.queue.now();
     st.trace.push(end, TraceEvent::Terminated { reason: termination, buffered: st.buffer.len() });
     Ok(RunResult {
-        algorithm: st.params.name,
+        algorithm: st.policy.name(),
         accuracy: st.accuracy,
         grad_norms: st.grad_norms,
         rounds: st.round,
@@ -291,12 +331,19 @@ struct State {
     quarantined: usize,
     rejected_updates: usize,
     superseded_uploads: usize,
-    params: Params,
+    /// Round the injected server crash fires (`None` after a resume — a
+    /// restarted server never re-crashes). Not checkpointed: re-derived
+    /// from the fault plan at drive start.
+    crash_round: Option<u64>,
+    /// Latched when `stop_at_accuracy` was reached. Not checkpointed:
+    /// snapshots are never taken in this state.
+    reached_target: bool,
+    policy: Box<dyn ServerPolicy>,
 }
 
 impl State {
     /// Engine state at the start of a fresh run.
-    fn fresh(cfg: &ExperimentConfig, env: &Environment, params: Params) -> Self {
+    fn fresh(cfg: &ExperimentConfig, env: &Environment, policy: Box<dyn ServerPolicy>) -> Self {
         State {
             global: env.initial_global.clone(),
             round: 0,
@@ -323,12 +370,17 @@ impl State {
             quarantined: 0,
             rejected_updates: 0,
             superseded_uploads: 0,
-            params,
+            crash_round: None,
+            reached_target: false,
+            policy,
         }
     }
 
     /// Serialize the complete engine state (plus the environment's per-client
     /// RNG streams, which advance during refills) into a checkpoint payload.
+    /// The policy's own state rides along as a trailing opaque section —
+    /// the engine never interprets it, so a new policy never touches this
+    /// framing.
     fn encode(&self, env: &Environment) -> Vec<u8> {
         let mut w = BinWriter::new();
         w.vec_f32(&self.global);
@@ -435,17 +487,24 @@ impl State {
         }
         w.rngs(&env.client_rngs);
         w.rngs(&env.idle_rngs);
+
+        // The per-policy section, last and length-prefixed: stateless
+        // policies contribute an empty section.
+        let mut pw = BinWriter::new();
+        self.policy.encode_state(&mut pw);
+        w.section(&pw.into_bytes());
         w.into_bytes()
     }
 
     /// Rebuild engine state from a checkpoint payload, restoring the
-    /// environment's per-client RNG streams in place. Any structural
-    /// mismatch against the running config is a [`CheckpointError`] —
-    /// never a panic, never a partial restore.
+    /// environment's per-client RNG streams in place and handing the
+    /// policy its own section. Any structural mismatch against the running
+    /// config is a [`CheckpointError`] — never a panic, never a partial
+    /// restore.
     fn decode(
         cfg: &ExperimentConfig,
         env: &mut Environment,
-        params: Params,
+        mut policy: Box<dyn ServerPolicy>,
         payload: &[u8],
     ) -> Result<Self, CheckpointError> {
         let n = cfg.num_clients;
@@ -582,7 +641,17 @@ impl State {
                 idle_rngs.len()
             )));
         }
+
+        // The policy's opaque section: hand it a sub-reader and require it
+        // to consume the section exactly.
+        let policy_bytes = r.section()?;
         r.finish()?;
+        let mut pr = BinReader::new(policy_bytes);
+        policy
+            .decode_state(&mut pr)
+            .map_err(|e| bad(format!("{} policy section: {}", policy.name(), e.0)))?;
+        pr.finish()
+            .map_err(|e| bad(format!("{} policy section: {}", policy.name(), e.0)))?;
 
         env.client_rngs = client_rngs;
         env.idle_rngs = idle_rngs;
@@ -612,13 +681,30 @@ impl State {
             quarantined,
             rejected_updates,
             superseded_uploads,
-            params,
+            crash_round: None,
+            reached_target: false,
+            policy,
         })
     }
 
     /// Number of clients currently training.
     fn active(&self) -> usize {
         self.phase.iter().filter(|&&p| p == ClientPhase::Training).count()
+    }
+
+    /// In-flight sessions in client order, as the policy hooks see them.
+    fn in_flight(&self) -> Vec<InFlight> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| {
+                s.as_ref().map(|s| InFlight {
+                    client: k,
+                    born_round: s.born_round,
+                    notified: s.notified,
+                })
+            })
+            .collect()
     }
 
     /// Put an upload arrival on the clock — unless the device crashes
@@ -696,8 +782,70 @@ impl State {
         self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
     }
 
+    /// Lockstep dispatch: train the whole cohort, advance the clock by the
+    /// slowest member's `download + Σ(compute + idle) + upload`, and land
+    /// every upload at that barrier (in selection order — the queue breaks
+    /// time ties FIFO). No per-device fault channels, no session timeouts:
+    /// a synchronous round either completes or the server crashes between
+    /// rounds.
+    fn begin_lockstep_round(
+        &mut self,
+        cfg: &ExperimentConfig,
+        env: &mut Environment,
+        picked: &[usize],
+        now: SimTime,
+    ) {
+        let mut jobs = Vec::with_capacity(picked.len());
+        let mut round_duration = 0.0f64;
+        for &k in picked {
+            debug_assert_eq!(self.phase[k], ClientPhase::Idle);
+            self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
+            let device = &env.fleet[k];
+            let data = &env.client_data[k];
+            let batches = env.pool.batches_per_epoch(data.len());
+
+            let mut elapsed = device.download_time(env.model_bytes);
+            for _ in 0..cfg.local_epochs {
+                elapsed += device.epoch_compute_time(batches, cfg.fleet.base_batch_time);
+                elapsed += device.idle_time(&mut env.idle_rngs[k]);
+            }
+            elapsed += device.upload_time(env.model_bytes);
+            round_duration = round_duration.max(elapsed);
+
+            jobs.push(TrainJob {
+                client_id: k,
+                data,
+                epochs: cfg.local_epochs,
+                rng: env.client_rngs[k].clone(),
+                keep_snapshots: false,
+            });
+        }
+
+        let outcomes = env.pool.train_cohort(&self.global, jobs);
+        let barrier = now.after(round_duration);
+        for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
+            env.client_rngs[k] = rng;
+            let generation = self.next_generation[k];
+            self.next_generation[k] += 1;
+            let seq = self.next_session_seq[k];
+            self.next_session_seq[k] += 1;
+            self.queue.schedule(barrier, Ev::Upload { client: k, generation, attempt: 0 });
+            self.sessions[k] = Some(Session {
+                born_round: self.round,
+                seq,
+                generation,
+                epoch_ends: Vec::new(),
+                outcome,
+                scheduled_epochs: cfg.local_epochs,
+                notified: false,
+            });
+            self.phase[k] = ClientPhase::Training;
+        }
+    }
+
     /// Handle an upload arrival (ignoring superseded generations, injecting
-    /// transit loss and retries, applying Byzantine corruption).
+    /// transit loss and retries, applying Byzantine corruption, consulting
+    /// the policy's admission verdict).
     fn on_upload(
         &mut self,
         cfg: &ExperimentConfig,
@@ -718,9 +866,11 @@ impl State {
             return;
         }
 
+        let lockstep = self.policy.lockstep();
         // Transient transit loss: the client notices the failed upload and
-        // retries with capped exponential backoff, then gives up.
-        if self.plan.upload_attempt_fails(client) {
+        // retries with capped exponential backoff, then gives up. Lockstep
+        // rounds skip the channel entirely (see module docs).
+        if !lockstep && self.plan.upload_attempt_fails(client) {
             self.upload_failures += 1;
             self.trace.push(now, TraceEvent::UploadFailed { id: client, attempt });
             if attempt < cfg.resilience.max_upload_retries {
@@ -740,10 +890,13 @@ impl State {
             return;
         }
 
+        let session = self.sessions[client].as_ref().expect("session checked above");
         let epochs = session.scheduled_epochs;
         let mut params = session.outcome.state_after(epochs).to_vec();
         // Byzantine/buggy devices corrupt what they send.
-        self.plan.corrupt(client, &mut params);
+        if !lockstep {
+            self.plan.corrupt(client, &mut params);
+        }
         let update = ModelUpdate {
             client_id: client,
             params,
@@ -754,14 +907,30 @@ impl State {
         };
         let born = session.born_round;
         self.sessions[client] = None;
-        self.phase[client] = ClientPhase::Buffered;
         self.consecutive_timeouts[client] = 0;
         self.total_updates += 1;
         if epochs < cfg.local_epochs {
             self.partial_updates += 1;
         }
         self.trace.push(now, TraceEvent::Upload { id: client, born_round: born, epochs });
-        self.buffer.push(update);
+        match self.policy.on_update_received(&update, self.round) {
+            Admission::Admit => {
+                self.phase[client] = ClientPhase::Buffered;
+                self.buffer.push(update);
+            }
+            Admission::Drop => {
+                // Discarded on arrival: counted and traced like an
+                // aggregation-time drop, and the client goes straight back
+                // to the idle pool.
+                self.dropped_updates += 1;
+                self.trace.push(
+                    now,
+                    TraceEvent::Drop { id: client, staleness: update.staleness(self.round) },
+                );
+                self.phase[client] = ClientPhase::Idle;
+                self.refill(cfg, env, now);
+            }
+        }
     }
 
     /// Server session timeout: reclaim a session that has not reported,
@@ -797,124 +966,93 @@ impl State {
         self.refill(cfg, env, now);
     }
 
-    /// Aggregate if the trigger condition holds. Returns true when the
-    /// stop-at-target accuracy was reached.
-    fn try_aggregate(
-        &mut self,
-        cfg: &ExperimentConfig,
-        env: &mut Environment,
-        now: SimTime,
-    ) -> bool {
-        if self.buffer.len() < self.params.buffer_k {
-            return false;
-        }
-        // SEAFL's wait rule: defer while any in-flight update would exceed β
-        // after this aggregation (its staleness at the next round would be
-        // round+1 − born > β ⟺ round − born ≥ β).
-        if self.params.policy == StalenessPolicy::WaitForStale {
-            let beta = self.params.beta.expect("WaitForStale requires beta");
-            let any_over = self
-                .sessions
-                .iter()
-                .flatten()
-                .any(|s| self.round.saturating_sub(s.born_round) >= beta);
-            if any_over {
-                return false;
-            }
+    /// Aggregate if the policy's trigger holds.
+    fn try_aggregate(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
+        let in_flight = self.in_flight();
+        let view =
+            ServerView { round: self.round, buffer_len: self.buffer.len(), in_flight: &in_flight };
+        if !self.policy.should_aggregate(&view) {
+            return;
         }
 
-        let mut updates = self.buffer.drain();
+        let updates = self.buffer.drain();
         for u in &updates {
             debug_assert_eq!(self.phase[u.client_id], ClientPhase::Buffered);
             self.phase[u.client_id] = ClientPhase::Idle;
         }
 
-        // Sanitize in front of the aggregator: non-finite or norm-exploded
+        // Sanitize in front of the aggregation: non-finite or norm-exploded
         // updates are rejected; the survivors' weights renormalize since
-        // every rule weights over exactly the updates it is handed.
+        // every policy weights over exactly the updates it is handed.
         let (clean, rejected) = sanitize::sanitize_updates(updates, &self.global, &cfg.resilience);
         for (id, cause) in rejected {
             self.rejected_updates += 1;
             self.trace.push(now, TraceEvent::Rejected { id, cause });
         }
-        updates = clean;
-        if updates.is_empty() {
+        if clean.is_empty() {
             // Everything in the buffer was garbage; the rejected clients
             // are idle again, so refilling makes progress.
             self.refill(cfg, env, now);
-            return false;
+            return;
         }
 
-        // SAFA-style discard: throw away over-limit updates (their training
-        // effort is wasted — the failure mode SEAFL's wait/notify policies
-        // are designed to avoid).
-        if self.params.policy == StalenessPolicy::DropStale {
-            let beta = self.params.beta.expect("DropStale requires beta");
-            let (fresh, stale): (Vec<_>, Vec<_>) =
-                updates.into_iter().partition(|u| u.staleness(self.round) <= beta);
-            for u in &stale {
-                self.dropped_updates += 1;
-                self.trace.push(
-                    now,
-                    TraceEvent::Drop { id: u.client_id, staleness: u.staleness(self.round) },
-                );
-            }
-            updates = fresh;
-            if updates.is_empty() {
-                // Everything in the buffer was stale; the dropped clients
-                // are idle again, so refilling makes progress.
-                self.refill(cfg, env, now);
-                return false;
-            }
+        // The policy's staleness partition (SAFA-style discard): dropped
+        // updates waste their training effort — the failure mode SEAFL's
+        // wait/notify policies are designed to avoid.
+        let (updates, stale) = self.policy.partition_stale(clean, self.round);
+        for u in &stale {
+            self.dropped_updates += 1;
+            self.trace.push(
+                now,
+                TraceEvent::Drop { id: u.client_id, staleness: u.staleness(self.round) },
+            );
         }
-        self.global = self.params.aggregator.aggregate(&self.global, &updates, self.round);
+        if updates.is_empty() {
+            // Everything in the buffer was stale; the dropped clients
+            // are idle again, so refilling makes progress.
+            self.refill(cfg, env, now);
+            return;
+        }
+
+        self.global = self.policy.aggregate(&self.global, &updates, self.round);
         self.round += 1;
         self.trace
             .push(now, TraceEvent::Aggregate { round: self.round, num_updates: updates.len() });
 
-        let mut reached = false;
         if self.round.is_multiple_of(cfg.eval_every) {
             let acc = env.evaluate(&self.global);
             self.accuracy.push((now.as_secs(), acc));
             self.trace.push(now, TraceEvent::Eval { round: self.round, accuracy: acc });
             if cfg.grad_norm_probe {
-                let g = self.grad_norm(env);
-                self.grad_norms.push((now.as_secs(), g));
+                // The single gradient-probe path every algorithm shares.
+                self.grad_norms.push((now.as_secs(), env.grad_norm_sq(&self.global)));
             }
             if let Some(target) = cfg.stop_at_accuracy {
-                reached = acc >= target;
-            }
-        }
-
-        // SEAFL²: notify in-flight devices that just crossed the limit.
-        if self.params.policy == StalenessPolicy::NotifyPartial {
-            self.send_notifications(env, now);
-        }
-
-        self.refill(cfg, env, now);
-        reached
-    }
-
-    fn grad_norm(&self, env: &Environment) -> f64 {
-        env.grad_norm_sq(&self.global)
-    }
-
-    /// SEAFL² notification path: over-limit devices upload at the end of
-    /// their current epoch.
-    fn send_notifications(&mut self, env: &Environment, now: SimTime) {
-        let beta = self.params.beta.expect("NotifyPartial requires beta");
-        let mut to_notify = Vec::new();
-        for (k, s) in self.sessions.iter().enumerate() {
-            if let Some(s) = s {
-                if !s.notified && self.round.saturating_sub(s.born_round) >= beta {
-                    to_notify.push(k);
+                if acc >= target {
+                    self.reached_target = true;
                 }
             }
         }
+
+        // Notification pass (SEAFL²): the policy picks the clients, the
+        // engine reschedules their uploads to the end of the current epoch.
+        let in_flight = self.in_flight();
+        let view =
+            ServerView { round: self.round, buffer_len: self.buffer.len(), in_flight: &in_flight };
+        let to_notify = self.policy.clients_to_notify(&view);
+        self.send_notifications(env, now, to_notify);
+
+        self.refill(cfg, env, now);
+    }
+
+    /// Partial-upload notification mechanics: each notified device uploads
+    /// at the end of its current epoch under a fresh generation (the
+    /// original full upload is superseded).
+    fn send_notifications(&mut self, env: &Environment, now: SimTime, to_notify: Vec<usize>) {
         for k in to_notify {
             let device = &env.fleet[k];
             let arrival = now.after(device.latency);
-            let session = self.sessions[k].as_mut().expect("session checked above");
+            let session = self.sessions[k].as_mut().expect("notified client has a session");
             // First epoch boundary after the notification arrives.
             let Some(epoch_idx) = session.epoch_ends.iter().position(|&e| e > arrival) else {
                 // All epochs already finished; the full upload is in flight.
@@ -932,20 +1070,27 @@ impl State {
         }
     }
 
-    /// Keep `concurrency` devices training by sampling from the idle pool
-    /// under the configured selection policy.
+    /// Keep the policy's cohort training: offer it the idle pool and start
+    /// sessions for whatever it picks.
     fn refill(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
         let idle: Vec<usize> =
             (0..cfg.num_clients).filter(|&k| self.phase[k] == ClientPhase::Idle).collect();
-        let need = self.params.concurrency.saturating_sub(self.active());
-        let picked = crate::selection::select_clients(
-            cfg.selection,
-            &idle,
-            &env.fleet,
-            need,
-            &mut self.sel_rng,
-        );
+        let ctx = DispatchCtx {
+            round: self.round,
+            now_secs: now.as_secs(),
+            active: self.active(),
+            max_rounds: cfg.max_rounds,
+            max_sim_time: cfg.max_sim_time,
+            crash_round: self.crash_round,
+            reached_target: self.reached_target,
+            selection: cfg.selection,
+        };
+        let picked = self.policy.select_cohort(&ctx, &idle, &env.fleet, &mut self.sel_rng);
         if picked.is_empty() {
+            return;
+        }
+        if self.policy.lockstep() {
+            self.begin_lockstep_round(cfg, env, &picked, now);
             return;
         }
         // Train the whole picked cohort through the pool before anything is
@@ -953,7 +1098,7 @@ impl State {
         // (written back below in selection order), and the timing/idle draws
         // all happen afterwards in `begin_session`, so the virtual-clock
         // schedule is exactly the one the sequential engine produced.
-        let keep_snapshots = self.params.policy == StalenessPolicy::NotifyPartial;
+        let keep_snapshots = self.policy.keep_epoch_snapshots();
         let jobs: Vec<TrainJob<'_>> = picked
             .iter()
             .map(|&k| TrainJob {
@@ -969,298 +1114,5 @@ impl State {
             env.client_rngs[k] = rng;
             self.begin_session(cfg, env, k, now, outcome);
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::Algorithm;
-    use crate::engine::run_experiment;
-    use seafl_nn::ModelKind;
-    use seafl_sim::{CorruptionKind, FleetConfig};
-
-    fn tiny_cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
-        let mut cfg = ExperimentConfig::quick(seed, algorithm);
-        cfg.num_clients = 12;
-        cfg.fleet = FleetConfig::pareto_fleet(12);
-        cfg.train_per_class = 24;
-        cfg.test_per_class = 8;
-        cfg.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 24, num_classes: 10 };
-        cfg.max_rounds = 30;
-        cfg.max_sim_time = 100_000.0;
-        cfg
-    }
-
-    #[test]
-    fn fedbuff_runs_and_aggregates() {
-        let r = run_experiment(&tiny_cfg(0, Algorithm::fedbuff(6, 3)));
-        assert_eq!(r.algorithm, "fedbuff");
-        assert_eq!(r.rounds, 30);
-        assert!(r.total_updates >= 90, "updates: {}", r.total_updates);
-        assert_eq!(r.partial_updates, 0);
-        assert_eq!(r.notifications, 0);
-        assert!(r.sim_time_end > 0.0);
-    }
-
-    #[test]
-    fn seafl_runs_and_improves_accuracy() {
-        let mut cfg = tiny_cfg(1, Algorithm::seafl(6, 3, Some(10)));
-        cfg.max_rounds = 60;
-        let r = run_experiment(&cfg);
-        assert_eq!(r.algorithm, "seafl");
-        let first = r.accuracy.first().unwrap().1;
-        let best = r.best_accuracy();
-        assert!(best > first + 0.2, "no learning: {first} -> {best}");
-    }
-
-    #[test]
-    fn fedasync_aggregates_every_upload() {
-        let r = run_experiment(&tiny_cfg(2, Algorithm::fedasync(6)));
-        assert_eq!(r.algorithm, "fedasync");
-        // K = 1: every upload triggers an aggregation.
-        assert_eq!(r.rounds as usize, r.total_updates);
-    }
-
-    #[test]
-    fn seafl2_produces_partial_updates_under_tight_beta() {
-        let mut cfg = tiny_cfg(3, Algorithm::seafl2(8, 3, 1));
-        cfg.max_rounds = 50;
-        let r = run_experiment(&cfg);
-        assert_eq!(r.algorithm, "seafl2");
-        assert!(r.notifications > 0, "no notifications sent");
-        assert!(r.partial_updates > 0, "no partial updates");
-    }
-
-    #[test]
-    fn seafl_wait_bounds_aggregated_staleness() {
-        let mut cfg = tiny_cfg(4, Algorithm::seafl(8, 3, Some(2)));
-        cfg.max_rounds = 50;
-        let r = run_experiment(&cfg);
-        // Reconstruct aggregated staleness from the trace: every Upload's
-        // born_round vs the round counter at its consuming Aggregate.
-        let mut pending: std::collections::HashMap<usize, u64> = Default::default();
-        let mut max_staleness = 0u64;
-        for (_, ev) in r.trace.entries() {
-            match ev {
-                TraceEvent::Upload { id, born_round, .. } => {
-                    pending.insert(*id, *born_round);
-                }
-                TraceEvent::Aggregate { round, .. } => {
-                    let at = round - 1; // round counter before increment
-                    for (_, born) in pending.drain() {
-                        max_staleness = max_staleness.max(at.saturating_sub(born));
-                    }
-                }
-                _ => {}
-            }
-        }
-        assert!(max_staleness <= 2, "aggregated staleness {max_staleness} exceeded beta=2");
-    }
-
-    #[test]
-    fn drop_policy_discards_stale_and_still_learns() {
-        let mut cfg = tiny_cfg(11, Algorithm::seafl_drop(8, 3, 1));
-        cfg.max_rounds = 50;
-        let r = run_experiment(&cfg);
-        assert_eq!(r.algorithm, "seafl-drop");
-        assert!(r.dropped_updates > 0, "tight beta never dropped anything");
-        // Dropped updates never reach an aggregation: reconstruct from the
-        // trace that every aggregated update obeyed the limit.
-        let mut pending: std::collections::HashMap<usize, u64> = Default::default();
-        for (_, ev) in r.trace.entries() {
-            match ev {
-                TraceEvent::Upload { id, born_round, .. } => {
-                    pending.insert(*id, *born_round);
-                }
-                TraceEvent::Drop { id, .. } => {
-                    pending.remove(id);
-                }
-                TraceEvent::Aggregate { round, .. } => {
-                    let at = round - 1;
-                    for (_, born) in pending.drain() {
-                        assert!(at.saturating_sub(born) <= 1, "stale update aggregated");
-                    }
-                }
-                _ => {}
-            }
-        }
-        assert!(r.best_accuracy() > 0.4, "drop policy prevented learning");
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let cfg = tiny_cfg(5, Algorithm::seafl(6, 3, Some(10)));
-        let a = run_experiment(&cfg);
-        let b = run_experiment(&cfg);
-        assert_eq!(a.accuracy, b.accuracy);
-        assert_eq!(a.rounds, b.rounds);
-        assert_eq!(a.total_updates, b.total_updates);
-    }
-
-    #[test]
-    fn different_seeds_give_different_schedules() {
-        let a = run_experiment(&tiny_cfg(6, Algorithm::fedbuff(6, 3)));
-        let b = run_experiment(&tiny_cfg(7, Algorithm::fedbuff(6, 3)));
-        assert_ne!(a.accuracy, b.accuracy);
-    }
-
-    #[test]
-    fn stop_at_accuracy_halts_early() {
-        let mut cfg = tiny_cfg(8, Algorithm::fedbuff(6, 3));
-        cfg.stop_at_accuracy = Some(0.05); // trivially reachable
-        cfg.max_rounds = 1000;
-        let r = run_experiment(&cfg);
-        assert!(r.rounds < 1000, "did not stop early");
-        assert_eq!(r.termination, TerminationReason::TargetAccuracy);
-    }
-
-    #[test]
-    fn concurrency_respected_in_trace() {
-        let cfg = tiny_cfg(9, Algorithm::fedbuff(4, 2));
-        let r = run_experiment(&cfg);
-        // Active session count never exceeds concurrency = 4.
-        let mut active = 0i64;
-        for (_, ev) in r.trace.entries() {
-            match ev {
-                TraceEvent::ClientStart { .. } => {
-                    active += 1;
-                    assert!(active <= 4, "concurrency exceeded");
-                }
-                TraceEvent::Upload { .. } => active -= 1,
-                _ => {}
-            }
-        }
-    }
-
-    // ---- fault injection & resilience ----
-
-    #[test]
-    fn fault_free_runs_report_zero_fault_counters() {
-        let r = run_experiment(&tiny_cfg(0, Algorithm::fedbuff(6, 3)));
-        assert_eq!(r.crashes, 0);
-        assert_eq!(r.upload_failures, 0);
-        assert_eq!(r.retries, 0);
-        assert_eq!(r.timeouts, 0);
-        assert_eq!(r.quarantined, 0);
-        assert_eq!(r.rejected_updates, 0);
-        assert_eq!(r.termination, TerminationReason::MaxRounds);
-        assert_eq!(r.trace.termination(), Some(TerminationReason::MaxRounds));
-    }
-
-    #[test]
-    fn universal_crash_with_timeout_drains_instead_of_hanging() {
-        let mut cfg = tiny_cfg(20, Algorithm::seafl(6, 3, Some(5)));
-        cfg.faults.crash_prob = 1.0;
-        // Sessions in this config take ~0.5–5 s; every device dies within
-        // the first few of them.
-        cfg.faults.crash_window = (0.0, 5.0);
-        cfg.resilience.session_timeout = Some(20.0);
-        cfg.resilience.quarantine_after = 2;
-        let r = run_experiment(&cfg);
-        assert!(r.crashes > 0, "no crash ever materialized");
-        assert!(r.timeouts > 0, "no session was reclaimed");
-        assert!(r.quarantined > 0, "no client was quarantined");
-        // Every client eventually crashes and is quarantined; the clock runs
-        // dry instead of the run hanging on WaitForStale.
-        assert!(
-            matches!(r.termination, TerminationReason::QueueDrained | TerminationReason::Starved),
-            "unexpected termination: {:?}",
-            r.termination
-        );
-    }
-
-    #[test]
-    fn all_corrupted_updates_are_rejected() {
-        let mut cfg = tiny_cfg(21, Algorithm::fedbuff(6, 3));
-        cfg.faults.corrupt_prob = 1.0;
-        cfg.faults.corruption = CorruptionKind::NanBurst { count: 4 };
-        // No aggregation will ever succeed, so the run lasts until the
-        // clock cap; keep it short.
-        cfg.max_sim_time = 50.0;
-        let r = run_experiment(&cfg);
-        assert!(r.rejected_updates > 0, "sanitizer never fired");
-        // Every device corrupts, so nothing is ever aggregated and the
-        // global model never goes non-finite.
-        assert_eq!(r.rounds, 0);
-        for (_, acc) in &r.accuracy {
-            assert!(acc.is_finite());
-        }
-    }
-
-    #[test]
-    fn transient_upload_loss_retries_and_still_finishes() {
-        let mut cfg = tiny_cfg(22, Algorithm::fedbuff(6, 3));
-        cfg.faults.upload_drop_prob = 0.3;
-        let r = run_experiment(&cfg);
-        assert!(r.upload_failures > 0, "no upload was ever dropped");
-        assert!(r.retries > 0, "no retry was scheduled");
-        assert_eq!(r.rounds, 30, "retries failed to keep the run progressing");
-    }
-
-    #[test]
-    fn straggler_spikes_stretch_the_schedule() {
-        let base = tiny_cfg(24, Algorithm::fedbuff(6, 3));
-        let mut slow = base.clone();
-        slow.faults.straggler_prob = 1.0;
-        slow.faults.straggler_window = (0.0, 1.0);
-        slow.faults.straggler_duration = 1e9; // effectively the whole run
-        slow.faults.straggler_factor = 4.0;
-        slow.max_sim_time = 1_000_000.0; // room to still finish 30 rounds
-        let a = run_experiment(&base);
-        let b = run_experiment(&slow);
-        assert_eq!(a.rounds, b.rounds);
-        assert!(
-            b.sim_time_end > a.sim_time_end,
-            "4x compute spike did not slow the run: {} vs {}",
-            a.sim_time_end,
-            b.sim_time_end
-        );
-    }
-
-    #[test]
-    fn superseded_uploads_never_double_consume() {
-        // Tight beta makes SEAFL² reschedule uploads, leaving dangling
-        // events; each must be ignored exactly once and never consume a
-        // later session (per-client generations are monotonic).
-        let mut cfg = tiny_cfg(3, Algorithm::seafl2(8, 3, 1));
-        cfg.max_rounds = 50;
-        let r = run_experiment(&cfg);
-        assert!(r.notifications > 0, "no reschedules happened");
-        assert!(r.superseded_uploads > 0, "no dangling event was ever popped");
-        // Trace invariant: per client, ClientStart/Upload strictly
-        // alternate — a session is consumed at most once.
-        let mut outstanding = vec![0i64; cfg.num_clients];
-        for (_, ev) in r.trace.entries() {
-            match ev {
-                TraceEvent::ClientStart { id, .. } => {
-                    outstanding[*id] += 1;
-                    assert_eq!(outstanding[*id], 1, "client {id} restarted mid-session");
-                }
-                TraceEvent::Upload { id, .. } => {
-                    outstanding[*id] -= 1;
-                    assert_eq!(outstanding[*id], 0, "client {id} session consumed twice");
-                }
-                _ => {}
-            }
-        }
-    }
-
-    #[test]
-    fn faulty_runs_are_deterministic() {
-        let mut cfg = tiny_cfg(23, Algorithm::seafl(6, 3, Some(10)));
-        cfg.faults.crash_prob = 0.25;
-        cfg.faults.crash_window = (0.0, 30.0);
-        cfg.faults.upload_drop_prob = 0.2;
-        cfg.faults.corrupt_prob = 0.15;
-        cfg.resilience.session_timeout = Some(25.0);
-        let a = run_experiment(&cfg);
-        let b = run_experiment(&cfg);
-        assert_eq!(a.accuracy, b.accuracy);
-        assert_eq!(a.rounds, b.rounds);
-        assert_eq!(a.crashes, b.crashes);
-        assert_eq!(a.timeouts, b.timeouts);
-        assert_eq!(a.rejected_updates, b.rejected_updates);
-        assert_eq!(a.trace.entries(), b.trace.entries());
     }
 }

@@ -1,14 +1,14 @@
-//! Simulation engines: the synchronous (FedAvg) loop and the event-driven
-//! semi-asynchronous loop shared by FedAsync, FedBuff, SEAFL and SEAFL².
+//! The simulation engine: one event-driven loop ([`event_loop`]) shared by
+//! every algorithm, with the algorithm-specific behaviour supplied by a
+//! [`crate::policy::ServerPolicy`].
 
-pub mod semi_async;
+pub mod event_loop;
 pub mod setup;
-pub mod sync;
 
-use crate::aggregator::{FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
-use crate::checkpoint::{CheckpointError, CheckpointStore, ENGINE_SEMI_ASYNC, ENGINE_SYNC};
-use crate::config::{Algorithm, ExperimentConfig, StalenessPolicy};
+use crate::checkpoint::{CheckpointError, CheckpointStore, ENGINE_UNIFIED};
+use crate::config::ExperimentConfig;
 use crate::metrics;
+use crate::policy::{build_policy, ServerPolicy};
 use seafl_sim::{TerminationReason, TraceLog};
 use serde::Serialize;
 use std::path::Path;
@@ -16,7 +16,8 @@ use std::path::Path;
 /// Everything a finished run reports.
 #[derive(Debug, Serialize)]
 pub struct RunResult {
-    /// Algorithm name ("seafl", "seafl2", "fedbuff", "fedasync", "fedavg").
+    /// Algorithm name ("seafl", "seafl2", "seafl-drop", "fedbuff",
+    /// "fedasync", "fedavg", "fedstale" — [`crate::policy::ServerPolicy::name`]).
     pub algorithm: &'static str,
     /// `(sim_seconds, test_accuracy)` evaluation points, time-ordered.
     pub accuracy: Vec<(f64, f64)>,
@@ -79,71 +80,25 @@ impl RunResult {
     }
 }
 
-/// The checkpoint engine tag for a config's algorithm.
-fn engine_tag(cfg: &ExperimentConfig) -> u8 {
-    match cfg.algorithm {
-        Algorithm::FedAvg { .. } => ENGINE_SYNC,
-        _ => ENGINE_SEMI_ASYNC,
-    }
-}
-
-/// Drive the configured algorithm over a built environment, optionally
-/// resuming from a checkpoint payload.
-fn dispatch(
-    cfg: &ExperimentConfig,
-    env: &mut setup::Environment,
-    resume: Option<&[u8]>,
-) -> Result<RunResult, CheckpointError> {
-    match cfg.algorithm {
-        Algorithm::FedAvg { clients_per_round } => {
-            sync::drive_sync(cfg, env, clients_per_round, resume)
-        }
-        Algorithm::FedAsync { concurrency, mixing_alpha, poly_a } => {
-            let params = semi_async::Params {
-                concurrency,
-                buffer_k: 1,
-                beta: None,
-                policy: StalenessPolicy::Ignore,
-                aggregator: Box::new(FedAsyncAggregator { mixing_alpha, poly_a }),
-                name: "fedasync",
-            };
-            semi_async::drive(cfg, env, params, resume)
-        }
-        Algorithm::FedBuff { concurrency, buffer_k, theta } => {
-            let params = semi_async::Params {
-                concurrency,
-                buffer_k,
-                beta: None,
-                policy: StalenessPolicy::Ignore,
-                aggregator: Box::new(FedBuffAggregator { theta }),
-                name: "fedbuff",
-            };
-            semi_async::drive(cfg, env, params, resume)
-        }
-        Algorithm::Seafl { concurrency, buffer_k, alpha, mu, beta, theta, policy, importance } => {
-            let params = semi_async::Params {
-                concurrency,
-                buffer_k,
-                beta,
-                policy,
-                aggregator: Box::new(SeaflAggregator { alpha, mu, beta, theta, mode: importance }),
-                name: match policy {
-                    StalenessPolicy::NotifyPartial => "seafl2",
-                    StalenessPolicy::DropStale => "seafl-drop",
-                    _ => "seafl",
-                },
-            };
-            semi_async::drive(cfg, env, params, resume)
-        }
-    }
-}
-
 /// Run one experiment end to end: synthesize data, partition, build the
 /// fleet and model, then drive the configured algorithm to termination.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
     cfg.validate();
     let mut env = setup::Environment::build(cfg);
-    dispatch(cfg, &mut env, None).unwrap_or_else(|e| panic!("run_experiment: {e}"))
+    event_loop::drive(cfg, &mut env, build_policy(cfg), None)
+        .unwrap_or_else(|e| panic!("run_experiment: {e}"))
+}
+
+/// Run one experiment under a caller-supplied [`ServerPolicy`] instead of
+/// the config's algorithm — the extension seam for algorithms the
+/// [`crate::Algorithm`] enum does not know about
+/// (`examples/custom_policy.rs`). The config's algorithm field is used only
+/// for validation; the policy decides everything the engine delegates.
+pub fn run_with_policy(cfg: &ExperimentConfig, policy: Box<dyn ServerPolicy>) -> RunResult {
+    cfg.validate();
+    let mut env = setup::Environment::build(cfg);
+    event_loop::drive(cfg, &mut env, policy, None)
+        .unwrap_or_else(|e| panic!("run_with_policy: {e}"))
 }
 
 /// Resume a crashed (or interrupted) run from the newest valid snapshot in
@@ -160,7 +115,7 @@ pub fn resume_experiment(cfg: &ExperimentConfig, dir: &Path) -> Result<RunResult
     cfg.checkpoint_dir = Some(dir.to_path_buf());
     cfg.validate();
     let store = CheckpointStore::new(dir, cfg.keep_last)?;
-    let (_round, payload) = store.load_latest(engine_tag(&cfg), cfg.state_hash())?;
+    let (_round, payload) = store.load_latest(ENGINE_UNIFIED, cfg.state_hash())?;
     let mut env = setup::Environment::build(&cfg);
-    dispatch(&cfg, &mut env, Some(&payload))
+    event_loop::drive(&cfg, &mut env, build_policy(&cfg), Some(&payload))
 }

@@ -3,8 +3,9 @@
 //! The SEAFL federated-learning framework: staleness-aware semi-asynchronous
 //! aggregation with adaptive update weighting (the paper's Eqs. 4–8), the
 //! SEAFL² partial-training extension, and the three baselines the paper
-//! compares against (FedAvg, FedAsync, FedBuff), all driven by the
-//! deterministic discrete-event simulator in `seafl-sim`.
+//! compares against (FedAvg, FedAsync, FedBuff), all driven by one
+//! deterministic event loop ([`engine::event_loop`]) with the
+//! algorithm-specific behaviour plugged in as a [`policy::ServerPolicy`].
 //!
 //! ## Map from paper to code
 //!
@@ -13,34 +14,41 @@
 //! | Eq. 4 staleness factor γ | [`weighting::staleness_factor`] |
 //! | Eq. 5 importance s (cosine) | [`weighting::importance_factor`] |
 //! | Eq. 6 aggregation weight p | [`weighting::aggregation_weights`] |
-//! | Eqs. 7–8 buffer aggregation + ϑ-mixing | [`aggregator::SeaflAggregator`] |
-//! | Algorithm 1 (SEAFL) | [`engine::semi_async`] with [`StalenessPolicy::WaitForStale`] |
-//! | Algorithm 2 (SEAFL², partial training) | [`engine::semi_async`] with [`StalenessPolicy::NotifyPartial`] |
-//! | FedBuff baseline | [`aggregator::FedBuffAggregator`] (uniform 1/K weights, β = ∞) |
-//! | FedAsync baseline | [`aggregator::FedAsyncAggregator`] (K = 1, polynomial staleness mixing) |
-//! | FedAvg baseline | [`engine::sync`] |
+//! | Eqs. 7–8 buffer aggregation + ϑ-mixing | [`policy::SeaflPolicy`] |
+//! | Algorithm 1 (SEAFL) | [`policy::SeaflPolicy`] with [`StalenessPolicy::WaitForStale`] |
+//! | Algorithm 2 (SEAFL², partial training) | [`policy::SeaflPolicy`] with [`StalenessPolicy::NotifyPartial`] |
+//! | FedBuff baseline | [`policy::FedBuffPolicy`] (uniform 1/K weights, β = ∞) |
+//! | FedAsync baseline | [`policy::FedAsyncPolicy`] (K = 1, polynomial staleness mixing) |
+//! | FedAvg baseline | [`policy::FedAvgPolicy`] (lockstep barrier rounds) |
+//! | FedStaleWeight-style fairness | [`policy::FedStaleWeightPolicy`] (staleness-boosted weights) |
 
-pub mod aggregator;
 pub mod buffer;
 pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod policy;
 pub mod pool;
 pub mod sanitize;
 pub mod selection;
+#[doc(hidden)]
+pub mod test_support;
 pub mod update;
 pub mod weighting;
 
-pub use aggregator::{Aggregator, FedAsyncAggregator, FedBuffAggregator, SeaflAggregator};
 pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use client::{LocalTrainer, TrainOutcome};
 pub use config::{
     Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
     StalenessPolicy,
 };
-pub use engine::{resume_experiment, run_experiment, RunResult};
+pub use engine::{resume_experiment, run_experiment, run_with_policy, RunResult};
+pub use policy::{
+    build_policy, mix, weighted_average, Admission, DispatchCtx, DrainCtx, FedAsyncPolicy,
+    FedAvgPolicy, FedBuffPolicy, FedStaleWeightPolicy, InFlight, SeaflPolicy, ServerPolicy,
+    ServerView,
+};
 pub use pool::{TrainJob, TrainerPool};
 pub use update::ModelUpdate;
 pub use weighting::ImportanceMode;

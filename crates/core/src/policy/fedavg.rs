@@ -1,0 +1,213 @@
+//! Synchronous FedAvg as a [`ServerPolicy`] (Eq. 3).
+
+use crate::policy::{
+    weighted_average, Admission, DispatchCtx, DrainCtx, ServerPolicy, ServerView,
+};
+use crate::update::ModelUpdate;
+use crate::SelectionPolicy;
+use rand::seq::SliceRandom;
+use seafl_sim::{DeviceProfile, SimRng, TerminationReason};
+
+/// FedAvg: dispatch a full cohort at a synchronous barrier, aggregate when
+/// every member has reported, replace the global model with the data-size
+/// weighted average. The straggler effect the paper's Fig. 1 illustrates
+/// falls out of the engine's lockstep barrier (round duration = slowest
+/// cohort member).
+pub struct FedAvgPolicy {
+    pub clients_per_round: usize,
+    /// Size of the cohort currently in flight — the aggregation trigger
+    /// (a round completes when the whole cohort has reported).
+    dispatched: usize,
+}
+
+impl FedAvgPolicy {
+    pub fn new(clients_per_round: usize) -> Self {
+        FedAvgPolicy { clients_per_round, dispatched: 0 }
+    }
+}
+
+impl ServerPolicy for FedAvgPolicy {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn concurrency(&self) -> usize {
+        self.clients_per_round
+    }
+
+    fn lockstep(&self) -> bool {
+        true
+    }
+
+    fn select_cohort(
+        &mut self,
+        ctx: &DispatchCtx,
+        idle: &[usize],
+        fleet: &[DeviceProfile],
+        rng: &mut SimRng,
+    ) -> Vec<usize> {
+        // The synchronous round loop's continuation condition: stop
+        // dispatching once any budget is exhausted, the target is reached,
+        // or the injected server crash has fired. A cohort already in
+        // flight means the barrier has not completed — never overlap.
+        if ctx.reached_target
+            || ctx.round >= ctx.max_rounds
+            || ctx.now_secs >= ctx.max_sim_time
+            || ctx.crash_round.is_some_and(|cr| ctx.round >= cr)
+            || ctx.active > 0
+        {
+            return Vec::new();
+        }
+        // Uniform keeps the historical `choose_multiple` draw so recorded
+        // FedAvg schedules stay bit-reproducible across versions (in
+        // lockstep the idle pool is always the full ascending client list).
+        let picked: Vec<usize> = match ctx.selection {
+            SelectionPolicy::Uniform => {
+                idle.choose_multiple(rng, self.clients_per_round).copied().collect()
+            }
+            policy => crate::selection::select_clients(
+                policy,
+                idle,
+                fleet,
+                self.clients_per_round,
+                rng,
+            ),
+        };
+        self.dispatched = picked.len();
+        picked
+    }
+
+    fn on_update_received(&mut self, _update: &ModelUpdate, _round: u64) -> Admission {
+        Admission::Admit
+    }
+
+    fn should_aggregate(&self, view: &ServerView) -> bool {
+        self.dispatched > 0 && view.buffer_len >= self.dispatched
+    }
+
+    fn weights_for_buffer(
+        &mut self,
+        updates: &[ModelUpdate],
+        _global: &[f32],
+        _round: u64,
+    ) -> Vec<f32> {
+        let total: usize = updates.iter().map(|u| u.num_samples).sum();
+        if total == 0 {
+            // Degenerate sample-free buffer (property tests); real clients
+            // always hold data.
+            return vec![1.0 / updates.len() as f32; updates.len()];
+        }
+        updates.iter().map(|u| u.num_samples as f32 / total as f32).collect()
+    }
+
+    fn mix_into_global(&self, _global: &[f32], avg: &[f32]) -> Vec<f32> {
+        // Eq. 3 replaces the global model outright — no ϑ-mixing.
+        avg.to_vec()
+    }
+
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "fedavg: empty round");
+        let w = self.weights_for_buffer(updates, global, round);
+        let avg = weighted_average(updates, &w);
+        self.mix_into_global(global, &avg)
+    }
+
+    fn drained_termination(&self, ctx: &DrainCtx) -> Option<TerminationReason> {
+        // Name the reason the synchronous round loop stopped, in the loop's
+        // own precedence: the crash check ran only while both budgets still
+        // held (and a reached target exited before it).
+        Some(if ctx.reached_target {
+            TerminationReason::TargetAccuracy
+        } else if ctx.crash_round.is_some_and(|cr| ctx.round >= cr)
+            && ctx.round < ctx.max_rounds
+            && ctx.now_secs < ctx.max_sim_time
+        {
+            TerminationReason::ServerCrash
+        } else if ctx.round >= ctx.max_rounds {
+            TerminationReason::MaxRounds
+        } else {
+            TerminationReason::MaxSimTime
+        })
+    }
+
+    fn encode_state(&self, w: &mut crate::checkpoint::BinWriter) {
+        // `dispatched` is the open round's aggregation trigger; a resumed
+        // run must keep waiting for exactly that cohort.
+        w.usize(self.dispatched);
+    }
+
+    fn decode_state(
+        &mut self,
+        r: &mut crate::checkpoint::BinReader,
+    ) -> Result<(), crate::checkpoint::CodecError> {
+        self.dispatched = r.usize()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(client: usize, born: u64, samples: usize, params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate {
+            client_id: client,
+            params,
+            num_samples: samples,
+            born_round: born,
+            epochs_completed: 5,
+            train_loss: 0.0,
+        }
+    }
+
+    #[test]
+    fn fedavg_weighted_by_samples() {
+        let mut p = FedAvgPolicy::new(2);
+        let updates = vec![upd(0, 0, 30, vec![1.0]), upd(1, 0, 10, vec![5.0])];
+        let out = p.aggregate(&[0.0], &updates, 1);
+        assert!((out[0] - (0.75 * 1.0 + 0.25 * 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waits_for_the_whole_cohort() {
+        let mut p = FedAvgPolicy::new(3);
+        p.dispatched = 3;
+        let view =
+            |n| ServerView { round: 0, buffer_len: n, in_flight: &[] };
+        assert!(!p.should_aggregate(&view(2)));
+        assert!(p.should_aggregate(&view(3)));
+        // Nothing dispatched yet ⇒ nothing to wait for, nothing to do.
+        p.dispatched = 0;
+        assert!(!p.should_aggregate(&view(0)));
+    }
+
+    #[test]
+    fn termination_precedence_matches_round_loop() {
+        let ctx = |round, now, crash, reached| DrainCtx {
+            round,
+            now_secs: now,
+            max_rounds: 10,
+            max_sim_time: 100.0,
+            crash_round: crash,
+            reached_target: reached,
+        };
+        let p = FedAvgPolicy::new(2);
+        assert_eq!(
+            p.drained_termination(&ctx(3, 50.0, Some(3), false)),
+            Some(TerminationReason::ServerCrash)
+        );
+        // Budget exhaustion wins over a crash round that never got checked.
+        assert_eq!(
+            p.drained_termination(&ctx(10, 50.0, Some(3), false)),
+            Some(TerminationReason::MaxRounds)
+        );
+        assert_eq!(
+            p.drained_termination(&ctx(3, 100.0, Some(3), false)),
+            Some(TerminationReason::MaxSimTime)
+        );
+        assert_eq!(
+            p.drained_termination(&ctx(3, 50.0, Some(3), true)),
+            Some(TerminationReason::TargetAccuracy)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Pluggable server policies: everything algorithm-specific that the
+//! unified event loop ([`crate::engine::event_loop`]) delegates.
+//!
+//! The engine owns the virtual clock, event queue, client sessions,
+//! trainer-pool dispatch, fault handling, sanitization and checkpointing;
+//! a [`ServerPolicy`] decides *which* clients to dispatch, *whether* an
+//! arriving update enters the buffer, *when* the buffer is aggregated,
+//! *how* the buffered updates are weighted and mixed into the global
+//! model, and *what* of its own state a checkpoint must carry.
+//!
+//! A new algorithm is one policy impl plus an [`crate::Algorithm`] variant
+//! — no engine or checkpoint-framing edits (see
+//! [`fedstale::FedStaleWeightPolicy`] for the worked example, and
+//! DESIGN.md §8 for the lifecycle).
+
+mod fedasync;
+mod fedavg;
+mod fedbuff;
+mod fedstale;
+mod seafl;
+
+pub use fedasync::FedAsyncPolicy;
+pub use fedavg::FedAvgPolicy;
+pub use fedbuff::FedBuffPolicy;
+pub use fedstale::FedStaleWeightPolicy;
+pub use seafl::SeaflPolicy;
+
+use crate::checkpoint::{BinReader, BinWriter, CodecError};
+use crate::config::{Algorithm, ExperimentConfig, SelectionPolicy};
+use crate::update::ModelUpdate;
+use seafl_sim::{DeviceProfile, SimRng, TerminationReason};
+
+/// What the engine is about to do when it asks a policy for a cohort.
+pub struct DispatchCtx {
+    /// Server round counter (completed aggregations).
+    pub round: u64,
+    /// Virtual-clock time of the dispatch, seconds.
+    pub now_secs: f64,
+    /// Clients currently training.
+    pub active: usize,
+    /// The experiment's round budget.
+    pub max_rounds: u64,
+    /// The experiment's virtual-time budget, seconds.
+    pub max_sim_time: f64,
+    /// Round at which the injected server crash fires (`None` = never).
+    pub crash_round: Option<u64>,
+    /// Whether `stop_at_accuracy` has been reached.
+    pub reached_target: bool,
+    /// The experiment's client-selection policy.
+    pub selection: SelectionPolicy,
+}
+
+/// One in-flight training session, as visible to policy hooks.
+pub struct InFlight {
+    pub client: usize,
+    /// Server round when the session was dispatched.
+    pub born_round: u64,
+    /// Whether a partial-upload notification was already sent (SEAFL²).
+    pub notified: bool,
+}
+
+/// Read-only server state handed to the aggregation-trigger and
+/// notification hooks.
+pub struct ServerView<'a> {
+    /// Server round counter (completed aggregations).
+    pub round: u64,
+    /// Updates currently buffered.
+    pub buffer_len: usize,
+    /// In-flight sessions in client order.
+    pub in_flight: &'a [InFlight],
+}
+
+/// Verdict on an arriving update.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Buffer the update.
+    Admit,
+    /// Discard it on arrival (counted and traced as a drop). Note SEAFL's
+    /// SAFA-style ablation does *not* use this: it drops at aggregation
+    /// time, via [`ServerPolicy::partition_stale`], when staleness is
+    /// finally known.
+    Drop,
+}
+
+/// State the engine exposes when the event queue ran dry, so a policy can
+/// name the termination reason its protocol implies.
+pub struct DrainCtx {
+    pub round: u64,
+    pub now_secs: f64,
+    pub max_rounds: u64,
+    pub max_sim_time: f64,
+    pub crash_round: Option<u64>,
+    pub reached_target: bool,
+}
+
+/// Algorithm-specific server behaviour plugged into the unified engine.
+///
+/// Hooks are called on the engine thread only, in a fixed order per event
+/// (admission → trigger → stale partition → aggregation → notification →
+/// dispatch), so implementations can keep plain mutable state; anything
+/// that must survive a checkpoint goes through
+/// [`encode_state`](ServerPolicy::encode_state) /
+/// [`decode_state`](ServerPolicy::decode_state).
+pub trait ServerPolicy: Send {
+    /// Algorithm label reported in [`crate::RunResult::algorithm`].
+    fn name(&self) -> &'static str;
+
+    /// Devices the engine keeps training concurrently (the dispatch
+    /// target for the default [`select_cohort`](ServerPolicy::select_cohort)).
+    fn concurrency(&self) -> usize;
+
+    /// Buffer size that triggers aggregation under the default
+    /// [`should_aggregate`](ServerPolicy::should_aggregate).
+    fn buffer_k(&self) -> usize {
+        1
+    }
+
+    /// Lockstep protocols (FedAvg) dispatch whole cohorts at a synchronous
+    /// barrier: the engine then skips the per-device fault channels and
+    /// session timeouts (which model behaviours a synchronous round does
+    /// not exhibit) and schedules every upload at the cohort's slowest
+    /// completion time.
+    fn lockstep(&self) -> bool {
+        false
+    }
+
+    /// Whether training must retain per-epoch snapshots (only policies
+    /// that can interrupt a session mid-way — SEAFL² — need them).
+    fn keep_epoch_snapshots(&self) -> bool {
+        false
+    }
+
+    /// Pick the clients to dispatch now from `idle` (ascending client
+    /// order). The default keeps `concurrency()` devices training.
+    /// Returning an empty cohort declines the dispatch.
+    fn select_cohort(
+        &mut self,
+        ctx: &DispatchCtx,
+        idle: &[usize],
+        fleet: &[DeviceProfile],
+        rng: &mut SimRng,
+    ) -> Vec<usize> {
+        crate::selection::select_clients(
+            ctx.selection,
+            idle,
+            fleet,
+            self.concurrency().saturating_sub(ctx.active),
+            rng,
+        )
+    }
+
+    /// Admission verdict for an update that survived transit. Also the
+    /// point where a policy observes per-client staleness statistics.
+    fn on_update_received(&mut self, _update: &ModelUpdate, _round: u64) -> Admission {
+        Admission::Admit
+    }
+
+    /// Whether the server should aggregate now. Called after every event.
+    fn should_aggregate(&self, view: &ServerView) -> bool {
+        view.buffer_len >= self.buffer_k()
+    }
+
+    /// Split the sanitized buffer into `(aggregate, discard)` — the hook
+    /// behind SEAFL's SAFA-style drop ablation. Order must be preserved.
+    fn partition_stale(
+        &self,
+        updates: Vec<ModelUpdate>,
+        _round: u64,
+    ) -> (Vec<ModelUpdate>, Vec<ModelUpdate>) {
+        (updates, Vec::new())
+    }
+
+    /// Aggregation weights over `updates` (Σ = 1, every weight finite and
+    /// ≥ 0 — property-tested for every impl in `weighting.rs`).
+    fn weights_for_buffer(
+        &mut self,
+        updates: &[ModelUpdate],
+        global: &[f32],
+        round: u64,
+    ) -> Vec<f32>;
+
+    /// Fold the weighted buffer average into the global model (Eq. 8's
+    /// ϑ-mixing for the buffered algorithms, outright replacement for
+    /// FedAvg).
+    fn mix_into_global(&self, global: &[f32], avg: &[f32]) -> Vec<f32>;
+
+    /// Produce the next global model. The default composes
+    /// [`weights_for_buffer`](ServerPolicy::weights_for_buffer) →
+    /// [`weighted_average`] → [`mix_into_global`](ServerPolicy::mix_into_global);
+    /// FedAsync overrides it with its sequential per-update fold.
+    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
+        assert!(!updates.is_empty(), "{}: empty buffer", self.name());
+        let w = self.weights_for_buffer(updates, global, round);
+        let avg = weighted_average(updates, &w);
+        self.mix_into_global(global, &avg)
+    }
+
+    /// Clients to send a partial-upload notification to, in client order
+    /// (SEAFL²; everyone else notifies nobody).
+    fn clients_to_notify(&self, _view: &ServerView) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Termination reason when the event queue drained. `None` defers to
+    /// the engine's generic drained/starved classification; lockstep
+    /// policies name the reason their round-loop semantics imply.
+    fn drained_termination(&self, _ctx: &DrainCtx) -> Option<TerminationReason> {
+        None
+    }
+
+    /// Write this policy's checkpoint state. The engine frames it as an
+    /// opaque length-prefixed section, so the layout inside is entirely
+    /// the policy's own; stateless policies write nothing.
+    fn encode_state(&self, _w: &mut BinWriter) {}
+
+    /// Restore state written by [`encode_state`](ServerPolicy::encode_state).
+    /// The engine verifies the section is consumed exactly.
+    fn decode_state(&mut self, _r: &mut BinReader) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+/// Weighted average of `updates` with weights `w` (Σw = 1) — Eq. 7's
+/// buffer combination, shared by every weight-based policy.
+pub fn weighted_average(updates: &[ModelUpdate], weights: &[f32]) -> Vec<f32> {
+    let dim = updates[0].params.len();
+    let mut out = vec![0.0f32; dim];
+    for (u, &w) in updates.iter().zip(weights.iter()) {
+        assert_eq!(u.params.len(), dim, "weighted_average: mixed model sizes");
+        for (o, &p) in out.iter_mut().zip(u.params.iter()) {
+            *o += w * p;
+        }
+    }
+    out
+}
+
+/// `w ← (1−ϑ)·w + ϑ·w_new` (Eq. 8).
+pub fn mix(global: &[f32], new: &[f32], theta: f32) -> Vec<f32> {
+    global.iter().zip(new.iter()).map(|(&g, &n)| (1.0 - theta) * g + theta * n).collect()
+}
+
+/// Build the [`ServerPolicy`] for a config's algorithm.
+pub fn build_policy(cfg: &ExperimentConfig) -> Box<dyn ServerPolicy> {
+    match cfg.algorithm {
+        Algorithm::FedAvg { clients_per_round } => {
+            Box::new(FedAvgPolicy::new(clients_per_round))
+        }
+        Algorithm::FedAsync { concurrency, mixing_alpha, poly_a } => {
+            Box::new(FedAsyncPolicy { concurrency, mixing_alpha, poly_a })
+        }
+        Algorithm::FedBuff { concurrency, buffer_k, theta } => {
+            Box::new(FedBuffPolicy { concurrency, buffer_k, theta })
+        }
+        Algorithm::Seafl { concurrency, buffer_k, alpha, mu, beta, theta, policy, importance } => {
+            Box::new(SeaflPolicy {
+                concurrency,
+                buffer_k,
+                alpha,
+                mu,
+                beta,
+                theta,
+                policy,
+                importance,
+            })
+        }
+        Algorithm::FedStale { concurrency, buffer_k, theta } => {
+            Box::new(FedStaleWeightPolicy::new(concurrency, buffer_k, theta, cfg.num_clients))
+        }
+    }
+}

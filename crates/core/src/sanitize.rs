@@ -1,6 +1,6 @@
 //! Server-side update sanitization.
 //!
-//! Sits in front of [`crate::Aggregator::aggregate`]: updates that are
+//! Sits in front of [`crate::ServerPolicy::aggregate`]: updates that are
 //! numerically broken — NaN/∞ parameters, or a parameter vector absurdly
 //! far from the current global model — are rejected before they can poison
 //! the global model. Rejection is all-or-nothing per update; the surviving

@@ -1,0 +1,87 @@
+//! Shared test-support helpers: the tiny experiment configs used by the
+//! engine test suites and the digest-equivalence fixtures.
+//!
+//! This module is compiled into the library (integration tests and the
+//! fixture-generator example cannot see `#[cfg(test)]` items) but hidden
+//! from the documented API surface.
+
+use crate::config::{Algorithm, ExperimentConfig};
+use seafl_nn::ModelKind;
+use seafl_sim::{CorruptionKind, FleetConfig};
+
+/// The small-but-real experiment config the engine tests run: 12 Pareto
+/// devices, a thin MLP, 30 rounds. Heavy enough to exercise staleness and
+/// device turnover, light enough for debug-mode `cargo test`.
+pub fn tiny_cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(seed, algorithm);
+    cfg.num_clients = 12;
+    cfg.fleet = FleetConfig::pareto_fleet(12);
+    cfg.train_per_class = 24;
+    cfg.test_per_class = 8;
+    cfg.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 24, num_classes: 10 };
+    cfg.max_rounds = 30;
+    cfg.max_sim_time = 100_000.0;
+    cfg
+}
+
+/// One refactor-guard fixture case: a labelled config whose seeded
+/// `model_digest`/`trace_digest` are pinned in `tests/fixtures/digests.txt`.
+pub struct FixtureCase {
+    /// Algorithm label, matches `RunResult::algorithm`.
+    pub label: &'static str,
+    /// Whether the fault-injection overlay is applied.
+    pub faults: bool,
+    pub cfg: ExperimentConfig,
+}
+
+impl FixtureCase {
+    /// The fixture-file key for this case (`<label>/<faults|clean>`).
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.label, if self.faults { "faults" } else { "clean" })
+    }
+}
+
+/// Every fault channel the engines consult, plus the resilience knobs that
+/// react to them — so the guard pins the faulty code paths too.
+fn apply_fault_overlay(cfg: &mut ExperimentConfig) {
+    cfg.faults.crash_prob = 0.2;
+    cfg.faults.crash_window = (0.0, 40.0);
+    cfg.faults.upload_drop_prob = 0.15;
+    cfg.faults.straggler_prob = 0.3;
+    cfg.faults.straggler_window = (0.0, 30.0);
+    cfg.faults.straggler_duration = 20.0;
+    cfg.faults.straggler_factor = 3.0;
+    cfg.faults.corrupt_prob = 0.1;
+    cfg.faults.corruption = CorruptionKind::NanBurst { count: 4 };
+    cfg.resilience.session_timeout = Some(25.0);
+    cfg.resilience.quarantine_after = 2;
+    cfg.resilience.max_update_norm_ratio = Some(50.0);
+}
+
+/// The digest-equivalence fixture set: every seed algorithm, with and
+/// without faults, on one fixed seed. Shared by the generator
+/// (`examples/digest_fixtures.rs`) and the guard (`tests/refactor_guard.rs`)
+/// so the two can never drift apart.
+pub fn fixture_cases() -> Vec<FixtureCase> {
+    let algorithms: [(&'static str, Algorithm); 7] = [
+        ("seafl", Algorithm::seafl(6, 3, Some(10))),
+        ("seafl2", Algorithm::seafl2(8, 3, 2)),
+        ("seafl-drop", Algorithm::seafl_drop(8, 3, 1)),
+        ("fedbuff", Algorithm::fedbuff(6, 3)),
+        ("fedasync", Algorithm::fedasync(6)),
+        ("fedavg", Algorithm::FedAvg { clients_per_round: 6 }),
+        ("fedstale", Algorithm::fedstale(6, 3)),
+    ];
+    let mut cases = Vec::new();
+    for (label, algorithm) in algorithms {
+        for faults in [false, true] {
+            let mut cfg = tiny_cfg(42, algorithm);
+            cfg.stop_at_accuracy = None;
+            if faults {
+                apply_fault_overlay(&mut cfg);
+            }
+            cases.push(FixtureCase { label, faults, cfg });
+        }
+    }
+    cases
+}

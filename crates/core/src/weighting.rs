@@ -286,6 +286,61 @@ mod tests {
         }
 
         #[test]
+        fn prop_every_policy_weights_normalized(
+            n in 1usize..8,
+            round in 0u64..20,
+            seed in 0u64..500,
+        ) {
+            // The normalization contract holds for *every* ServerPolicy
+            // impl, not just SEAFL's Eq. 6: weights finite, non-negative,
+            // Σ = 1 within 1e-6 — including the stateful FedStaleWeight
+            // policy after it has observed the buffer's arrivals.
+            use crate::config::{Algorithm, ExperimentConfig};
+            use crate::policy::build_policy;
+
+            let mut s = seed.wrapping_add(1);
+            let mut rnd = move || {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                (s % 1000) as f32 / 500.0 - 1.0
+            };
+            let g: Vec<f32> = (0..6).map(|_| rnd()).collect();
+            let updates: Vec<ModelUpdate> = (0..n).map(|i| ModelUpdate {
+                client_id: i,
+                params: (0..6).map(|_| rnd()).collect(),
+                num_samples: 10 + i * 7,
+                born_round: round.saturating_sub(i as u64 % 5),
+                epochs_completed: 5,
+                train_loss: 0.0,
+            }).collect();
+
+            for algorithm in [
+                Algorithm::seafl(6, 3, Some(10)),
+                Algorithm::seafl2(8, 3, 2),
+                Algorithm::seafl_drop(8, 3, 1),
+                Algorithm::fedbuff(6, 3),
+                Algorithm::fedasync(6),
+                Algorithm::FedAvg { clients_per_round: 6 },
+                Algorithm::fedstale(6, 3),
+            ] {
+                let mut cfg = ExperimentConfig::quick(0, algorithm);
+                cfg.num_clients = 12;
+                let mut policy = build_policy(&cfg);
+                // Stateful policies observe arrivals before weighting.
+                for u in &updates {
+                    policy.on_update_received(u, round);
+                }
+                let w = policy.weights_for_buffer(&updates, &g, round);
+                prop_assert_eq!(w.len(), n, "{}", policy.name());
+                prop_assert!(
+                    w.iter().all(|&x| x.is_finite() && x >= 0.0),
+                    "{}: {:?}", policy.name(), w
+                );
+                let sum: f64 = w.iter().map(|&x| x as f64).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "{}: sum {}", policy.name(), sum);
+            }
+        }
+
+        #[test]
         fn prop_staleness_factor_monotonic(alpha in 0.1f32..5.0, beta in 1u64..100) {
             let mut prev = f32::INFINITY;
             for s in 0..2 * beta {

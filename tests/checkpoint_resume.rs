@@ -79,18 +79,21 @@ fn assert_identical(a: &RunResult, b: &RunResult, what: &str) {
     assert_eq!(a.trace.entries(), b.trace.entries(), "{what}: event trace diverged");
 }
 
-fn all_algorithms() -> [Algorithm; 5] {
+fn all_algorithms() -> [Algorithm; 6] {
     [
         Algorithm::seafl(5, 3, Some(5)),
         Algorithm::seafl2(5, 3, 2),
         Algorithm::fedbuff(5, 3),
         Algorithm::fedasync(5),
         Algorithm::FedAvg { clients_per_round: 4 },
+        // Stateful policy: its running staleness means ride the per-policy
+        // checkpoint section, so this case proves that section round-trips.
+        Algorithm::fedstale(5, 3),
     ]
 }
 
-/// The headline guarantee: crash + resume ≡ uninterrupted, for all five
-/// algorithms, faults on, sequential and parallel executors.
+/// The headline guarantee: crash + resume ≡ uninterrupted, for every
+/// algorithm, faults on, sequential and parallel executors.
 #[test]
 fn crash_and_resume_is_bit_identical_for_every_algorithm() {
     for (i, alg) in all_algorithms().into_iter().enumerate() {

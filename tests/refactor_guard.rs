@@ -1,0 +1,111 @@
+//! Digest-equivalence refactor guard.
+//!
+//! Every seed algorithm, with and without faults, is run at one worker
+//! thread and at four. The two executions must agree bit for bit on
+//! `model_digest`/`trace_digest` — always. On top of that, any case with a
+//! recorded entry in `tests/fixtures/digests.txt` must reproduce it
+//! exactly; engine refactors that change numerics or event ordering fail
+//! here before anything else.
+//!
+//! The guard is *self-pinning*: a case with no recorded entry is appended
+//! to the fixture file on the first run (the committed file starts
+//! header-only, because digests depend on the floating-point environment
+//! they were produced in — pinning at build time would break the first
+//! machine that differs). The cross-version check runs in CI's
+//! refactor-guard job, which regenerates the fixture file at the PR's
+//! merge-base and then runs this guard on the PR head: any digest the old
+//! code produced that the new code does not reproduce fails the job.
+//!
+//! Re-pin manually (only for *intended* numeric changes):
+//! `cargo run --release --example digest_fixtures > tests/fixtures/digests.txt`
+
+use seafl::core::run_experiment;
+use seafl::core::test_support::fixture_cases;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/digests.txt")
+}
+
+/// Parse the fixture file: `key model_digest trace_digest` per line, `#`
+/// comments and blank lines ignored. Read at runtime (not `include_str!`)
+/// so a CI job — or this guard's own self-pinning — can regenerate it
+/// without a rebuild.
+fn read_recorded() -> (Vec<String>, BTreeMap<String, (u64, u64)>) {
+    let text = std::fs::read_to_string(fixture_path()).unwrap_or_default();
+    let header: Vec<String> = text
+        .lines()
+        .filter(|l| l.trim().is_empty() || l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    let entries = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let key = it.next().expect("fixture key").to_string();
+            let model = u64::from_str_radix(it.next().expect("model digest"), 16)
+                .expect("model digest is hex");
+            let trace = u64::from_str_radix(it.next().expect("trace digest"), 16)
+                .expect("trace digest is hex");
+            (key, (model, trace))
+        })
+        .collect();
+    (header, entries)
+}
+
+#[test]
+fn digests_are_thread_invariant_and_match_recorded_fixtures() {
+    let (header, mut recorded) = read_recorded();
+    let mut pinned_new = false;
+    for case in fixture_cases() {
+        let key = case.key();
+
+        // Run the case at both executor widths; thread count must never
+        // leak into results, so this holds with or without fixtures.
+        let mut digests = Vec::new();
+        for threads in [1usize, 4] {
+            let mut cfg = case.cfg.clone();
+            cfg.threads = threads;
+            let r = run_experiment(&cfg);
+            digests.push((r.model_digest, r.trace.digest()));
+        }
+        assert_eq!(
+            digests[0], digests[1],
+            "{key}: 1-thread and 4-thread runs diverged \
+             (t1 model={:016x} trace={:016x}, t4 model={:016x} trace={:016x})",
+            digests[0].0, digests[0].1, digests[1].0, digests[1].1,
+        );
+
+        match recorded.get(&key) {
+            Some(&(model, trace)) => {
+                assert_eq!(
+                    digests[0],
+                    (model, trace),
+                    "{key} drifted from the recorded digests \
+                     (got model={:016x} trace={:016x})",
+                    digests[0].0,
+                    digests[0].1,
+                );
+            }
+            None => {
+                // First sighting on this machine: pin it.
+                recorded.insert(key, digests[0]);
+                pinned_new = true;
+            }
+        }
+    }
+    if pinned_new {
+        let mut out = String::new();
+        for line in &header {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for (key, (model, trace)) in &recorded {
+            writeln!(out, "{key} {model:016x} {trace:016x}").unwrap();
+        }
+        std::fs::write(fixture_path(), out).expect("write pinned fixtures");
+    }
+}
