@@ -9,10 +9,10 @@
 //!    alternative), and none.
 //! 3. **Server mixing ϑ** — the Eq. 8 coefficient (paper uses 0.8).
 //!
-//! Run: `cargo run --release -p seafl-bench --bin ablation [-- --part policy|importance|theta] [--scale smoke|std]`
+//! Run: `cargo run --release -p seafl-bench --bin ablation [-- --part policy|importance|theta] [--scale smoke|std] [--obs]`
 
 use seafl_bench::profiles::{insights_config, CONCURRENCY, INSIGHTS_TARGET};
-use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{apply_obs_to_arms, arg_value, report, run_arms, scale_from_args, Arm, Scale};
 use seafl_core::{Algorithm, ImportanceMode};
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
 
     if part.as_deref().is_none_or(|p| p == "policy") {
         println!("=== Ablation: staleness policy at beta=3 (same adaptive weights) ===");
-        let arms = vec![
+        let mut arms = vec![
             Arm {
                 label: "wait (SEAFL)".into(),
                 config: insights_config(seed, Algorithm::seafl(m, k, Some(3)), scale),
@@ -44,6 +44,7 @@ fn main() {
                 config: insights_config(seed, Algorithm::seafl(m, k, None), scale),
             },
         ];
+        apply_obs_to_arms("ablation_policy", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         for a in &results {
@@ -70,12 +71,13 @@ fn main() {
             }
             insights_config(seed, alg, scale)
         };
-        let arms = vec![
+        let mut arms = vec![
             Arm { label: "model-cosine".into(), config: mk(ImportanceMode::ModelCosine, 1.0) },
             Arm { label: "delta-cosine".into(), config: mk(ImportanceMode::DeltaCosine, 1.0) },
             Arm { label: "dot-product".into(), config: mk(ImportanceMode::DotProduct, 1.0) },
             Arm { label: "none (mu=0)".into(), config: mk(ImportanceMode::ModelCosine, 0.0) },
         ];
+        apply_obs_to_arms("ablation_importance", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_importance", &results);
@@ -85,7 +87,7 @@ fn main() {
 
     if part.as_deref().is_none_or(|p| p == "prox") {
         println!("=== Ablation: FedProx proximal term on local training (beyond paper) ===");
-        let arms: Vec<Arm> = [0.0f32, 0.1, 1.0]
+        let mut arms: Vec<Arm> = [0.0f32, 0.1, 1.0]
             .iter()
             .map(|&mu| {
                 let mut cfg = insights_config(seed, Algorithm::seafl(m, k, Some(10)), scale);
@@ -93,6 +95,7 @@ fn main() {
                 Arm { label: format!("prox_mu={mu}"), config: cfg }
             })
             .collect();
+        apply_obs_to_arms("ablation_prox", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_prox", &results);
@@ -103,7 +106,7 @@ fn main() {
     if part.as_deref().is_none_or(|p| p == "theta") {
         println!("=== Ablation: server mixing theta (Eq. 8; paper uses 0.8) ===");
         let thetas: &[f32] = if scale == Scale::Smoke { &[0.8] } else { &[0.2, 0.5, 0.8, 1.0] };
-        let arms: Vec<Arm> = thetas
+        let mut arms: Vec<Arm> = thetas
             .iter()
             .map(|&theta| {
                 let mut alg = Algorithm::seafl(m, k, Some(10));
@@ -113,6 +116,7 @@ fn main() {
                 Arm { label: format!("theta={theta}"), config: insights_config(seed, alg, scale) }
             })
             .collect();
+        apply_obs_to_arms("ablation_theta", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::write_accuracy_csv("ablation_theta", &results);

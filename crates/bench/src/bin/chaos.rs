@@ -21,7 +21,9 @@
 //!   are bit-identical to the reference (the CI kill-and-resume smoke job).
 
 use seafl_bench::profiles::{chaos_overlay, insights_config, INSIGHTS_TARGET};
-use seafl_bench::{arg_value, has_flag, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{
+    apply_obs_to_arms, arg_value, has_flag, report, run_arms, scale_from_args, Arm, Scale,
+};
 use seafl_core::{resume_experiment, run_experiment, Algorithm, ExperimentConfig, RunResult};
 use seafl_sim::TerminationReason;
 use std::path::{Path, PathBuf};
@@ -163,6 +165,7 @@ fn main() {
     }
 
     println!("=== Chaos: healthy vs faulty fleet ===");
+    apply_obs_to_arms("chaos", &mut arms);
     let results = run_arms(arms);
     report::print_time_to_target(&results, &[INSIGHTS_TARGET]);
     report::print_curves(&results, 8);

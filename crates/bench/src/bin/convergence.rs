@@ -6,10 +6,11 @@
 //! expect the gradient-norm trajectory to descend fastest for moderate K
 //! with a finite β — consistent with Fig. 2's wall-clock findings.
 //!
-//! Run: `cargo run --release -p seafl-bench --bin convergence [-- --scale smoke|std]`
+//! Run: `cargo run --release -p seafl-bench --bin convergence
+//!       [-- --scale smoke|std] [--obs]`
 
 use seafl_bench::profiles::{insights_config, CONCURRENCY};
-use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{apply_obs_to_arms, report, run_arms, scale_from_args, Arm, Scale};
 use seafl_core::Algorithm;
 
 fn main() {
@@ -27,7 +28,7 @@ fn main() {
     };
 
     println!("=== Corollary 1: gradient-norm trajectories vs (K, beta) ===");
-    let arms: Vec<Arm> = combos
+    let mut arms: Vec<Arm> = combos
         .iter()
         .map(|&(k, beta)| {
             let mut cfg = insights_config(seed, Algorithm::seafl(m, k, beta), scale);
@@ -42,6 +43,7 @@ fn main() {
         })
         .collect();
 
+    apply_obs_to_arms("convergence", &mut arms);
     let results = run_arms(arms);
 
     println!("{:<16} | mean ||grad||^2 (first 1/3) | (last 1/3) | decay ratio", "arm");

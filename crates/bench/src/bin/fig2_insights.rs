@@ -8,10 +8,11 @@
 //! * part c: importance weighting on/off; paper finding: with importance
 //!   210 s vs 278 s without.
 //!
-//! Run: `cargo run --release -p seafl-bench --bin fig2_insights [-- --part a|b|c] [--scale smoke|std]`
+//! Run: `cargo run --release -p seafl-bench --bin fig2_insights
+//!       [-- --part a|b|c] [--scale smoke|std] [--obs]`
 
 use seafl_bench::profiles::{insights_config, CONCURRENCY, INSIGHTS_TARGET};
-use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{apply_obs_to_arms, arg_value, report, run_arms, scale_from_args, Arm, Scale};
 use seafl_core::{Algorithm, StalenessPolicy};
 
 fn main() {
@@ -54,6 +55,7 @@ fn main() {
                 arm.config.eval_every = 10;
             }
         }
+        apply_obs_to_arms("fig2a_buffer_size", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);
@@ -66,7 +68,7 @@ fn main() {
         println!("=== Fig. 2b: staleness limit beta (K=10) ===");
         let k = if scale == Scale::Smoke { 3 } else { 10 };
         let betas: &[u64] = if scale == Scale::Smoke { &[1, 10] } else { &[1, 2, 5, 10, 20] };
-        let arms: Vec<Arm> = betas
+        let mut arms: Vec<Arm> = betas
             .iter()
             .map(|&b| Arm {
                 label: format!("beta={b}"),
@@ -77,6 +79,7 @@ fn main() {
                 config: insights_config(seed, Algorithm::seafl(m, k, None), scale),
             }))
             .collect();
+        apply_obs_to_arms("fig2b_staleness_limit", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);
@@ -95,10 +98,11 @@ fn main() {
             }
             insights_config(seed, alg, scale)
         };
-        let arms = vec![
+        let mut arms = vec![
             Arm { label: "gamma+importance".into(), config: mk(1.0) },
             Arm { label: "gamma only".into(), config: mk(0.0) },
         ];
+        apply_obs_to_arms("fig2c_importance", &mut arms);
         let results = run_arms(arms);
         report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
         report::print_curves(&results, 8);

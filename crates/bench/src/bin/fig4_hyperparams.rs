@@ -3,10 +3,11 @@
 //! Paper finding: (α = 3, μ = 1) gives a modest edge over the other
 //! representative pairs (values explored in 0..10).
 //!
-//! Run: `cargo run --release -p seafl-bench --bin fig4_hyperparams [-- --scale smoke|std]`
+//! Run: `cargo run --release -p seafl-bench --bin fig4_hyperparams
+//!       [-- --scale smoke|std] [--obs]`
 
 use seafl_bench::profiles::{insights_config, BETA, BUFFER_K, CONCURRENCY, INSIGHTS_TARGET};
-use seafl_bench::{report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{apply_obs_to_arms, report, run_arms, scale_from_args, Arm, Scale};
 use seafl_core::Algorithm;
 
 fn main() {
@@ -25,7 +26,7 @@ fn main() {
     };
 
     println!("=== Fig. 4: (alpha, mu) grid, K={k}, beta={BETA} ===");
-    let arms: Vec<Arm> = pairs
+    let mut arms: Vec<Arm> = pairs
         .iter()
         .map(|&(alpha, mu)| {
             let mut alg = Algorithm::seafl(m, k, Some(BETA));
@@ -37,6 +38,7 @@ fn main() {
         })
         .collect();
 
+    apply_obs_to_arms("fig4_hyperparams", &mut arms);
     let results = run_arms(arms);
     report::print_time_to_target(&results, &[0.7, INSIGHTS_TARGET]);
     report::print_curves(&results, 8);

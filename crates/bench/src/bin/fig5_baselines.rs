@@ -8,7 +8,13 @@
 //! * SEAFL(β=10) ≥ SEAFL(β=∞) ≈ FedBuff, with SEAFL fastest to target.
 //!
 //! Run: `cargo run --release -p seafl-bench --bin fig5_baselines
-//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std] [--threads 1,4]`
+//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std] [--threads 1,4]
+//!       [--obs]`
+//!
+//! `--obs` streams per-arm JSONL observability records into
+//! `target/experiments/fig5_<workload>_obs/`; feed them to the `report`
+//! binary together with the `*_runs.json` this writes (see
+//! OBSERVABILITY.md).
 //!
 //! `--threads` takes a comma-separated sweep of executor widths; every
 //! setting reruns the whole workload, the JSON report records per-run
@@ -18,7 +24,7 @@
 
 use seafl_bench::profiles::{fig5_arms, Workload};
 use seafl_bench::{
-    arg_value, report, run_arms, scale_from_args, threads_from_args, Arm, ArmResult,
+    apply_obs, arg_value, report, run_arms, scale_from_args, threads_from_args, Arm, ArmResult,
 };
 
 fn main() {
@@ -36,6 +42,7 @@ fn main() {
     };
 
     for w in workloads {
+        let stem = format!("fig5_{}", w.name().replace('-', "_"));
         let mut all_results: Vec<ArmResult> = Vec::new();
         // No --threads: one pass with the profile default.
         let passes: Vec<Option<usize>> =
@@ -53,6 +60,12 @@ fn main() {
                     if let Some(t) = threads {
                         config.threads = t;
                     }
+                    // Thread-sweep reruns get distinct stream files.
+                    let obs_label = match threads {
+                        Some(t) => format!("{label}_t{t}"),
+                        None => label.clone(),
+                    };
+                    apply_obs(&stem, &obs_label, &mut config);
                     Arm { label, config }
                 })
                 .collect();
@@ -79,7 +92,6 @@ fn main() {
             println!();
         }
 
-        let stem = format!("fig5_{}", w.name().replace('-', "_"));
         report::write_accuracy_csv(&stem, &all_results);
         report::write_run_json(&format!("{stem}_runs"), &all_results);
 

@@ -8,10 +8,10 @@
 //!   turnover makes staleness handling less impactful).
 //!
 //! Run: `cargo run --release -p seafl-bench --bin fig6_partial
-//!       [-- --part a|b] [--scale smoke|std]`
+//!       [-- --part a|b] [--scale smoke|std] [--obs]`
 
 use seafl_bench::profiles::{evaluation_config, Workload, BUFFER_K, CONCURRENCY};
-use seafl_bench::{arg_value, report, run_arms, scale_from_args, Arm, Scale};
+use seafl_bench::{apply_obs_to_arms, arg_value, report, run_arms, scale_from_args, Arm, Scale};
 use seafl_core::Algorithm;
 
 fn run_part(workload: Workload, beta: u64, scale: Scale, seed: u64) {
@@ -56,10 +56,11 @@ fn run_part(workload: Workload, beta: u64, scale: Scale, seed: u64) {
             arm.config.max_rounds = arm.config.max_rounds * k as u64 / m as u64 + 1;
         }
     }
+    let stem = format!("fig6_{}_beta{beta}", workload.name().replace('-', "_"));
+    apply_obs_to_arms(&stem, &mut arms);
     let results = run_arms(arms);
     report::print_time_to_target(&results, workload.targets());
     report::print_curves(&results, 8);
-    let stem = format!("fig6_{}_beta{beta}", workload.name().replace('-', "_"));
     report::write_accuracy_csv(&stem, &results);
     report::write_run_json(&format!("{stem}_runs"), &results);
 

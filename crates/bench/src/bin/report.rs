@@ -1,0 +1,78 @@
+//! Run-report tool: join a figure binary's `*_runs.json` with its JSONL
+//! observability streams and print the per-policy comparison table — time
+//! to each accuracy target, server rounds, staleness p50/p95, mean
+//! aggregation-weight entropy, and each run's wall-clock phase breakdown.
+//!
+//! Produce the inputs with any figure binary's `--obs` flag, e.g.
+//!
+//! ```sh
+//! cargo run --release -p seafl-bench --bin fig5_baselines -- \
+//!     --workload emnist --scale smoke --obs
+//! cargo run --release -p seafl-bench --bin report -- \
+//!     --runs target/experiments/fig5_emnist_like_runs.json
+//! ```
+//!
+//! Flags:
+//! * `--runs <path>` — the `*_runs.json` file (required). The JSONL
+//!   directory is derived from it (`X_runs.json` → `X_obs/`) unless
+//!   `--obs-dir` overrides it.
+//! * `--obs-dir <dir>` — explicit directory of `*.jsonl` streams.
+//! * `--targets <t1,t2,…>` — accuracy targets for the time-to-accuracy
+//!   columns (default `0.5,0.7`).
+
+use seafl_bench::{arg_value, obs_report};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let Some(runs) = arg_value("runs").map(PathBuf::from) else {
+        eprintln!("usage: report --runs <X_runs.json> [--obs-dir <dir>] [--targets 0.5,0.7]");
+        exit(2);
+    };
+    let obs_dir = arg_value("obs-dir").map(PathBuf::from).unwrap_or_else(|| {
+        let name = runs
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let stem = name.strip_suffix("_runs.json").unwrap_or_else(|| {
+            eprintln!("cannot derive the obs dir from {name:?}; pass --obs-dir");
+            exit(2);
+        });
+        runs.with_file_name(format!("{stem}_obs"))
+    });
+    let targets: Vec<f64> = arg_value("targets")
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad --targets value {s:?}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0.5, 0.7]);
+
+    let obs_runs = obs_report::parse_obs_dir(&obs_dir).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("(did the figure binary run with --obs?)");
+        exit(1);
+    });
+    if obs_runs.is_empty() {
+        eprintln!("no *.jsonl streams in {}", obs_dir.display());
+        exit(1);
+    }
+    let phases: BTreeMap<String, Vec<(String, f64)>> = obs_report::phase_breakdown(&runs)
+        .unwrap_or_else(|e| {
+            eprintln!("warning: no phase breakdown: {e}");
+            BTreeMap::new()
+        });
+
+    println!(
+        "report: {} run(s) from {} + {}",
+        obs_runs.len(),
+        obs_dir.display(),
+        runs.display()
+    );
+    obs_report::print_report(&obs_runs, &phases, &targets);
+}

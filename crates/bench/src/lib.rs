@@ -12,10 +12,12 @@
 //! wins, roughly by how much, where the crossovers are). Pass `--scale
 //! smoke` for a seconds-long sanity run of any binary.
 
+pub mod obs_report;
 pub mod profiles;
 pub mod report;
 
-use seafl_core::{run_experiment, ExperimentConfig, RunResult};
+use seafl_core::{run_experiment, ExperimentConfig, ObsConfig, RunResult};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// One experiment arm: a label plus its config.
@@ -86,6 +88,27 @@ pub fn threads_from_args() -> Vec<usize> {
                 .collect()
         })
         .unwrap_or_default()
+}
+
+/// When `--obs` was passed, arm `cfg` with a full JSONL observability
+/// stream at `target/experiments/<stem>_obs/<label>.jsonl` (label
+/// sanitized) and return the path; otherwise leave the config's summary-only
+/// default and return `None`.
+pub fn apply_obs(stem: &str, label: &str, cfg: &mut ExperimentConfig) -> Option<PathBuf> {
+    if !has_flag("obs") {
+        return None;
+    }
+    let path = report::obs_jsonl_path(stem, label);
+    cfg.obs = ObsConfig::full(&path);
+    Some(path)
+}
+
+/// [`apply_obs`] over a whole arm list, keyed by each arm's own label.
+pub fn apply_obs_to_arms(stem: &str, arms: &mut [Arm]) {
+    for arm in arms.iter_mut() {
+        let label = arm.label.clone();
+        apply_obs(stem, &label, &mut arm.config);
+    }
 }
 
 /// Parse `--scale` (default `std`).

@@ -1,0 +1,383 @@
+//! Run-report ingestion: parse the JSONL observability streams
+//! (`seafl_core::obs::export`) and the `*_runs.json` records the figure
+//! binaries write, and render a per-policy comparison table — time to each
+//! accuracy target, real-time phase breakdown, staleness p50/p95, mean
+//! aggregation-weight entropy.
+//!
+//! The JSONL side of this module is the decode half of the schema the core
+//! crate hand-writes (core has no serde_json); the round-trip tests below
+//! are what pins the two against each other.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// The schema version this reader understands (must match
+/// [`seafl_core::obs::export::SCHEMA_VERSION`]).
+pub const SCHEMA_VERSION: u64 = seafl_core::obs::export::SCHEMA_VERSION as u64;
+
+/// One summarized histogram out of the JSONL summary record.
+#[derive(Debug, Clone, Default)]
+pub struct HistStats {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+}
+
+impl HistStats {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything the report needs from one run's JSONL stream.
+#[derive(Debug, Clone, Default)]
+pub struct ObsRun {
+    /// File stem the stream was read from (the sanitized arm label).
+    pub label: String,
+    /// Algorithm name from the meta record.
+    pub algorithm: String,
+    /// Experiment seed from the meta record.
+    pub seed: u64,
+    /// `(sim_seconds, accuracy)` eval points, in stream order.
+    pub evals: Vec<(f64, f64)>,
+    /// Update records seen (admitted or not).
+    pub updates: u64,
+    /// Round records seen.
+    pub round_records: u64,
+    /// Server rounds at termination (summary record).
+    pub rounds: u64,
+    /// Counter snapshot from the summary record.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries from the summary record.
+    pub histograms: BTreeMap<String, HistStats>,
+    /// The run's registry digest (hex string) from the summary record.
+    pub registry_digest: String,
+}
+
+impl ObsRun {
+    /// First simulated time the eval series reached `target`.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.evals.iter().find(|&&(_, acc)| acc >= target).map(|&(t, _)| t)
+    }
+
+    /// Named histogram's stats, defaulting to empty.
+    pub fn hist(&self, name: &str) -> HistStats {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str, path: &Path, line: usize) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{}:{line}: missing field {key:?}", path.display()))
+}
+
+fn f64_field(v: &Value, key: &str, path: &Path, line: usize) -> Result<f64, String> {
+    field(v, key, path, line)?
+        .as_f64()
+        .ok_or_else(|| format!("{}:{line}: field {key:?} is not a number", path.display()))
+}
+
+fn u64_field(v: &Value, key: &str, path: &Path, line: usize) -> Result<u64, String> {
+    field(v, key, path, line)?
+        .as_u64()
+        .ok_or_else(|| format!("{}:{line}: field {key:?} is not a u64", path.display()))
+}
+
+fn str_field(v: &Value, key: &str, path: &Path, line: usize) -> Result<String, String> {
+    Ok(field(v, key, path, line)?
+        .as_str()
+        .ok_or_else(|| format!("{}:{line}: field {key:?} is not a string", path.display()))?
+        .to_string())
+}
+
+/// Parse one JSONL observability stream. Every line must be a valid record
+/// of a known `kind` carrying the supported schema version; the stream must
+/// contain exactly one meta record (first) and one summary record (last).
+pub fn parse_jsonl(path: &Path) -> Result<ObsRun, String> {
+    let body = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut run = ObsRun {
+        label: path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        ..ObsRun::default()
+    };
+    let (mut saw_meta, mut saw_summary) = (false, false);
+    for (i, raw) in body.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        if saw_summary {
+            return Err(format!("{}:{line}: record after summary", path.display()));
+        }
+        let v: Value = serde_json::from_str(raw)
+            .map_err(|e| format!("{}:{line}: bad JSON: {e}", path.display()))?;
+        let version = u64_field(&v, "v", path, line)?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "{}:{line}: schema version {version} (reader supports {SCHEMA_VERSION})",
+                path.display()
+            ));
+        }
+        match str_field(&v, "kind", path, line)?.as_str() {
+            "meta" => {
+                if saw_meta {
+                    return Err(format!("{}:{line}: duplicate meta record", path.display()));
+                }
+                saw_meta = true;
+                run.algorithm = str_field(&v, "algorithm", path, line)?;
+                run.seed = u64_field(&v, "seed", path, line)?;
+            }
+            "update" => run.updates += 1,
+            "round" => run.round_records += 1,
+            "eval" => {
+                let t = f64_field(&v, "t", path, line)?;
+                let acc = f64_field(&v, "accuracy", path, line)?;
+                run.evals.push((t, acc));
+            }
+            "summary" => {
+                saw_summary = true;
+                run.rounds = u64_field(&v, "rounds", path, line)?;
+                run.registry_digest = str_field(&v, "registry_digest", path, line)?;
+                if let Some(counters) = field(&v, "counters", path, line)?.as_object() {
+                    for (k, c) in counters {
+                        run.counters.insert(
+                            k.clone(),
+                            c.as_u64().ok_or_else(|| {
+                                format!("{}:{line}: counter {k:?} not a u64", path.display())
+                            })?,
+                        );
+                    }
+                }
+                if let Some(hists) = field(&v, "histograms", path, line)?.as_object() {
+                    for (k, h) in hists {
+                        run.histograms.insert(
+                            k.clone(),
+                            HistStats {
+                                count: u64_field(h, "count", path, line)?,
+                                sum: f64_field(h, "sum", path, line)?,
+                                p50: f64_field(h, "p50", path, line)?,
+                                p95: f64_field(h, "p95", path, line)?,
+                            },
+                        );
+                    }
+                }
+            }
+            other => {
+                return Err(format!("{}:{line}: unknown record kind {other:?}", path.display()))
+            }
+        }
+        if !saw_meta {
+            return Err(format!("{}:{line}: stream does not start with meta", path.display()));
+        }
+    }
+    if !saw_meta {
+        return Err(format!("{}: empty stream", path.display()));
+    }
+    if !saw_summary {
+        return Err(format!("{}: no summary record (truncated run?)", path.display()));
+    }
+    Ok(run)
+}
+
+/// Parse every `*.jsonl` stream in a directory, sorted by file name.
+pub fn parse_obs_dir(dir: &Path) -> Result<Vec<ObsRun>, String> {
+    let mut paths: Vec<_> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| parse_jsonl(p)).collect()
+}
+
+/// Per-label wall-clock phase breakdown pulled from a `*_runs.json` file
+/// (the `obs.phases` field [`crate::report::write_run_json`] records).
+pub fn phase_breakdown(runs_json: &Path) -> Result<BTreeMap<String, Vec<(String, f64)>>, String> {
+    let body = fs::read_to_string(runs_json)
+        .map_err(|e| format!("cannot read {}: {e}", runs_json.display()))?;
+    let v: Value = serde_json::from_str(&body)
+        .map_err(|e| format!("{}: bad JSON: {e}", runs_json.display()))?;
+    let mut out = BTreeMap::new();
+    for rec in v.as_array().into_iter().flatten() {
+        let Some(label) = rec.get("label").and_then(|l| l.as_str()) else { continue };
+        let Some(phases) = rec.pointer("/obs/phases").and_then(|p| p.as_array()) else {
+            continue;
+        };
+        let list: Vec<(String, f64)> = phases
+            .iter()
+            .filter_map(|p| {
+                Some((
+                    p.get("name")?.as_str()?.to_string(),
+                    p.get("secs")?.as_f64()?,
+                ))
+            })
+            .collect();
+        // Thread-sweep reruns share a label; the first record wins.
+        out.entry(crate::report::sanitize_label(label)).or_insert(list);
+    }
+    Ok(out)
+}
+
+/// Render the per-policy comparison table: one row per run with time to
+/// each accuracy target, rounds, staleness p50/p95 and mean weight entropy,
+/// followed by each run's dominant wall-clock phases when a breakdown is
+/// available.
+pub fn print_report(
+    runs: &[ObsRun],
+    phases: &BTreeMap<String, Vec<(String, f64)>>,
+    targets: &[f64],
+) {
+    print!("{:<24} {:<10}", "run", "algorithm");
+    for t in targets {
+        print!(" | t→{:.0}% (s)", t * 100.0);
+    }
+    println!(" | rounds | stale p50/p95 | entropy");
+    let width = 36 + targets.len() * 14 + 36;
+    println!("{}", "-".repeat(width));
+    for r in runs {
+        print!("{:<24} {:<10}", r.label, r.algorithm);
+        for &t in targets {
+            match r.time_to_accuracy(t) {
+                Some(secs) => print!(" | {secs:>10.0}"),
+                None => print!(" | {:>10}", "—"),
+            }
+        }
+        let stale = r.hist("staleness_rounds");
+        let entropy = r.hist("weight_entropy_nats");
+        print!(" | {:>6} | {:>6.1}/{:<6.1}", r.rounds, stale.p50, stale.p95);
+        if entropy.count > 0 {
+            println!(" | {:>7.3}", entropy.mean());
+        } else {
+            println!(" | {:>7}", "—");
+        }
+    }
+    let mut printed_header = false;
+    for r in runs {
+        let Some(list) = phases.get(&r.label) else { continue };
+        if !printed_header {
+            println!("\nwall-clock phase breakdown (seconds):");
+            printed_header = true;
+        }
+        let mut sorted: Vec<&(String, f64)> = list.iter().collect();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let total: f64 = list.iter().map(|(_, s)| s).sum();
+        let top: Vec<String> = sorted
+            .iter()
+            .filter(|(_, s)| *s > 0.0)
+            .take(4)
+            .map(|(n, s)| format!("{n} {s:.2}s"))
+            .collect();
+        println!("  {:<24} total {total:.2}s: {}", r.label, top.join(", "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seafl_core::obs::export;
+    use seafl_core::obs::{names, MetricsRegistry};
+    use seafl_core::{Algorithm, ObsConfig};
+
+    /// The decode half (this module) against the encode half (core's
+    /// hand-written JSONL): every record kind round-trips through
+    /// serde_json with the fields the report relies on intact.
+    #[test]
+    fn jsonl_schema_roundtrip() {
+        let mut reg = MetricsRegistry::default();
+        reg.inc(names::AGGREGATIONS);
+        reg.observe(
+            names::STALENESS_ROUNDS,
+            seafl_core::obs::bounds::STALENESS_ROUNDS,
+            3.0,
+        );
+        let mut counts = std::collections::BTreeMap::new();
+        counts.insert("upload", 5u64);
+        let lines = [
+            export::meta_record("seafl", 42, 0xdead_beef, 12, false),
+            export::update_record(10.5, 3, 2, 1, 1, 5, true),
+            export::round_record(11.0, 3, 4, 4, 6, &[0, 1, 3], Some(1.25)),
+            export::eval_record(11.0, 3, 0.625),
+            export::summary_record(99.0, 7, &counts, &reg),
+        ];
+        for (i, line) in lines.iter().enumerate() {
+            let v: Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("record {i} is not valid JSON: {e}\n{line}"));
+            assert_eq!(v["v"].as_u64(), Some(SCHEMA_VERSION), "record {i}");
+        }
+        let meta: Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(meta["kind"], "meta");
+        assert_eq!(meta["algorithm"], "seafl");
+        assert_eq!(meta["seed"].as_u64(), Some(42));
+        assert_eq!(meta["config_hash"], "00000000deadbeef");
+        let update: Value = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(update["client"].as_u64(), Some(3));
+        assert_eq!(update["admitted"], true);
+        let round: Value = serde_json::from_str(&lines[2]).unwrap();
+        assert_eq!(round["staleness"].as_array().unwrap().len(), 3);
+        assert_eq!(round["weight_entropy"].as_f64(), Some(1.25));
+        let summary: Value = serde_json::from_str(&lines[4]).unwrap();
+        assert_eq!(summary["counters"]["aggregations"].as_u64(), Some(1));
+        assert_eq!(summary["trace_events"]["upload"].as_u64(), Some(5));
+        assert_eq!(
+            summary["histograms"]["staleness_rounds"]["count"].as_u64(),
+            Some(1)
+        );
+    }
+
+    /// Golden end-to-end test: run the tiny engine config with a full JSONL
+    /// stream, parse it back and check the report's inputs line up with the
+    /// run's own result.
+    #[test]
+    fn tiny_run_stream_parses_and_matches_result() {
+        let dir = std::env::temp_dir().join(format!("seafl_obs_report_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fedbuff.jsonl");
+        let mut cfg = seafl_core::test_support::tiny_cfg(7, Algorithm::fedbuff(4, 2));
+        cfg.max_rounds = 3;
+        cfg.obs = ObsConfig::full(&path);
+        let result = seafl_core::run_experiment(&cfg);
+        let run = parse_jsonl(&path).expect("stream parses");
+        assert_eq!(run.algorithm, "fedbuff");
+        assert_eq!(run.seed, 7);
+        assert_eq!(run.rounds, result.rounds);
+        assert_eq!(run.round_records, result.rounds);
+        assert_eq!(run.updates as usize, result.total_updates);
+        // Eval records mirror the accuracy series (baseline included).
+        assert_eq!(run.evals.len(), result.accuracy.len());
+        assert_eq!(run.counters["aggregations"], result.rounds);
+        assert_eq!(run.registry_digest, result.obs.registry_digest);
+        assert!(run.hist("staleness_rounds").count > 0);
+        // Directory scan finds the same stream.
+        let all = parse_obs_dir(&dir).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].algorithm, "fedbuff");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("seafl_obs_trunc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        std::fs::write(&path, export::meta_record("seafl", 1, 2, 3, false) + "\n").unwrap();
+        let err = parse_jsonl(&path).unwrap_err();
+        assert!(err.contains("no summary"), "{err}");
+        // A stream that does not open with meta is also rejected.
+        std::fs::write(&path, export::eval_record(1.0, 1, 0.5) + "\n").unwrap();
+        let err = parse_jsonl(&path).unwrap_err();
+        assert!(err.contains("start with meta"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -70,6 +70,7 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         checkpoint_every: None,
         checkpoint_dir: None,
         keep_last: 2,
+        obs: seafl_core::ObsConfig::default(),
     }
 }
 
@@ -189,6 +190,7 @@ pub fn evaluation_config(
         checkpoint_every: None,
         checkpoint_dir: None,
         keep_last: 2,
+        obs: seafl_core::ObsConfig::default(),
     }
 }
 

@@ -13,6 +13,29 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// File-system-safe form of an arm label: keeps `[A-Za-z0-9_-]`, replaces
+/// everything else (parentheses, `=`, spaces, …) with `_`.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+/// Directory the per-arm JSONL observability streams for figure `stem` go
+/// into (`target/experiments/<stem>_obs/`), created on first use. The
+/// `report` binary derives it back from the `<stem>_runs.json` path.
+pub fn obs_dir(stem: &str) -> PathBuf {
+    let dir = experiments_dir().join(format!("{stem}_obs"));
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("failed to create {}: {e}", dir.display()));
+    dir
+}
+
+/// The JSONL stream path for one arm of figure `stem`.
+pub fn obs_jsonl_path(stem: &str, label: &str) -> PathBuf {
+    obs_dir(stem).join(format!("{}.jsonl", sanitize_label(label)))
+}
+
 /// Print the headline table: time (simulated seconds) to reach each target
 /// accuracy, per arm — the quantity every figure in the paper reports —
 /// plus the host wall-clock each run took.
@@ -115,6 +138,10 @@ pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
                 "model_digest": format!("{:016x}", a.result.model_digest),
                 "trace_digest": format!("{:016x}", a.result.trace.digest()),
                 "speedup_vs_threads1": speedup,
+                // Observability snapshot (counters, histogram summaries and
+                // the real-time phase breakdown) — what `report` joins with
+                // the per-run JSONL streams.
+                "obs": serde_json::to_value(&a.result.obs).expect("serialize obs summary"),
             })
         })
         .collect();
@@ -157,6 +184,7 @@ mod tests {
             superseded_uploads: 0,
             model_digest: 0,
             sim_time_end: 100.0,
+            obs: seafl_core::ObsSummary::default(),
             trace: TraceLog::new(),
         }
     }

@@ -11,6 +11,7 @@ pub struct UpdateBuffer {
 }
 
 impl UpdateBuffer {
+    /// Fresh empty buffer.
     pub fn new() -> Self {
         UpdateBuffer { updates: Vec::new() }
     }
@@ -26,10 +27,12 @@ impl UpdateBuffer {
         }
     }
 
+    /// Number of buffered updates (at most one per client).
     pub fn len(&self) -> usize {
         self.updates.len()
     }
 
+    /// Whether the buffer holds no updates.
     pub fn is_empty(&self) -> bool {
         self.updates.is_empty()
     }

@@ -36,46 +36,57 @@ pub struct BinWriter {
 }
 
 impl BinWriter {
+    /// Fresh empty writer.
     pub fn new() -> Self {
         BinWriter { buf: Vec::new() }
     }
 
+    /// Consume the writer, yielding the encoded payload.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
+    /// Write one byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
+    /// Write a bool as one byte (0 or 1).
     pub fn bool(&mut self, v: bool) {
         self.buf.push(v as u8);
     }
 
+    /// Write a `u32`, little-endian.
     pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Write a `u64`, little-endian.
     pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Write a `u128`, little-endian.
     pub fn u128(&mut self, v: u128) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Write a `usize` widened to `u64` (platform-independent).
     pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
+    /// Write an `f32` as its IEEE-754 bit pattern (NaN-exact).
     pub fn f32(&mut self, v: f32) {
         self.u32(v.to_bits());
     }
 
+    /// Write an `f64` as its IEEE-754 bit pattern (NaN-exact).
     pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
+    /// Append raw bytes with no framing.
     pub fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
@@ -88,6 +99,7 @@ impl BinWriter {
         self.bytes(body);
     }
 
+    /// Write a length-prefixed `f32` slice.
     pub fn vec_f32(&mut self, v: &[f32]) {
         self.usize(v.len());
         for &x in v {
@@ -95,6 +107,7 @@ impl BinWriter {
         }
     }
 
+    /// Write a length-prefixed `u64` slice.
     pub fn vec_u64(&mut self, v: &[u64]) {
         self.usize(v.len());
         for &x in v {
@@ -102,10 +115,12 @@ impl BinWriter {
         }
     }
 
+    /// Write a [`SimTime`] as its `f64` seconds.
     pub fn sim_time(&mut self, t: SimTime) {
         self.f64(t.as_secs());
     }
 
+    /// Write an RNG's full resumable state (seed, stream, word position).
     pub fn rng(&mut self, rng: &SimRng) {
         let (seed, stream, word_pos) = rng_state(rng);
         self.bytes(&seed);
@@ -113,6 +128,7 @@ impl BinWriter {
         self.u128(word_pos);
     }
 
+    /// Write a length-prefixed slice of RNG states.
     pub fn rngs(&mut self, rngs: &[SimRng]) {
         self.usize(rngs.len());
         for r in rngs {
@@ -120,6 +136,7 @@ impl BinWriter {
         }
     }
 
+    /// Write the full event trace, tag-encoded per event.
     pub fn trace(&mut self, log: &TraceLog) {
         self.usize(log.len());
         for (t, e) in log.entries() {
@@ -128,6 +145,7 @@ impl BinWriter {
         }
     }
 
+    /// Write a length-prefixed slice of `(f64, f64)` pairs.
     pub fn f64_pairs(&mut self, v: &[(f64, f64)]) {
         self.usize(v.len());
         for &(a, b) in v {
@@ -221,6 +239,7 @@ pub struct BinReader<'a> {
 }
 
 impl<'a> BinReader<'a> {
+    /// Reader over `buf`, positioned at its start.
     pub fn new(buf: &'a [u8]) -> Self {
         BinReader { buf, pos: 0 }
     }
@@ -249,6 +268,7 @@ impl<'a> BinReader<'a> {
         }
     }
 
+    /// Read one byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
@@ -260,6 +280,7 @@ impl<'a> BinReader<'a> {
         self.take(n)
     }
 
+    /// Read a bool; any byte other than 0/1 is a [`CodecError`].
     pub fn bool(&mut self) -> Result<bool, CodecError> {
         match self.u8()? {
             0 => Ok(false),
@@ -268,18 +289,22 @@ impl<'a> BinReader<'a> {
         }
     }
 
+    /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Read a little-endian `u128`.
     pub fn u128(&mut self) -> Result<u128, CodecError> {
         Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
     }
 
+    /// Read a `u64` and narrow it to `usize`, erroring on overflow.
     pub fn usize(&mut self) -> Result<usize, CodecError> {
         let v = self.u64()?;
         usize::try_from(v).or_else(|_| err(format!("usize value {v} overflows this platform")))
@@ -297,24 +322,29 @@ impl<'a> BinReader<'a> {
         Ok(n)
     }
 
+    /// Read an `f32` from its bit pattern (NaN-exact).
     pub fn f32(&mut self) -> Result<f32, CodecError> {
         Ok(f32::from_bits(self.u32()?))
     }
 
+    /// Read an `f64` from its bit pattern (NaN-exact).
     pub fn f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Read a length-prefixed `f32` vector.
     pub fn vec_f32(&mut self) -> Result<Vec<f32>, CodecError> {
         let n = self.count(4)?;
         (0..n).map(|_| self.f32()).collect()
     }
 
+    /// Read a length-prefixed `u64` vector.
     pub fn vec_u64(&mut self) -> Result<Vec<u64>, CodecError> {
         let n = self.count(8)?;
         (0..n).map(|_| self.u64()).collect()
     }
 
+    /// Read a [`SimTime`]; non-finite or negative seconds are errors.
     pub fn sim_time(&mut self) -> Result<SimTime, CodecError> {
         let secs = self.f64()?;
         if !secs.is_finite() || secs < 0.0 {
@@ -323,6 +353,7 @@ impl<'a> BinReader<'a> {
         Ok(SimTime::from_secs(secs))
     }
 
+    /// Read one RNG state back into a resumable [`SimRng`].
     pub fn rng(&mut self) -> Result<SimRng, CodecError> {
         let seed: [u8; 32] = self.take(32)?.try_into().unwrap();
         let stream = self.u64()?;
@@ -330,11 +361,13 @@ impl<'a> BinReader<'a> {
         Ok(rng_from_state((seed, stream, word_pos)))
     }
 
+    /// Read a length-prefixed vector of RNG states.
     pub fn rngs(&mut self) -> Result<Vec<SimRng>, CodecError> {
         let n = self.count(32 + 8 + 16)?;
         (0..n).map(|_| self.rng()).collect()
     }
 
+    /// Read the full event trace.
     pub fn trace(&mut self) -> Result<TraceLog, CodecError> {
         let n = self.count(8 + 1)?;
         let mut log = TraceLog::new();
@@ -346,6 +379,7 @@ impl<'a> BinReader<'a> {
         Ok(log)
     }
 
+    /// Read a length-prefixed vector of `(f64, f64)` pairs.
     pub fn f64_pairs(&mut self) -> Result<Vec<(f64, f64)>, CodecError> {
         let n = self.count(16)?;
         (0..n).map(|_| Ok((self.f64()?, self.f64()?))).collect()

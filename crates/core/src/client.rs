@@ -72,6 +72,8 @@ pub struct LocalTrainer {
 }
 
 impl LocalTrainer {
+    /// Trainer around `model` with plain (or momentum) SGD and the given
+    /// mini-batch size. FedProx regularization is off; see [`Self::with_prox`].
     pub fn new(model: Model, lr: f32, momentum: f32, batch_size: usize) -> Self {
         assert!(batch_size > 0, "LocalTrainer: zero batch size");
         let opt = if momentum > 0.0 { Sgd::new(lr).with_momentum(momentum) } else { Sgd::new(lr) };

@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use crate::obs::ObsConfig;
 use crate::weighting::ImportanceMode;
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
@@ -160,6 +161,8 @@ impl Algorithm {
         Algorithm::FedStale { concurrency, buffer_k, theta: 0.8 }
     }
 
+    /// Short stable label used in run files, report tables and figures
+    /// (`"seafl"`, `"seafl2"`, `"fedbuff"`, …).
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::FedAvg { .. } => "fedavg",
@@ -315,6 +318,11 @@ pub struct ExperimentConfig {
     /// after each successful write). Keeping ≥ 2 lets resume fall back to
     /// the previous snapshot if the newest one is torn or corrupted.
     pub keep_last: usize,
+    /// Observability: what the run records and whether it streams JSONL.
+    /// Pure measurement — never feeds back into the simulation, excluded
+    /// from [`state_hash`](ExperimentConfig::state_hash) and from
+    /// checkpoints.
+    pub obs: ObsConfig,
 }
 
 impl ExperimentConfig {
@@ -356,6 +364,7 @@ impl ExperimentConfig {
             checkpoint_every: None,
             checkpoint_dir: None,
             keep_last: 2,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -372,6 +381,7 @@ impl ExperimentConfig {
         c.checkpoint_every = None;
         c.checkpoint_dir = None;
         c.keep_last = 0;
+        c.obs = ObsConfig::default();
         seafl_sim::digest::fnv1a64(format!("{c:?}").as_bytes())
     }
 
@@ -410,6 +420,7 @@ impl ExperimentConfig {
         assert!(self.keep_last >= 1, "config: keep_last must be >= 1");
         self.faults.validate();
         self.resilience.validate();
+        self.obs.validate();
         assert!(
             self.train_per_class * self.spec.num_classes >= self.num_clients,
             "config: not enough training samples for the client count"
@@ -548,6 +559,10 @@ mod tests {
         c.checkpoint_dir = Some(std::path::PathBuf::from("/tmp/x"));
         c.keep_last = 7;
         assert_eq!(c.state_hash(), h, "checkpoint knobs changed the state hash");
+        c.obs = crate::obs::ObsConfig::full("/tmp/x.jsonl");
+        assert_eq!(c.state_hash(), h, "obs knobs changed the state hash");
+        c.obs = crate::obs::ObsConfig::off();
+        assert_eq!(c.state_hash(), h, "obs knobs changed the state hash");
 
         // State-relevant drift: hash MUST move.
         let mut c = base.clone();
@@ -559,6 +574,14 @@ mod tests {
         let mut c = base.clone();
         c.faults.crash_prob = 0.1;
         assert_ne!(c.state_hash(), h, "fault-model drift not detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "ObsMode::Full requires obs.jsonl_path")]
+    fn obs_full_without_path_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.obs.mode = crate::obs::ObsMode::Full;
+        cfg.validate();
     }
 
     #[test]

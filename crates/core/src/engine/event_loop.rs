@@ -84,14 +84,17 @@ use crate::config::ExperimentConfig;
 use crate::config::StalenessPolicy;
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
-use crate::policy::{Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView};
+use crate::obs::{bounds, export, names, Obs, Phase};
+use crate::policy::{
+    weighted_average, Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView,
+};
 use crate::pool::TrainJob;
 use crate::sanitize;
 use crate::update::ModelUpdate;
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::{
-    EventQueue, EventQueueSnapshot, FaultPlan, SimRng, SimTime, TerminationReason, TraceEvent,
-    TraceLog,
+    EventQueue, EventQueueSnapshot, FaultPlan, RejectCause, SimRng, SimTime, TerminationReason,
+    TraceEvent, TraceLog,
 };
 
 /// Events on the virtual clock.
@@ -177,10 +180,24 @@ pub(crate) fn drive(
     // run is a restarted server, so `decode` cleared its crash round.
     st.crash_round = st.plan.server_crash_round();
     let lockstep = st.policy.lockstep();
+    let config_hash = cfg.state_hash();
+
+    // Observability is installed here, not in `fresh`/`decode`: it is pure
+    // measurement, never part of the simulation state, and a resumed run
+    // starts a fresh stream.
+    st.obs = Obs::new(&cfg.obs);
+    let algorithm = st.policy.name();
+    st.obs.emit(move || {
+        export::meta_record(algorithm, cfg.seed, config_hash, cfg.num_clients, resuming)
+    });
 
     if !resuming {
         // Baseline evaluation at t = 0.
+        let span = st.obs.span_start();
         let acc0 = env.evaluate(&st.global);
+        st.obs.span_end(Phase::Eval, span);
+        st.obs.count(names::EVALS);
+        st.obs.emit(move || export::eval_record(0.0, 0, acc0));
         st.accuracy.push((0.0, acc0));
         st.trace.push(SimTime::ZERO, TraceEvent::Eval { round: 0, accuracy: acc0 });
 
@@ -199,7 +216,6 @@ pub(crate) fn drive(
     }
 
     let every = cfg.checkpoint_every.unwrap_or(1);
-    let config_hash = cfg.state_hash();
     let mut last_saved = st.round;
 
     let mut termination = None;
@@ -234,6 +250,7 @@ pub(crate) fn drive(
             }
             Ev::Crash { client } => {
                 st.crashes += 1;
+                st.obs.count(names::DEVICE_CRASHES);
                 st.trace.push(now, TraceEvent::Crash { id: client });
             }
         }
@@ -244,7 +261,10 @@ pub(crate) fn drive(
         // point where the original stopped.
         if let Some(store) = &store {
             if !st.reached_target && st.round > last_saved && st.round.is_multiple_of(every) {
+                let span = st.obs.span_start();
                 store.save(ENGINE_UNIFIED, config_hash, st.round, &st.encode(env))?;
+                st.obs.span_end(Phase::Checkpoint, span);
+                st.obs.count(names::CHECKPOINTS_SAVED);
                 last_saved = st.round;
             }
         }
@@ -275,6 +295,10 @@ pub(crate) fn drive(
 
     let end = st.queue.now();
     st.trace.push(end, TraceEvent::Terminated { reason: termination, buffered: st.buffer.len() });
+    let obs_summary = {
+        let counts = st.trace.kind_counts();
+        st.obs.finish(end.as_secs(), st.round, &counts)
+    };
     Ok(RunResult {
         algorithm: st.policy.name(),
         accuracy: st.accuracy,
@@ -294,6 +318,7 @@ pub(crate) fn drive(
         superseded_uploads: st.superseded_uploads,
         model_digest: seafl_sim::digest::digest_f32(&st.global),
         sim_time_end: end.as_secs(),
+        obs: obs_summary,
         trace: st.trace,
     })
 }
@@ -338,6 +363,10 @@ struct State {
     /// Latched when `stop_at_accuracy` was reached. Not checkpointed:
     /// snapshots are never taken in this state.
     reached_target: bool,
+    /// Observability front. Never checkpointed — pure measurement; a
+    /// resumed run installs a fresh one in `drive` (constructors leave a
+    /// disabled placeholder).
+    obs: Obs,
     policy: Box<dyn ServerPolicy>,
 }
 
@@ -372,6 +401,7 @@ impl State {
             superseded_uploads: 0,
             crash_round: None,
             reached_target: false,
+            obs: Obs::off(),
             policy,
         }
     }
@@ -683,6 +713,7 @@ impl State {
             superseded_uploads,
             crash_round: None,
             reached_target: false,
+            obs: Obs::off(),
             policy,
         })
     }
@@ -764,6 +795,11 @@ impl State {
         self.next_session_seq[k] += 1;
 
         let upload_at = epoch_ends[cfg.local_epochs - 1].after(device.upload_time(env.model_bytes));
+        self.obs.observe(
+            names::SESSION_SIM_SECS,
+            bounds::SIM_SECS,
+            upload_at.as_secs() - now.as_secs(),
+        );
         self.schedule_upload(now, k, upload_at, generation, 0);
         if let Some(timeout) = cfg.resilience.session_timeout {
             self.queue.schedule(now.after(timeout), Ev::Timeout { client: k, session_seq: seq });
@@ -810,6 +846,7 @@ impl State {
                 elapsed += device.idle_time(&mut env.idle_rngs[k]);
             }
             elapsed += device.upload_time(env.model_bytes);
+            self.obs.observe(names::SESSION_SIM_SECS, bounds::SIM_SECS, elapsed);
             round_duration = round_duration.max(elapsed);
 
             jobs.push(TrainJob {
@@ -858,11 +895,13 @@ impl State {
         let Some(session) = self.sessions[client].as_ref() else {
             // Session already consumed or reclaimed.
             self.superseded_uploads += 1;
+            self.obs.count(names::UPDATES_SUPERSEDED);
             return;
         };
         if session.generation != generation {
             // Superseded by a notification reschedule.
             self.superseded_uploads += 1;
+            self.obs.count(names::UPDATES_SUPERSEDED);
             return;
         }
 
@@ -872,12 +911,14 @@ impl State {
         // rounds skip the channel entirely (see module docs).
         if !lockstep && self.plan.upload_attempt_fails(client) {
             self.upload_failures += 1;
+            self.obs.count(names::UPLOAD_FAILURES);
             self.trace.push(now, TraceEvent::UploadFailed { id: client, attempt });
             if attempt < cfg.resilience.max_upload_retries {
                 let backoff = (cfg.resilience.retry_backoff_base * 2f64.powi(attempt as i32))
                     .min(cfg.resilience.retry_backoff_cap);
                 let arrival = now.after(backoff + env.fleet[client].upload_time(env.model_bytes));
                 self.retries += 1;
+                self.obs.count(names::UPLOAD_RETRIES);
                 self.trace.push(now, TraceEvent::Retry { id: client, attempt: attempt + 1 });
                 self.schedule_upload(now, client, arrival, generation, attempt + 1);
             } else {
@@ -909,11 +950,28 @@ impl State {
         self.sessions[client] = None;
         self.consecutive_timeouts[client] = 0;
         self.total_updates += 1;
+        self.obs.count(names::UPDATES_RECEIVED);
         if epochs < cfg.local_epochs {
             self.partial_updates += 1;
+            self.obs.count(names::UPDATES_PARTIAL);
         }
         self.trace.push(now, TraceEvent::Upload { id: client, born_round: born, epochs });
-        match self.policy.on_update_received(&update, self.round) {
+        let span = self.obs.span_start();
+        let verdict = self.policy.on_update_received(&update, self.round);
+        self.obs.span_end(Phase::Admission, span);
+        {
+            let admitted = verdict == Admission::Admit;
+            let (t, round, staleness) = (now.as_secs(), self.round, update.staleness(self.round));
+            self.obs.emit(move || {
+                export::update_record(t, client, round, born, staleness, epochs, admitted)
+            });
+            self.obs.count(if admitted {
+                names::UPDATES_ADMITTED
+            } else {
+                names::UPDATES_DROPPED_ARRIVAL
+            });
+        }
+        match verdict {
             Admission::Admit => {
                 self.phase[client] = ClientPhase::Buffered;
                 self.buffer.push(update);
@@ -954,11 +1012,13 @@ impl State {
         // generation can never match a later session).
         self.sessions[client] = None;
         self.timeouts += 1;
+        self.obs.count(names::SESSION_TIMEOUTS);
         self.trace.push(now, TraceEvent::Timeout { id: client });
         self.consecutive_timeouts[client] += 1;
         if self.consecutive_timeouts[client] >= cfg.resilience.quarantine_after {
             self.phase[client] = ClientPhase::Quarantined;
             self.quarantined += 1;
+            self.obs.count(names::CLIENTS_QUARANTINED);
             self.trace.push(now, TraceEvent::Quarantine { id: client });
         } else {
             self.phase[client] = ClientPhase::Idle;
@@ -975,6 +1035,8 @@ impl State {
             return;
         }
 
+        let occupancy = view.buffer_len;
+        let in_flight_n = in_flight.len();
         let updates = self.buffer.drain();
         for u in &updates {
             debug_assert_eq!(self.phase[u.client_id], ClientPhase::Buffered);
@@ -984,9 +1046,15 @@ impl State {
         // Sanitize in front of the aggregation: non-finite or norm-exploded
         // updates are rejected; the survivors' weights renormalize since
         // every policy weights over exactly the updates it is handed.
+        let span = self.obs.span_start();
         let (clean, rejected) = sanitize::sanitize_updates(updates, &self.global, &cfg.resilience);
+        self.obs.span_end(Phase::Sanitize, span);
         for (id, cause) in rejected {
             self.rejected_updates += 1;
+            self.obs.count(match cause {
+                RejectCause::NonFinite => names::UPDATES_REJECTED_NONFINITE,
+                RejectCause::NormExploded => names::UPDATES_REJECTED_NORM,
+            });
             self.trace.push(now, TraceEvent::Rejected { id, cause });
         }
         if clean.is_empty() {
@@ -1002,6 +1070,7 @@ impl State {
         let (updates, stale) = self.policy.partition_stale(clean, self.round);
         for u in &stale {
             self.dropped_updates += 1;
+            self.obs.count(names::UPDATES_DROPPED_STALE);
             self.trace.push(
                 now,
                 TraceEvent::Drop { id: u.client_id, staleness: u.staleness(self.round) },
@@ -1014,13 +1083,73 @@ impl State {
             return;
         }
 
-        self.global = self.policy.aggregate(&self.global, &updates, self.round);
+        // Staleness is measured at aggregation time against the pre-increment
+        // round — the same quantity `partition_stale` and Drop traces use.
+        let stalenesses: Vec<u64> = if self.obs.enabled() {
+            updates.iter().map(|u| u.staleness(self.round)).collect()
+        } else {
+            Vec::new()
+        };
+
+        let agg_span = self.obs.span_start();
+        let mut entropy = None;
+        if self.policy.aggregates_by_weights() {
+            // Decomposed weights → average → mix path: identical arithmetic
+            // to the trait's default `aggregate` composition, run this way
+            // unconditionally (not just under obs) so digests never depend
+            // on the observability mode.
+            let w_span = self.obs.span_start();
+            let weights = self.policy.weights_for_buffer(&updates, &self.global, self.round);
+            self.obs.span_end(Phase::Weighting, w_span);
+            if self.obs.enabled() {
+                let h = crate::obs::weight_entropy(&weights);
+                self.obs.observe(names::WEIGHT_ENTROPY_NATS, bounds::ENTROPY_NATS, h);
+                entropy = Some(h);
+            }
+            let avg = weighted_average(&updates, &weights);
+            let mix_span = self.obs.span_start();
+            self.global = self.policy.mix_into_global(&self.global, &avg);
+            self.obs.span_end(Phase::Mix, mix_span);
+        } else {
+            // FedAsync's sequential fold is not a weighted average; it keeps
+            // the policy's own `aggregate` verbatim.
+            self.global = self.policy.aggregate(&self.global, &updates, self.round);
+        }
+        self.obs.span_end(Phase::Aggregate, agg_span);
         self.round += 1;
         self.trace
             .push(now, TraceEvent::Aggregate { round: self.round, num_updates: updates.len() });
+        self.obs.count(names::AGGREGATIONS);
+        for &s in &stalenesses {
+            self.obs.observe(names::STALENESS_ROUNDS, bounds::STALENESS_ROUNDS, s as f64);
+        }
+        self.obs.observe(names::BUFFER_OCCUPANCY, bounds::COHORT, occupancy as f64);
+        self.obs.gauge(names::IN_FLIGHT, in_flight_n as f64);
+        self.obs.round_interval(now.as_secs());
+        {
+            let (t, round, num_updates) = (now.as_secs(), self.round, updates.len());
+            self.obs.emit(move || {
+                export::round_record(
+                    t,
+                    round,
+                    num_updates,
+                    occupancy,
+                    in_flight_n,
+                    &stalenesses,
+                    entropy,
+                )
+            });
+        }
 
         if self.round.is_multiple_of(cfg.eval_every) {
+            let span = self.obs.span_start();
             let acc = env.evaluate(&self.global);
+            self.obs.span_end(Phase::Eval, span);
+            self.obs.count(names::EVALS);
+            {
+                let (t, round) = (now.as_secs(), self.round);
+                self.obs.emit(move || export::eval_record(t, round, acc));
+            }
             self.accuracy.push((now.as_secs(), acc));
             self.trace.push(now, TraceEvent::Eval { round: self.round, accuracy: acc });
             if cfg.grad_norm_probe {
@@ -1066,6 +1195,7 @@ impl State {
                 session.epoch_ends[epoch_idx].after(device.upload_time(env.model_bytes));
             let generation = session.generation;
             self.schedule_upload(now, k, upload_at, generation, 0);
+            self.obs.count(names::NOTIFICATIONS_SENT);
             self.trace.push(now, TraceEvent::Notify { id: k });
         }
     }
@@ -1073,6 +1203,7 @@ impl State {
     /// Keep the policy's cohort training: offer it the idle pool and start
     /// sessions for whatever it picks.
     fn refill(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
+        let dispatch_span = self.obs.span_start();
         let idle: Vec<usize> =
             (0..cfg.num_clients).filter(|&k| self.phase[k] == ClientPhase::Idle).collect();
         let ctx = DispatchCtx {
@@ -1086,11 +1217,16 @@ impl State {
             selection: cfg.selection,
         };
         let picked = self.policy.select_cohort(&ctx, &idle, &env.fleet, &mut self.sel_rng);
+        self.obs.span_end(Phase::Dispatch, dispatch_span);
         if picked.is_empty() {
             return;
         }
+        self.obs.count_n(names::SESSIONS_DISPATCHED, picked.len() as u64);
+        self.obs.observe(names::COHORT_SIZE, bounds::COHORT, picked.len() as f64);
         if self.policy.lockstep() {
+            let span = self.obs.span_start();
             self.begin_lockstep_round(cfg, env, &picked, now);
+            self.obs.span_end(Phase::Train, span);
             return;
         }
         // Train the whole picked cohort through the pool before anything is
@@ -1109,7 +1245,9 @@ impl State {
                 keep_snapshots,
             })
             .collect();
+        let span = self.obs.span_start();
         let outcomes = env.pool.train_cohort(&self.global, jobs);
+        self.obs.span_end(Phase::Train, span);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
             env.client_rngs[k] = rng;
             self.begin_session(cfg, env, k, now, outcome);

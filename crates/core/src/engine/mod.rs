@@ -57,6 +57,10 @@ pub struct RunResult {
     pub model_digest: u64,
     /// Simulated time at termination, seconds.
     pub sim_time_end: f64,
+    /// Observability snapshot: registry digest, counters, histogram
+    /// summaries and real-time phase breakdown. Empty (with
+    /// `enabled: false`) when the run used [`crate::ObsMode::Off`].
+    pub obs: crate::obs::ObsSummary,
     /// Full event trace.
     #[serde(skip)]
     pub trace: TraceLog,
@@ -94,6 +98,21 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunResult {
 /// [`crate::Algorithm`] enum does not know about
 /// (`examples/custom_policy.rs`). The config's algorithm field is used only
 /// for validation; the policy decides everything the engine delegates.
+///
+/// # Examples
+///
+/// ```
+/// use seafl_core::{build_policy, run_with_policy, Algorithm};
+///
+/// let mut cfg = seafl_core::test_support::tiny_cfg(7, Algorithm::fedbuff(4, 2));
+/// cfg.max_rounds = 2;
+/// let result = run_with_policy(&cfg, build_policy(&cfg));
+/// assert!(result.rounds <= 2);
+/// assert_eq!(result.algorithm, "fedbuff");
+/// // Observability defaults to summary-only: counters come back in-memory.
+/// assert!(result.obs.enabled);
+/// assert_eq!(result.obs.counters["aggregations"], result.rounds);
+/// ```
 pub fn run_with_policy(cfg: &ExperimentConfig, policy: Box<dyn ServerPolicy>) -> RunResult {
     cfg.validate();
     let mut env = setup::Environment::build(cfg);

@@ -21,6 +21,12 @@
 //! | FedAsync baseline | [`policy::FedAsyncPolicy`] (K = 1, polynomial staleness mixing) |
 //! | FedAvg baseline | [`policy::FedAvgPolicy`] (lockstep barrier rounds) |
 //! | FedStaleWeight-style fairness | [`policy::FedStaleWeightPolicy`] (staleness-boosted weights) |
+//!
+//! Every run can additionally record structured telemetry — phase timing,
+//! staleness/buffer/weight distributions, fault counters, an optional JSONL
+//! stream — through the [`obs`] module (see `OBSERVABILITY.md`).
+
+#![warn(missing_docs)]
 
 pub mod buffer;
 pub mod checkpoint;
@@ -28,6 +34,7 @@ pub mod client;
 pub mod config;
 pub mod engine;
 pub mod metrics;
+pub mod obs;
 pub mod policy;
 pub mod pool;
 pub mod sanitize;
@@ -44,6 +51,7 @@ pub use config::{
     StalenessPolicy,
 };
 pub use engine::{resume_experiment, run_experiment, run_with_policy, RunResult};
+pub use obs::{MetricsRegistry, ObsConfig, ObsMode, ObsSummary};
 pub use policy::{
     build_policy, mix, weighted_average, Admission, DispatchCtx, DrainCtx, FedAsyncPolicy,
     FedAvgPolicy, FedBuffPolicy, FedStaleWeightPolicy, InFlight, SeaflPolicy, ServerPolicy,

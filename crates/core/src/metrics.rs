@@ -4,6 +4,17 @@
 ///
 /// The series must be time-ordered (as produced by the engines). Returns
 /// `None` if the target is never reached.
+///
+/// # Examples
+///
+/// ```
+/// use seafl_core::metrics::time_to_accuracy;
+///
+/// let series = [(0.0, 0.10), (50.0, 0.62), (120.0, 0.71)];
+/// assert_eq!(time_to_accuracy(&series, 0.6), Some(50.0));
+/// assert_eq!(time_to_accuracy(&series, 0.9), None);
+/// assert_eq!(time_to_accuracy(&[], 0.5), None);
+/// ```
 pub fn time_to_accuracy(series: &[(f64, f64)], target: f64) -> Option<f64> {
     series.iter().find(|&&(_, acc)| acc >= target).map(|&(t, _)| t)
 }
@@ -18,12 +29,40 @@ pub fn final_accuracy(series: &[(f64, f64)]) -> f64 {
     series.last().map_or(0.0, |&(_, a)| a)
 }
 
-/// Downsample a series to at most `n` evenly spaced points (keeps first and
-/// last), for compact table output.
+/// Downsample a series to at most `n` evenly spaced points, for compact
+/// table output.
+///
+/// The result always keeps the first and last points when `n ≥ 2` and the
+/// series is at least that long. Degenerate requests clamp instead of
+/// panicking: `n == 0` (or an empty series) returns an empty vector,
+/// `n == 1` returns just the first point, and a series already within `n`
+/// points passes through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use seafl_core::metrics::downsample;
+///
+/// let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 0.0)).collect();
+/// let d = downsample(&series, 5);
+/// assert_eq!(d.len(), 5);
+/// assert_eq!(d[0], series[0]);
+/// assert_eq!(d[4], series[99]);
+///
+/// // Degenerate requests clamp rather than panic.
+/// assert!(downsample(&series, 0).is_empty());
+/// assert_eq!(downsample(&series, 1), vec![series[0]]);
+/// assert!(downsample(&[], 7).is_empty());
+/// ```
 pub fn downsample(series: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
-    assert!(n >= 2, "downsample: need at least 2 points");
+    if n == 0 || series.is_empty() {
+        return Vec::new();
+    }
     if series.len() <= n {
         return series.to_vec();
+    }
+    if n == 1 {
+        return vec![series[0]];
     }
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
@@ -65,5 +104,18 @@ mod tests {
         assert_eq!(d[4], big[99]);
         // Short series pass through unchanged.
         assert_eq!(downsample(S, 10), S.to_vec());
+    }
+
+    #[test]
+    fn downsample_degenerate_requests_clamp() {
+        assert_eq!(downsample(S, 0), Vec::new());
+        assert_eq!(downsample(S, 1), vec![S[0]]);
+        assert_eq!(downsample(&[], 0), Vec::new());
+        assert_eq!(downsample(&[], 5), Vec::new());
+        // n == series length is an exact pass-through.
+        assert_eq!(downsample(S, 4), S.to_vec());
+        // n == 2 keeps exactly the endpoints of a longer series.
+        let big: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 0.0)).collect();
+        assert_eq!(downsample(&big, 2), vec![big[0], big[9]]);
     }
 }

@@ -7,6 +7,7 @@ use crate::update::ModelUpdate;
 /// global model immediately with mixing weight `α_t = α · (S_k + 1)^{-a}`
 /// (polynomial staleness function): `w ← (1 − α_t)·w + α_t·w_k`.
 pub struct FedAsyncPolicy {
+    /// Devices kept training concurrently.
     pub concurrency: usize,
     /// Base mixing rate (paper default 0.6).
     pub mixing_alpha: f32,
@@ -29,7 +30,7 @@ impl ServerPolicy for FedAsyncPolicy {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         _global: &[f32],
         _round: u64,
@@ -43,6 +44,13 @@ impl ServerPolicy for FedAsyncPolicy {
     fn mix_into_global(&self, _global: &[f32], avg: &[f32]) -> Vec<f32> {
         // Unused for the same reason as `weights_for_buffer`.
         avg.to_vec()
+    }
+
+    fn aggregates_by_weights(&self) -> bool {
+        // The engine must call `aggregate` as one opaque step: the
+        // sequential fold below is not a weighted average, and the weight
+        // vector the decomposed path would observe is meaningless here.
+        false
     }
 
     fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {

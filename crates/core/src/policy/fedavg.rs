@@ -1,8 +1,6 @@
 //! Synchronous FedAvg as a [`ServerPolicy`] (Eq. 3).
 
-use crate::policy::{
-    weighted_average, Admission, DispatchCtx, DrainCtx, ServerPolicy, ServerView,
-};
+use crate::policy::{Admission, DispatchCtx, DrainCtx, ServerPolicy, ServerView};
 use crate::update::ModelUpdate;
 use crate::SelectionPolicy;
 use rand::seq::SliceRandom;
@@ -14,6 +12,7 @@ use seafl_sim::{DeviceProfile, SimRng, TerminationReason};
 /// falls out of the engine's lockstep barrier (round duration = slowest
 /// cohort member).
 pub struct FedAvgPolicy {
+    /// Cohort size C sampled at each synchronous barrier.
     pub clients_per_round: usize,
     /// Size of the cohort currently in flight — the aggregation trigger
     /// (a round completes when the whole cohort has reported).
@@ -21,6 +20,7 @@ pub struct FedAvgPolicy {
 }
 
 impl FedAvgPolicy {
+    /// FedAvg over cohorts of `clients_per_round` devices.
     pub fn new(clients_per_round: usize) -> Self {
         FedAvgPolicy { clients_per_round, dispatched: 0 }
     }
@@ -86,7 +86,7 @@ impl ServerPolicy for FedAvgPolicy {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         _global: &[f32],
         _round: u64,
@@ -103,13 +103,6 @@ impl ServerPolicy for FedAvgPolicy {
     fn mix_into_global(&self, _global: &[f32], avg: &[f32]) -> Vec<f32> {
         // Eq. 3 replaces the global model outright — no ϑ-mixing.
         avg.to_vec()
-    }
-
-    fn aggregate(&mut self, global: &[f32], updates: &[ModelUpdate], round: u64) -> Vec<f32> {
-        assert!(!updates.is_empty(), "fedavg: empty round");
-        let w = self.weights_for_buffer(updates, global, round);
-        let avg = weighted_average(updates, &w);
-        self.mix_into_global(global, &avg)
     }
 
     fn drained_termination(&self, ctx: &DrainCtx) -> Option<TerminationReason> {

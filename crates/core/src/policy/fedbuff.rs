@@ -8,8 +8,11 @@ use crate::update::ModelUpdate;
 /// degenerate SEAFL the paper describes in §V ("setting consistent weights
 /// p = 1/K").
 pub struct FedBuffPolicy {
+    /// Devices kept training concurrently (M).
     pub concurrency: usize,
+    /// Buffered updates per aggregation (K).
     pub buffer_k: usize,
+    /// Server mixing coefficient ϑ.
     pub theta: f32,
 }
 
@@ -27,7 +30,7 @@ impl ServerPolicy for FedBuffPolicy {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         _global: &[f32],
         _round: u64,

@@ -16,7 +16,9 @@ use crate::update::ModelUpdate;
 /// SEAFL's Eq. 4 damping (which trusts stale gradients less), in the spirit
 /// of FedStaleWeight's staleness-aware fair aggregation.
 pub struct FedStaleWeightPolicy {
+    /// Devices kept training concurrently (M).
     pub concurrency: usize,
+    /// Buffered updates per aggregation (K).
     pub buffer_k: usize,
     /// Server mixing coefficient ϑ (Eq. 8-style).
     pub theta: f32,
@@ -27,6 +29,7 @@ pub struct FedStaleWeightPolicy {
 }
 
 impl FedStaleWeightPolicy {
+    /// Fresh policy with zeroed per-client staleness statistics.
     pub fn new(concurrency: usize, buffer_k: usize, theta: f32, num_clients: usize) -> Self {
         FedStaleWeightPolicy {
             concurrency,
@@ -67,7 +70,7 @@ impl ServerPolicy for FedStaleWeightPolicy {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         _global: &[f32],
         _round: u64,

@@ -52,6 +52,7 @@ pub struct DispatchCtx {
 
 /// One in-flight training session, as visible to policy hooks.
 pub struct InFlight {
+    /// The training client's id.
     pub client: usize,
     /// Server round when the session was dispatched.
     pub born_round: u64,
@@ -85,11 +86,17 @@ pub enum Admission {
 /// State the engine exposes when the event queue ran dry, so a policy can
 /// name the termination reason its protocol implies.
 pub struct DrainCtx {
+    /// Server round counter (completed aggregations).
     pub round: u64,
+    /// Virtual-clock time when the queue drained, seconds.
     pub now_secs: f64,
+    /// The experiment's round budget.
     pub max_rounds: u64,
+    /// The experiment's virtual-time budget, seconds.
     pub max_sim_time: f64,
+    /// Round at which the injected server crash fires (`None` = never).
     pub crash_round: Option<u64>,
+    /// Whether `stop_at_accuracy` has been reached.
     pub reached_target: bool,
 }
 
@@ -171,9 +178,14 @@ pub trait ServerPolicy: Send {
     }
 
     /// Aggregation weights over `updates` (Σ = 1, every weight finite and
-    /// ≥ 0 — property-tested for every impl in `weighting.rs`).
+    /// ≥ 0 — property-tested for every impl in `weighting.rs`). Read-only:
+    /// per-client statistics a weighting scheme needs (e.g. FedStaleWeight's
+    /// running staleness means) are accumulated in
+    /// [`on_update_received`](ServerPolicy::on_update_received), so the
+    /// engine can time and inspect weight computation without handing out
+    /// mutable policy access.
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         global: &[f32],
         round: u64,
@@ -183,6 +195,19 @@ pub trait ServerPolicy: Send {
     /// ϑ-mixing for the buffered algorithms, outright replacement for
     /// FedAvg).
     fn mix_into_global(&self, global: &[f32], avg: &[f32]) -> Vec<f32>;
+
+    /// Whether this policy's [`aggregate`](ServerPolicy::aggregate) is the
+    /// default weights → average → mix composition. When true (every
+    /// policy but FedAsync), the engine runs the three steps itself so it
+    /// can time them as separate phases and observe the weight vector
+    /// (entropy histogram, round records) — numerically identical to
+    /// calling `aggregate`, with or without observability. FedAsync
+    /// returns false: its sequential per-update fold is not expressible as
+    /// one weighted average, and re-associating it would drift the f32
+    /// results.
+    fn aggregates_by_weights(&self) -> bool {
+        true
+    }
 
     /// Produce the next global model. The default composes
     /// [`weights_for_buffer`](ServerPolicy::weights_for_buffer) →

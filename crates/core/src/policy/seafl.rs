@@ -18,7 +18,9 @@ use crate::weighting::{aggregation_weights, ImportanceMode};
 ///   over-limit devices to upload at the end of their current epoch.
 /// * [`StalenessPolicy::DropStale`] — SAFA-style discard (ablation).
 pub struct SeaflPolicy {
+    /// Devices kept training concurrently (M).
     pub concurrency: usize,
+    /// Buffered updates per aggregation (K).
     pub buffer_k: usize,
     /// Staleness-factor weight α (paper's tuned value: 3).
     pub alpha: f32,
@@ -113,7 +115,7 @@ impl ServerPolicy for SeaflPolicy {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         global: &[f32],
         round: u64,

@@ -31,6 +31,7 @@ pub struct FixtureCase {
     pub label: &'static str,
     /// Whether the fault-injection overlay is applied.
     pub faults: bool,
+    /// The fully specified experiment config the fixture pins.
     pub cfg: ExperimentConfig,
 }
 

@@ -85,6 +85,28 @@ pub enum TraceEvent {
     Terminated { reason: TerminationReason, buffered: usize },
 }
 
+impl TraceEvent {
+    /// Stable snake_case kind label, bridging trace events to structured
+    /// observability records (`TraceLog::kind_counts`, the obs summary).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ClientStart { .. } => "client_start",
+            TraceEvent::Upload { .. } => "upload",
+            TraceEvent::Notify { .. } => "notify",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Aggregate { .. } => "aggregate",
+            TraceEvent::Eval { .. } => "eval",
+            TraceEvent::Crash { .. } => "crash",
+            TraceEvent::UploadFailed { .. } => "upload_failed",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Timeout { .. } => "timeout",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Terminated { .. } => "terminated",
+        }
+    }
+}
+
 /// Time-stamped append-only trace.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TraceLog {
@@ -183,6 +205,16 @@ impl TraceLog {
         h
     }
 
+    /// Event tallies by [`TraceEvent::kind`], in kind order — the
+    /// trace-to-structured-record bridge consumed by the obs summary.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut out = std::collections::BTreeMap::new();
+        for (_, e) in &self.entries {
+            *out.entry(e.kind()).or_insert(0u64) += 1;
+        }
+        out
+    }
+
     /// All `(time, accuracy)` evaluation points, for accuracy-vs-time curves.
     pub fn accuracy_series(&self) -> Vec<(f64, f64)> {
         self.entries
@@ -244,6 +276,24 @@ mod tests {
         assert_eq!(mk(false).digest(), mk(false).digest());
         assert_ne!(mk(false).digest(), mk(true).digest(), "digest blind to event order");
         assert_ne!(mk(false).digest(), TraceLog::new().digest());
+    }
+
+    #[test]
+    fn kind_counts_tally_every_event() {
+        let mut log = TraceLog::new();
+        let t = SimTime::from_secs(1.0);
+        log.push(t, TraceEvent::ClientStart { id: 0, round: 0 });
+        log.push(t, TraceEvent::ClientStart { id: 1, round: 0 });
+        log.push(t, TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 });
+        log.push(t, TraceEvent::Aggregate { round: 1, num_updates: 1 });
+        log.push(t, TraceEvent::Quarantine { id: 1 });
+        let counts = log.kind_counts();
+        assert_eq!(counts["client_start"], 2);
+        assert_eq!(counts["upload"], 1);
+        assert_eq!(counts["aggregate"], 1);
+        assert_eq!(counts["quarantine"], 1);
+        assert_eq!(counts.values().sum::<u64>(), log.len() as u64);
+        assert_eq!(TraceLog::new().kind_counts().len(), 0);
     }
 
     #[test]

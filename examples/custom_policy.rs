@@ -46,7 +46,7 @@ impl ServerPolicy for DotProductSeafl {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         global: &[f32],
         round: u64,

@@ -27,4 +27,23 @@ fn main() {
         Some(t) => println!("time to 80% accuracy: {t:.0} simulated seconds"),
         None => println!("80% accuracy not reached (best: {:.1}%)", result.best_accuracy() * 100.0),
     }
+
+    // Observability rides along by default (summary level, see
+    // OBSERVABILITY.md): the metric registry comes home in `result.obs`.
+    // `ObsConfig::full(path)` would additionally stream per-event JSONL
+    // for the seafl-bench `report` tool.
+    if let Some(stale) = result.obs.histograms.get("staleness_rounds") {
+        println!(
+            "aggregated-update staleness: p50 {:.1}, p95 {:.1} rounds (n={})",
+            stale.p50, stale.p95, stale.count
+        );
+    }
+    let phases: Vec<String> = result
+        .obs
+        .phases
+        .iter()
+        .filter(|p| p.secs > 0.0)
+        .map(|p| format!("{} {:.2}s", p.name, p.secs))
+        .collect();
+    println!("host time by phase: {}", phases.join(", "));
 }

@@ -1,0 +1,110 @@
+//! The Rust code blocks in `README.md` and `OBSERVABILITY.md` are mirrored
+//! verbatim into `examples/doc_snippets.rs`, which CI compiles — so a
+//! documented API that stops existing breaks the build. This test is the
+//! other half of the contract: every ```` ```rust ```` block in those
+//! documents must still appear (contiguously, modulo indentation and blank
+//! lines) in the harness, and the harness must not be empty.
+
+use std::path::{Path, PathBuf};
+
+fn repo_file(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(name)
+}
+
+/// One line, normalized for comparison: leading/trailing and internal runs
+/// of whitespace collapse to single spaces, so indentation depth (markdown
+/// at column 0, function bodies at column 4) never matters.
+fn normalize(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Every fenced ```` ```rust ```` block in `markdown`, as normalized
+/// non-empty lines.
+fn rust_blocks(markdown: &str) -> Vec<Vec<String>> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Vec<String>> = None;
+    for line in markdown.lines() {
+        let t = line.trim();
+        match current.as_mut() {
+            None => {
+                if t == "```rust" {
+                    current = Some(Vec::new());
+                }
+            }
+            Some(block) => {
+                if t == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    let n = normalize(line);
+                    if !n.is_empty() {
+                        block.push(n);
+                    }
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```rust block");
+    blocks
+}
+
+/// True when `needle` appears as a contiguous run inside `haystack`.
+fn contains_run(haystack: &[String], needle: &[String]) -> bool {
+    !needle.is_empty()
+        && haystack.len() >= needle.len()
+        && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[test]
+fn every_markdown_rust_block_is_compile_checked() {
+    let harness_path = repo_file("examples/doc_snippets.rs");
+    let harness_src = std::fs::read_to_string(&harness_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", harness_path.display()));
+    let harness: Vec<String> = harness_src
+        .lines()
+        .map(normalize)
+        .filter(|l| !l.is_empty())
+        .collect();
+
+    for doc in ["README.md", "OBSERVABILITY.md"] {
+        let path = repo_file(doc);
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let blocks = rust_blocks(&body);
+        assert!(!blocks.is_empty(), "{doc}: expected at least one ```rust block");
+        for (i, block) in blocks.iter().enumerate() {
+            assert!(
+                contains_run(&harness, block),
+                "{doc}: rust block #{} is not mirrored in examples/doc_snippets.rs \
+                 (update the harness or the document):\n{}",
+                i + 1,
+                block.join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn extractor_handles_nested_fence_kinds() {
+    let md = "\
+prose
+```sh
+cargo test
+```
+```rust
+let x = 1;
+
+assert_eq!(x, 1);
+```
+```text
+not code
+```
+";
+    let blocks = rust_blocks(md);
+    assert_eq!(blocks.len(), 1);
+    assert_eq!(blocks[0], vec!["let x = 1;".to_string(), "assert_eq!(x, 1);".to_string()]);
+    assert!(contains_run(
+        &["a".into(), "let x = 1;".into(), "assert_eq!(x, 1);".into(), "b".into()],
+        &blocks[0]
+    ));
+    assert!(!contains_run(&["let x = 1;".into()], &blocks[0]));
+}
