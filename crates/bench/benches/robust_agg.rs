@@ -1,0 +1,97 @@
+//! Byzantine-robust aggregation cost: what each robust rule adds on top of
+//! the plain weighted mean, at LeNet-5 scale. Screening rules (norm-clip,
+//! Krum) run through [`RobustLayer::screen`], combining rules (coordinate
+//! median, trimmed mean) through [`RobustLayer::combine`] — the same hooks
+//! the engine drives between the sanitizer and the server policy.
+//!
+//! The numbers to watch: Krum is O(K²·d) in buffer size K and model
+//! dimension d (the pairwise distance matrix), the coordinate median and
+//! trimmed mean are O(K log K · d) (a per-coordinate sort), norm-clip is
+//! O(K·d). All must stay negligible next to a client's training step.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use seafl_core::{ModelUpdate, RobustAggregator, RobustConfig, RobustLayer};
+use std::time::Duration;
+
+/// LeNet-5-sized model.
+const DIM: usize = 61_706;
+
+fn updates(k: usize) -> (Vec<f32>, Vec<ModelUpdate>) {
+    let mut s = 1u64;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) as f32 - 0.5
+    };
+    let global: Vec<f32> = (0..DIM).map(|_| rnd()).collect();
+    let ups = (0..k)
+        .map(|i| ModelUpdate {
+            client_id: i,
+            params: (0..DIM).map(|_| rnd()).collect(),
+            num_samples: 40 + i,
+            born_round: (10 - i as u64 % 5).max(1),
+            epochs_completed: 5,
+            train_loss: 1.0,
+        })
+        .collect();
+    (global, ups)
+}
+
+fn layer(rule: RobustAggregator) -> RobustLayer {
+    RobustLayer::new(RobustConfig { rule, ..RobustConfig::default() })
+}
+
+fn bench_screen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robust_screen_lenet_sized");
+    for &k in &[5usize, 10, 20] {
+        let (global, ups) = updates(k);
+        g.bench_function(format!("norm_clip/K{k}"), |b| {
+            let mut l = layer(RobustAggregator::NormClip { tau: 0.5 });
+            b.iter_batched(
+                || ups.clone(),
+                |mut u| l.screen(black_box(&mut u), black_box(&global)),
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("krum/K{k}"), |b| {
+            let mut l = layer(RobustAggregator::Krum { f: 1, multi: (k / 2).max(1) });
+            b.iter_batched(
+                || ups.clone(),
+                |mut u| l.screen(black_box(&mut u), black_box(&global)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("robust_combine_lenet_sized");
+    for &k in &[5usize, 10, 20] {
+        let (_global, ups) = updates(k);
+        let weights = vec![1.0f32 / k as f32; k];
+        for rule in [
+            RobustAggregator::Mean,
+            RobustAggregator::CoordMedian,
+            RobustAggregator::TrimmedMean { beta: 0.2 },
+        ] {
+            g.bench_function(format!("{}/K{k}", rule.name()), |b| {
+                let l = layer(rule);
+                b.iter(|| l.combine(black_box(&ups), black_box(&weights)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().measurement_time(Duration::from_secs(5)).sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_screen, bench_combine
+}
+criterion_main!(benches);

@@ -19,13 +19,24 @@
 //! * `--verify-resume` — crash, resume and an uninterrupted reference run
 //!   in one process; assert the resumed run's event trace and final model
 //!   are bit-identical to the reference (the CI kill-and-resume smoke job).
+//!
+//! Adversarial mode (`--attack KINDS`, comma-separated from `sign_flip`,
+//! `scaled_boost`, `collude`, `stale_replay`): ~30 % of the fleet attacks
+//! through the requested channels while the robust-aggregation matrix
+//! — mean, coordinate median, trimmed mean, norm-clip, multi-Krum — defends,
+//! reporting the attack-outcome table (post-attack accuracy, screening
+//! counters, detection precision/recall). `--verify` additionally asserts
+//! the mechanism invariants the CI attack-resilience job relies on:
+//! attacks-disabled bit-identity, attacked arms actually under attack,
+//! screening/clipping engaged, and the median no worse than the mean.
 
-use seafl_bench::profiles::{chaos_overlay, insights_config, INSIGHTS_TARGET};
+use seafl_bench::profiles::{attack_overlay, chaos_overlay, insights_config, INSIGHTS_TARGET};
 use seafl_bench::{
     apply_obs_to_arms, arg_value, has_flag, report, run_arms, scale_from_args, Arm, Scale,
 };
+use seafl_core::robust::{DistanceMetric, RobustAggregator};
 use seafl_core::{resume_experiment, run_experiment, Algorithm, ExperimentConfig, RunResult};
-use seafl_sim::TerminationReason;
+use seafl_sim::{AttackKind, AttackPlan, TerminationReason};
 use std::path::{Path, PathBuf};
 
 /// The canonical crash/resume config: the faulty-fleet SEAFL arm with a
@@ -124,8 +135,153 @@ fn verify_resume(scale: Scale) {
     println!("PASS: kill-and-resume is bit-identical to the uninterrupted run");
 }
 
+/// The attack matrix's shared testbed: the insights profile, round-bounded
+/// (accuracy/time stops off so every arm runs the same schedule).
+fn attack_base_cfg(seed: u64, algorithm: Algorithm, scale: Scale) -> ExperimentConfig {
+    let mut cfg = insights_config(seed, algorithm, scale);
+    cfg.stop_at_accuracy = None;
+    cfg.max_sim_time = 1e9;
+    cfg.max_rounds = match scale {
+        Scale::Smoke => 12,
+        Scale::Std => 30,
+    };
+    cfg
+}
+
+/// Pick a seed whose sampled attacker set contains at least one device per
+/// requested attack kind — a matrix run that never attacks proves nothing.
+/// Deterministic: only the plan is sampled, no experiment runs.
+fn attack_seed(cfg: &ExperimentConfig, kinds: &[AttackKind]) -> u64 {
+    (1..500)
+        .find(|&seed| {
+            let plan = AttackPlan::build(&cfg.attack, cfg.num_clients, seed);
+            let sampled: Vec<_> =
+                plan.attackers().iter().filter_map(|&k| plan.kind(k)).collect();
+            kinds.iter().all(|want| {
+                sampled.iter().any(|got| std::mem::discriminant(got) == std::mem::discriminant(want))
+            })
+        })
+        .expect("no seed in 1..500 samples every requested attack kind")
+}
+
+/// `--attack KINDS [--verify]`: the adversarial matrix. One honest control
+/// arm, then every robust rule against the attacked fleet.
+fn attack_matrix(scale: Scale, kinds: Vec<AttackKind>, verify: bool) {
+    let (m, k) = match scale {
+        Scale::Smoke => (6, 3),
+        Scale::Std => (20, 10),
+    };
+    // Krum screens only when the buffer holds at least f + 3 updates, so
+    // its arm buffers deeper than the default K.
+    let (k_krum, f, multi) = match scale {
+        Scale::Smoke => (5, 1, 3),
+        Scale::Std => (10, 2, 6),
+    };
+    let alg = Algorithm::seafl(m, k, Some(10));
+
+    if verify {
+        // Attacks-disabled bit-identity: an armed-but-empty attack config
+        // (no kinds → no-op plan) plus the Mean rule and a non-default
+        // metric must not move a single bit of the seed run.
+        let baseline = run_experiment(&attack_base_cfg(42, alg, scale));
+        let mut idle = attack_base_cfg(42, alg, scale);
+        attack_overlay(&mut idle, vec![]);
+        idle.robust.rule = RobustAggregator::Mean;
+        idle.robust.metric = DistanceMetric::Cosine;
+        let r = run_experiment(&idle);
+        assert_eq!(
+            r.model_digest, baseline.model_digest,
+            "idle robust layer changed the model"
+        );
+        assert_eq!(
+            r.trace.digest(),
+            baseline.trace.digest(),
+            "idle robust layer changed the event trace"
+        );
+        println!("PASS: attacks disabled + Mean rule is bit-identical to the seed run");
+    }
+
+    let mut probe = attack_base_cfg(42, alg, scale);
+    attack_overlay(&mut probe, kinds.clone());
+    let seed = attack_seed(&probe, &kinds);
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    println!(
+        "=== Attack matrix: kinds [{}], seed {seed}, ~30% of the fleet ===",
+        labels.join(", ")
+    );
+
+    let rules: [(&str, Algorithm, RobustAggregator); 5] = [
+        ("mean", alg, RobustAggregator::Mean),
+        ("coord_median", alg, RobustAggregator::CoordMedian),
+        ("trimmed_mean", alg, RobustAggregator::TrimmedMean { beta: 0.2 }),
+        ("norm_clip", alg, RobustAggregator::NormClip { tau: 1.0 }),
+        (
+            "krum",
+            Algorithm::seafl(m, k_krum, Some(10)),
+            RobustAggregator::Krum { f, multi },
+        ),
+    ];
+
+    let mut arms = vec![Arm {
+        label: "honest (control)".into(),
+        config: attack_base_cfg(seed, alg, scale),
+    }];
+    for (name, algorithm, rule) in rules {
+        let mut cfg = attack_base_cfg(seed, algorithm, scale);
+        attack_overlay(&mut cfg, kinds.clone());
+        cfg.robust.rule = rule;
+        arms.push(Arm { label: format!("attacked ({name})"), config: cfg });
+    }
+    apply_obs_to_arms("chaos_attack", &mut arms);
+    let results = run_arms(arms);
+    report::print_attack_table(&results);
+    report::write_run_json("chaos_attack_runs", &results);
+
+    if verify {
+        let by_label = |l: &str| {
+            &results.iter().find(|a| a.label.contains(l)).expect("arm missing").result
+        };
+        for a in &results[1..] {
+            let r = &a.result;
+            assert!(!r.attackers.is_empty(), "{}: no attackers sampled", a.label);
+            assert!(r.attacked_updates > 0, "{}: attackers never uploaded", a.label);
+        }
+        let krum = by_label("(krum)");
+        assert!(krum.screened_updates > 0, "krum screened nothing under attack");
+        let clip = by_label("(norm_clip)");
+        assert!(
+            clip.clipped_updates + clip.screened_updates > 0,
+            "norm-clip neither clipped nor screened under attack"
+        );
+        let mean = by_label("(mean)");
+        let median = by_label("(coord_median)");
+        assert!(
+            median.best_accuracy() >= mean.best_accuracy() - 0.02,
+            "coordinate median ({:.3}) fell behind the undefended mean ({:.3})",
+            median.best_accuracy(),
+            mean.best_accuracy()
+        );
+        println!("PASS: attack-resilience invariants hold");
+    }
+}
+
 fn main() {
     let scale = scale_from_args();
+    if let Some(spec) = arg_value("attack") {
+        let kinds: Vec<AttackKind> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                AttackKind::from_label(s).unwrap_or_else(|| {
+                    panic!("unknown attack kind {s:?} (try sign_flip, scaled_boost, collude, stale_replay)")
+                })
+            })
+            .collect();
+        assert!(!kinds.is_empty(), "--attack needs at least one kind");
+        attack_matrix(scale, kinds, has_flag("verify"));
+        return;
+    }
     if has_flag("verify-resume") {
         verify_resume(scale);
         return;

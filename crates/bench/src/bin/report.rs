@@ -22,8 +22,53 @@
 
 use seafl_bench::{arg_value, obs_report};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
+
+/// Print the attack-outcome table for any arm in `runs.json` that saw
+/// adversarial activity: post-attack accuracy, the ground-truth attacker
+/// set's size and impact, the robust layer's screening/clipping record, and
+/// its detection precision/recall. Silent when every arm ran clean — a
+/// non-adversarial report stays byte-identical to what it printed before
+/// the attack channel existed.
+fn print_attack_outcomes(runs: &Path) {
+    let Ok(body) = std::fs::read_to_string(runs) else { return };
+    let Ok(records) = serde_json::from_str::<serde_json::Value>(&body) else { return };
+    let Some(arr) = records.as_array() else { return };
+    let count = |r: &serde_json::Value, k: &str| r[k].as_u64().unwrap_or(0);
+    let active: Vec<&serde_json::Value> = arr
+        .iter()
+        .filter(|r| {
+            count(r, "attacked_updates") > 0
+                || count(r, "screened_updates") > 0
+                || count(r, "clipped_updates") > 0
+        })
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    println!("\nattack outcomes (robust-layer screening vs ground-truth attackers):");
+    println!(
+        "{:<22} | final acc | best acc | attackers | attacked | screened | clipped | precision | recall",
+        "arm"
+    );
+    println!("{}", "-".repeat(116));
+    for r in active {
+        let d = &r["detection"];
+        println!(
+            "{:<22} | {:>9.3} | {:>8.3} | {:>9} | {:>8} | {:>8} | {:>7} | {:>9.2} | {:>6.2}",
+            r["label"].as_str().unwrap_or("?"),
+            r["final_accuracy"].as_f64().unwrap_or(f64::NAN),
+            r["best_accuracy"].as_f64().unwrap_or(f64::NAN),
+            r["attackers"].as_array().map(Vec::len).unwrap_or(0),
+            count(r, "attacked_updates"),
+            count(r, "screened_updates"),
+            count(r, "clipped_updates"),
+            d["precision"].as_f64().unwrap_or(f64::NAN),
+            d["recall"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+}
 
 fn main() {
     let Some(runs) = arg_value("runs").map(PathBuf::from) else {
@@ -75,4 +120,5 @@ fn main() {
         runs.display()
     );
     obs_report::print_report(&obs_runs, &phases, &targets);
+    print_attack_outcomes(&runs);
 }

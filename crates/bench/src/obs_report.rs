@@ -306,7 +306,7 @@ mod tests {
         counts.insert("upload", 5u64);
         let lines = [
             export::meta_record("seafl", 42, 0xdead_beef, 12, false),
-            export::update_record(10.5, 3, 2, 1, 1, 5, true),
+            export::update_record(10.5, 3, 2, 1, 1, 5, true, false),
             export::round_record(11.0, 3, 4, 4, 6, &[0, 1, 3], Some(1.25)),
             export::eval_record(11.0, 3, 0.625),
             export::summary_record(99.0, 7, &counts, &reg),

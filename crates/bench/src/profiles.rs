@@ -15,7 +15,8 @@ use crate::Scale;
 use seafl_core::{Algorithm, ExperimentConfig, ResilienceConfig};
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_sim::{CorruptionKind, FaultConfig, FleetConfig};
+use seafl_core::robust::RobustConfig;
+use seafl_sim::{AttackConfig, AttackKind, CorruptionKind, FaultConfig, FleetConfig};
 
 /// Concurrency M: the paper samples up to 20 % of 100 devices.
 pub const CONCURRENCY: usize = 20;
@@ -66,7 +67,9 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         grad_norm_probe: false,
         threads: 0,
         faults: FaultConfig::none(),
+        attack: AttackConfig::none(),
         resilience: ResilienceConfig::default(),
+        robust: RobustConfig::default(),
         checkpoint_every: None,
         checkpoint_dir: None,
         keep_last: 2,
@@ -186,7 +189,9 @@ pub fn evaluation_config(
         grad_norm_probe: false,
         threads: 0,
         faults: FaultConfig::none(),
+        attack: AttackConfig::none(),
         resilience: ResilienceConfig::default(),
+        robust: RobustConfig::default(),
         checkpoint_every: None,
         checkpoint_dir: None,
         keep_last: 2,
@@ -218,6 +223,14 @@ pub fn chaos_overlay(cfg: &mut ExperimentConfig) {
         max_update_norm_ratio: Some(50.0),
         ..ResilienceConfig::default()
     };
+}
+
+/// Adversarial-fleet overlay for the chaos bench's `--attack` matrix:
+/// ~30 % of devices attack through the given kinds; collusion (when
+/// requested) replaces the whole parameter vector with shared radius-2
+/// junk. The robust rule is left to the caller — the matrix sweeps it.
+pub fn attack_overlay(cfg: &mut ExperimentConfig, kinds: Vec<AttackKind>) {
+    cfg.attack = AttackConfig { attacker_prob: 0.3, kinds, collude_radius: 2.0 };
 }
 
 /// The Fig. 5 arms on a workload: SEAFL(β=10), SEAFL(β=∞), FedBuff,

@@ -132,12 +132,23 @@ pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
                 "rounds": a.result.rounds,
                 "total_updates": a.result.total_updates,
                 "best_accuracy": a.result.best_accuracy(),
+                "final_accuracy": a.result.final_accuracy(),
                 "termination": format!("{:?}", a.result.termination),
                 // Hex fingerprints of the final model weights and the full
                 // event trace — what the CI kill-and-resume job diffs.
                 "model_digest": format!("{:016x}", a.result.model_digest),
                 "trace_digest": format!("{:016x}", a.result.trace.digest()),
                 "speedup_vs_threads1": speedup,
+                // Adversarial outcome: ground-truth attacker impact and the
+                // robust layer's screening record (all zero/empty with the
+                // attack channel off) — what the report binary's attack
+                // table reads.
+                "attacked_updates": a.result.attacked_updates,
+                "attackers": a.result.attackers,
+                "screened_updates": a.result.screened_updates,
+                "clipped_updates": a.result.clipped_updates,
+                "screened_clients": a.result.screened_clients,
+                "detection": serde_json::to_value(a.result.detection()).expect("serialize detection"),
                 // Observability snapshot (counters, histogram summaries and
                 // the real-time phase breakdown) — what `report` joins with
                 // the per-run JSONL streams.
@@ -149,6 +160,32 @@ pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
     fs::write(&path, body).unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
     eprintln!("wrote {}", path.display());
     path
+}
+
+/// Print the attack-outcome table: post-attack accuracy per arm plus the
+/// robust layer's screening record and its detection precision/recall
+/// against the ground-truth attacker set.
+pub fn print_attack_table(results: &[ArmResult]) {
+    println!(
+        "{:<22} | final acc | best acc | attacked | screened | clipped | precision | recall",
+        "arm"
+    );
+    println!("{}", "-".repeat(104));
+    for a in results {
+        let r = &a.result;
+        let d = r.detection();
+        println!(
+            "{:<22} | {:>9.3} | {:>8.3} | {:>8} | {:>8} | {:>7} | {:>9.2} | {:>6.2}",
+            a.label,
+            r.final_accuracy(),
+            r.best_accuracy(),
+            r.attacked_updates,
+            r.screened_updates,
+            r.clipped_updates,
+            d.precision,
+            d.recall,
+        );
+    }
 }
 
 /// Render a percentage speedup of `a` over `b` for a given target
@@ -181,6 +218,13 @@ mod tests {
             timeouts: 0,
             quarantined: 0,
             rejected_updates: 0,
+            rejected_nonfinite: 0,
+            rejected_norm: 0,
+            screened_updates: 0,
+            clipped_updates: 0,
+            attacked_updates: 0,
+            attackers: vec![],
+            screened_clients: vec![],
             superseded_uploads: 0,
             model_digest: 0,
             sim_time_end: 100.0,

@@ -11,7 +11,7 @@
 //! after a clean checksum a format bug, not a corruption symptom.
 
 use seafl_sim::rng::{rng_from_state, rng_state};
-use seafl_sim::{RejectCause, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog};
+use seafl_sim::{AttackKind, RejectCause, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog};
 
 /// A malformed or truncated checkpoint payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -214,7 +214,21 @@ impl BinWriter {
                 self.u8(match cause {
                     RejectCause::NonFinite => 0,
                     RejectCause::NormExploded => 1,
+                    RejectCause::RobustScreened => 2,
                 });
+            }
+            TraceEvent::Attacked { id, kind } => {
+                self.u8(13);
+                self.usize(id);
+                match kind {
+                    AttackKind::SignFlip => self.u8(0),
+                    AttackKind::ScaledBoost { lambda } => {
+                        self.u8(1);
+                        self.f32(lambda);
+                    }
+                    AttackKind::Collude => self.u8(2),
+                    AttackKind::StaleReplay => self.u8(3),
+                }
             }
             TraceEvent::Terminated { reason, buffered } => {
                 self.u8(12);
@@ -407,7 +421,18 @@ impl<'a> BinReader<'a> {
                 cause: match self.u8()? {
                     0 => RejectCause::NonFinite,
                     1 => RejectCause::NormExploded,
+                    2 => RejectCause::RobustScreened,
                     b => return err(format!("invalid RejectCause tag {b}")),
+                },
+            },
+            13 => TraceEvent::Attacked {
+                id: self.usize()?,
+                kind: match self.u8()? {
+                    0 => AttackKind::SignFlip,
+                    1 => AttackKind::ScaledBoost { lambda: self.f32()? },
+                    2 => AttackKind::Collude,
+                    3 => AttackKind::StaleReplay,
+                    b => return err(format!("invalid AttackKind tag {b}")),
                 },
             },
             12 => TraceEvent::Terminated {
@@ -546,6 +571,11 @@ mod tests {
             TraceEvent::Timeout { id: 8 },
             TraceEvent::Quarantine { id: 8 },
             TraceEvent::Rejected { id: 9, cause: RejectCause::NormExploded },
+            TraceEvent::Rejected { id: 10, cause: RejectCause::RobustScreened },
+            TraceEvent::Attacked { id: 11, kind: AttackKind::SignFlip },
+            TraceEvent::Attacked { id: 12, kind: AttackKind::ScaledBoost { lambda: 10.0 } },
+            TraceEvent::Attacked { id: 13, kind: AttackKind::Collude },
+            TraceEvent::Attacked { id: 14, kind: AttackKind::StaleReplay },
             TraceEvent::Terminated { reason: TerminationReason::ServerCrash, buffered: 2 },
         ];
         for e in &events {

@@ -1,10 +1,11 @@
 //! Experiment configuration.
 
 use crate::obs::ObsConfig;
+use crate::robust::RobustConfig;
 use crate::weighting::ImportanceMode;
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_sim::{FaultConfig, FleetConfig};
+use seafl_sim::{AttackConfig, FaultConfig, FleetConfig};
 use serde::{Deserialize, Serialize};
 
 /// How the server handles in-flight clients whose staleness reaches the
@@ -303,9 +304,19 @@ pub struct ExperimentConfig {
     /// corrupted updates). Off by default: [`FaultConfig::none`] keeps
     /// every run bit-identical to the fault-free simulator.
     pub faults: FaultConfig,
+    /// Adversarial (Byzantine) client model: seeded attacker assignment
+    /// and per-upload tampering. Off by default: [`AttackConfig::none`]
+    /// draws nothing from any RNG stream and keeps runs bit-identical to
+    /// the attack-free simulator.
+    pub attack: AttackConfig,
     /// Server/client fault tolerance (session timeouts, upload retry with
     /// backoff, update sanitization).
     pub resilience: ResilienceConfig,
+    /// Byzantine-robust aggregation rule applied between the sanitizer and
+    /// the policy's weighting step. The default
+    /// ([`crate::robust::RobustAggregator::Mean`]) is a bit-identical
+    /// pass-through.
+    pub robust: RobustConfig,
     /// Write a durable checkpoint every this many aggregation rounds
     /// (requires `checkpoint_dir`). `None` with a directory set means every
     /// round. Checkpoint writes are pure I/O — they never touch simulation
@@ -360,7 +371,9 @@ impl ExperimentConfig {
             grad_norm_probe: false,
             threads: 0,
             faults: FaultConfig::none(),
+            attack: AttackConfig::none(),
             resilience: ResilienceConfig::default(),
+            robust: RobustConfig::default(),
             checkpoint_every: None,
             checkpoint_dir: None,
             keep_last: 2,
@@ -418,7 +431,9 @@ impl ExperimentConfig {
             assert!(every >= 1, "config: checkpoint_every must be >= 1");
         }
         assert!(self.keep_last >= 1, "config: keep_last must be >= 1");
-        self.faults.validate();
+        self.faults.validate().unwrap_or_else(|e| panic!("{e}"));
+        self.attack.validate().unwrap_or_else(|e| panic!("{e}"));
+        self.robust.validate().unwrap_or_else(|e| panic!("{e}"));
         self.resilience.validate();
         self.obs.validate();
         assert!(
@@ -537,9 +552,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "attacker_prob")]
+    fn out_of_range_attack_probability_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.attack.attacker_prob = 1.5;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "trimmed_mean beta")]
+    fn out_of_range_robust_beta_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.robust.rule = crate::robust::RobustAggregator::TrimmedMean { beta: 0.6 };
+        cfg.validate();
+    }
+
+    #[test]
     fn default_config_has_no_faults() {
         let cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
         assert!(cfg.faults.is_noop());
+        assert!(cfg.attack.is_noop());
+        assert!(cfg.robust.rule == crate::robust::RobustAggregator::Mean);
         assert!(cfg.resilience.session_timeout.is_none());
         assert!(cfg.resilience.reject_non_finite);
         assert!(cfg.resilience.max_update_norm_ratio.is_none());
@@ -574,6 +607,13 @@ mod tests {
         let mut c = base.clone();
         c.faults.crash_prob = 0.1;
         assert_ne!(c.state_hash(), h, "fault-model drift not detected");
+        let mut c = base.clone();
+        c.attack.attacker_prob = 0.3;
+        c.attack.kinds = vec![seafl_sim::AttackKind::SignFlip];
+        assert_ne!(c.state_hash(), h, "attack-model drift not detected");
+        let mut c = base.clone();
+        c.robust.rule = crate::robust::RobustAggregator::CoordMedian;
+        assert_ne!(c.state_hash(), h, "robust-rule drift not detected");
     }
 
     #[test]

@@ -89,12 +89,13 @@ use crate::policy::{
     weighted_average, Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView,
 };
 use crate::pool::TrainJob;
+use crate::robust::RobustLayer;
 use crate::sanitize;
 use crate::update::ModelUpdate;
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::{
-    EventQueue, EventQueueSnapshot, FaultPlan, RejectCause, SimRng, SimTime, TerminationReason,
-    TraceEvent, TraceLog,
+    AttackPlan, EventQueue, EventQueueSnapshot, FaultPlan, RejectCause, SimRng, SimTime,
+    TerminationReason, TraceEvent, TraceLog,
 };
 
 /// Events on the virtual clock.
@@ -315,6 +316,13 @@ pub(crate) fn drive(
         timeouts: st.timeouts,
         quarantined: st.quarantined,
         rejected_updates: st.rejected_updates,
+        rejected_nonfinite: st.rejected_nonfinite,
+        rejected_norm: st.rejected_norm,
+        screened_updates: st.screened_updates,
+        clipped_updates: st.clipped_updates,
+        attacked_updates: st.attacked_updates,
+        attackers: st.attack.attackers(),
+        screened_clients: st.trace.rejected_clients(RejectCause::RobustScreened),
         superseded_uploads: st.superseded_uploads,
         model_digest: seafl_sim::digest::digest_f32(&st.global),
         sim_time_end: end.as_secs(),
@@ -342,6 +350,12 @@ struct State {
     /// Whether a client's crash instant has been put on the clock already.
     crash_scheduled: Vec<bool>,
     plan: FaultPlan,
+    /// Adversarial device assignment + stale-replay memory. A noop plan
+    /// (the default) never touches an upload.
+    attack: AttackPlan,
+    /// Byzantine-robust screening/combination between sanitizer and
+    /// weighting. `Mean` (the default) is a bit-identical pass-through.
+    robust: RobustLayer,
     sel_rng: SimRng,
     trace: TraceLog,
     accuracy: Vec<(f64, f64)>,
@@ -355,6 +369,13 @@ struct State {
     timeouts: usize,
     quarantined: usize,
     rejected_updates: usize,
+    /// Per-cause splits of `rejected_updates` (hygiene sanitizer) plus the
+    /// robust layer's own rejections (not part of the hygiene total).
+    rejected_nonfinite: usize,
+    rejected_norm: usize,
+    screened_updates: usize,
+    clipped_updates: usize,
+    attacked_updates: usize,
     superseded_uploads: usize,
     /// Round the injected server crash fires (`None` after a resume — a
     /// restarted server never re-crashes). Not checkpointed: re-derived
@@ -385,6 +406,8 @@ impl State {
             consecutive_timeouts: vec![0; cfg.num_clients],
             crash_scheduled: vec![false; cfg.num_clients],
             plan: FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed),
+            attack: AttackPlan::build(&cfg.attack, cfg.num_clients, cfg.seed),
+            robust: RobustLayer::new(cfg.robust),
             sel_rng: stream_rng(cfg.seed, streams::SELECTION),
             trace: TraceLog::new(),
             accuracy: Vec::new(),
@@ -398,6 +421,11 @@ impl State {
             timeouts: 0,
             quarantined: 0,
             rejected_updates: 0,
+            rejected_nonfinite: 0,
+            rejected_norm: 0,
+            screened_updates: 0,
+            clipped_updates: 0,
+            attacked_updates: 0,
             superseded_uploads: 0,
             crash_round: None,
             reached_target: false,
@@ -515,6 +543,34 @@ impl State {
         ] {
             w.usize(c);
         }
+        for c in [
+            self.rejected_nonfinite,
+            self.rejected_norm,
+            self.screened_updates,
+            self.clipped_updates,
+            self.attacked_updates,
+        ] {
+            w.usize(c);
+        }
+        // Attack-plan mutable state: the stale-replay memory (the assignment
+        // itself is a pure function of config + seed and is rebuilt on
+        // resume, like the fault plan).
+        w.usize(self.attack.replay_state().len());
+        for slot in self.attack.replay_state() {
+            match slot {
+                None => w.bool(false),
+                Some(prev) => {
+                    w.bool(true);
+                    w.vec_f32(prev);
+                }
+            }
+        }
+        // The robust layer's counters ride in an opaque section, framed the
+        // same way as policy state, so the rule can grow state without
+        // touching the engine framing.
+        let mut rw = BinWriter::new();
+        self.robust.encode_state(&mut rw);
+        w.section(&rw.into_bytes());
         w.rngs(&env.client_rngs);
         w.rngs(&env.idle_rngs);
 
@@ -662,6 +718,28 @@ impl State {
         let quarantined = r.usize()?;
         let rejected_updates = r.usize()?;
         let superseded_uploads = r.usize()?;
+        let rejected_nonfinite = r.usize()?;
+        let rejected_norm = r.usize()?;
+        let screened_updates = r.usize()?;
+        let clipped_updates = r.usize()?;
+        let attacked_updates = r.usize()?;
+        let n_replay = r.usize()?;
+        if n_replay != n {
+            return Err(bad(format!("{n_replay} replay slots for {n} clients")));
+        }
+        let mut replay = Vec::with_capacity(n_replay);
+        for _ in 0..n_replay {
+            replay.push(if r.bool()? { Some(r.vec_f32()?) } else { None });
+        }
+        let mut attack = AttackPlan::build(&cfg.attack, cfg.num_clients, cfg.seed);
+        attack.restore_replay_state(replay);
+        let mut robust = RobustLayer::new(cfg.robust);
+        {
+            let robust_bytes = r.section()?;
+            let mut rr = BinReader::new(robust_bytes);
+            robust.decode_state(&mut rr).map_err(|e| bad(format!("robust section: {}", e.0)))?;
+            rr.finish().map_err(|e| bad(format!("robust section: {}", e.0)))?;
+        }
         let client_rngs = r.rngs()?;
         let idle_rngs = r.rngs()?;
         if client_rngs.len() != n || idle_rngs.len() != n {
@@ -697,6 +775,8 @@ impl State {
             consecutive_timeouts,
             crash_scheduled,
             plan,
+            attack,
+            robust,
             sel_rng,
             trace,
             accuracy,
@@ -710,6 +790,11 @@ impl State {
             timeouts,
             quarantined,
             rejected_updates,
+            rejected_nonfinite,
+            rejected_norm,
+            screened_updates,
+            clipped_updates,
+            attacked_updates,
             superseded_uploads,
             crash_round: None,
             reached_target: false,
@@ -938,6 +1023,19 @@ impl State {
         if !lockstep {
             self.plan.corrupt(client, &mut params);
         }
+        // Adversarial devices tamper deliberately (after accidental
+        // corruption, mirroring a malicious client that controls its final
+        // payload). Lockstep rounds skip the channel like the other
+        // per-device fault channels.
+        let mut attacked = false;
+        if !lockstep {
+            if let Some(kind) = self.attack.apply(client, &mut params, &self.global) {
+                attacked = true;
+                self.attacked_updates += 1;
+                self.obs.count(names::UPDATES_ATTACKED);
+                self.trace.push(now, TraceEvent::Attacked { id: client, kind });
+            }
+        }
         let update = ModelUpdate {
             client_id: client,
             params,
@@ -963,7 +1061,7 @@ impl State {
             let admitted = verdict == Admission::Admit;
             let (t, round, staleness) = (now.as_secs(), self.round, update.staleness(self.round));
             self.obs.emit(move || {
-                export::update_record(t, client, round, born, staleness, epochs, admitted)
+                export::update_record(t, client, round, born, staleness, epochs, admitted, attacked)
             });
             self.obs.count(if admitted {
                 names::UPDATES_ADMITTED
@@ -1051,10 +1149,19 @@ impl State {
         self.obs.span_end(Phase::Sanitize, span);
         for (id, cause) in rejected {
             self.rejected_updates += 1;
-            self.obs.count(match cause {
-                RejectCause::NonFinite => names::UPDATES_REJECTED_NONFINITE,
-                RejectCause::NormExploded => names::UPDATES_REJECTED_NORM,
-            });
+            match cause {
+                RejectCause::NonFinite => {
+                    self.rejected_nonfinite += 1;
+                    self.obs.count(names::UPDATES_REJECTED_NONFINITE);
+                }
+                RejectCause::NormExploded => {
+                    self.rejected_norm += 1;
+                    self.obs.count(names::UPDATES_REJECTED_NORM);
+                }
+                // The sanitizer never produces this cause; it belongs to the
+                // robust layer below.
+                RejectCause::RobustScreened => unreachable!("sanitizer emitted RobustScreened"),
+            }
             self.trace.push(now, TraceEvent::Rejected { id, cause });
         }
         if clean.is_empty() {
@@ -1063,6 +1170,33 @@ impl State {
             self.refill(cfg, env, now);
             return;
         }
+
+        // Byzantine-robust screening (Krum) / clipping (NormClip) between
+        // the hygiene sanitizer and the policy's weighting. Skipped entirely
+        // under the pass-through rules so defaults stay bit-identical.
+        let mut clean = clean;
+        if self.robust.screens() {
+            let span = self.obs.span_start();
+            let outcome = self.robust.screen(&mut clean, &self.global);
+            self.obs.span_end(Phase::Robust, span);
+            for &id in &outcome.screened {
+                self.screened_updates += 1;
+                self.obs.count(names::UPDATES_SCREENED_ROBUST);
+                self.trace.push(now, TraceEvent::Rejected { id, cause: RejectCause::RobustScreened });
+            }
+            if outcome.clipped > 0 {
+                self.clipped_updates += outcome.clipped;
+                self.obs.count_n(names::UPDATES_CLIPPED_ROBUST, outcome.clipped as u64);
+            }
+            if clean.is_empty() {
+                // The whole buffer was screened as suspect; like an
+                // all-garbage buffer, the clients are idle again and
+                // refilling keeps the engine live.
+                self.refill(cfg, env, now);
+                return;
+            }
+        }
+        let clean = clean;
 
         // The policy's staleness partition (SAFA-style discard): dropped
         // updates waste their training effort — the failure mode SEAFL's
@@ -1106,13 +1240,24 @@ impl State {
                 self.obs.observe(names::WEIGHT_ENTROPY_NATS, bounds::ENTROPY_NATS, h);
                 entropy = Some(h);
             }
-            let avg = weighted_average(&updates, &weights);
+            let avg = if self.robust.is_mean() {
+                // The literal pre-robust arithmetic: digests with robustness
+                // disabled are pinned against this exact call.
+                weighted_average(&updates, &weights)
+            } else {
+                let r_span = self.obs.span_start();
+                let avg = self.robust.combine(&updates, &weights);
+                self.obs.span_end(Phase::Robust, r_span);
+                avg
+            };
             let mix_span = self.obs.span_start();
             self.global = self.policy.mix_into_global(&self.global, &avg);
             self.obs.span_end(Phase::Mix, mix_span);
         } else {
             // FedAsync's sequential fold is not a weighted average; it keeps
-            // the policy's own `aggregate` verbatim.
+            // the policy's own `aggregate` verbatim. Robust screening and
+            // clipping above still apply — only the rank-based *combine*
+            // step has no average to replace here.
             self.global = self.policy.aggregate(&self.global, &updates, self.round);
         }
         self.obs.span_end(Phase::Aggregate, agg_span);

@@ -47,6 +47,26 @@ pub struct RunResult {
     pub quarantined: usize,
     /// Updates the sanitizer rejected before aggregation.
     pub rejected_updates: usize,
+    /// Sanitizer rejections caused by non-finite parameters
+    /// (`rejected_nonfinite + rejected_norm = rejected_updates`).
+    pub rejected_nonfinite: usize,
+    /// Sanitizer rejections caused by an exploded update norm.
+    pub rejected_norm: usize,
+    /// Updates the Byzantine-robust layer screened out (Krum). Not part of
+    /// `rejected_updates`, which counts hygiene rejections only.
+    pub screened_updates: usize,
+    /// Updates the robust layer norm-clipped before aggregation.
+    pub clipped_updates: usize,
+    /// Uploads tampered with by adversarial devices (ground truth from the
+    /// attack plan, not a detection).
+    pub attacked_updates: usize,
+    /// The ground-truth attacker device set, sorted (empty when the attack
+    /// channel is off).
+    pub attackers: Vec<usize>,
+    /// Distinct clients the robust layer screened at least once, sorted —
+    /// the detection set that [`crate::robust::detection_stats`] scores
+    /// against `attackers`.
+    pub screened_clients: Vec<usize>,
     /// Upload events ignored because a newer generation superseded them
     /// (notification reschedules and retries).
     pub superseded_uploads: usize,
@@ -81,6 +101,12 @@ impl RunResult {
     /// Accuracy at the final evaluation.
     pub fn final_accuracy(&self) -> f64 {
         metrics::final_accuracy(&self.accuracy)
+    }
+
+    /// Precision/recall of the robust layer's screening decisions against
+    /// the ground-truth attacker set.
+    pub fn detection(&self) -> crate::robust::DetectionStats {
+        crate::robust::detection_stats(&self.attackers, &self.screened_clients)
     }
 }
 

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod obs;
 pub mod policy;
 pub mod pool;
+pub mod robust;
 pub mod sanitize;
 pub mod selection;
 #[doc(hidden)]
@@ -58,5 +59,8 @@ pub use policy::{
     ServerView,
 };
 pub use pool::{TrainJob, TrainerPool};
+pub use robust::{
+    detection_stats, DetectionStats, DistanceMetric, RobustAggregator, RobustConfig, RobustLayer,
+};
 pub use update::ModelUpdate;
 pub use weighting::ImportanceMode;

@@ -175,7 +175,9 @@ pub fn meta_record(
 }
 
 /// One upload arrival that survived transit (whether admitted or dropped).
-/// `staleness` and `round` are as of arrival time.
+/// `staleness` and `round` are as of arrival time; `attacked` is true when
+/// an adversarial device tampered with the upload (always false with the
+/// attack channel disabled).
 #[allow(clippy::too_many_arguments)]
 pub fn update_record(
     t: f64,
@@ -185,6 +187,7 @@ pub fn update_record(
     staleness: u64,
     epochs: usize,
     admitted: bool,
+    attacked: bool,
 ) -> String {
     JsonObject::new()
         .str("kind", "update")
@@ -196,6 +199,7 @@ pub fn update_record(
         .u64("staleness", staleness)
         .u64("epochs", epochs as u64)
         .bool("admitted", admitted)
+        .bool("attacked", attacked)
         .finish()
 }
 
@@ -327,7 +331,7 @@ mod tests {
     fn records_are_single_line_and_versioned() {
         let recs = [
             meta_record("seafl", 42, 0xdead_beef, 40, false),
-            update_record(10.5, 3, 2, 1, 1, 5, true),
+            update_record(10.5, 3, 2, 1, 1, 5, true, false),
             round_record(11.0, 3, 2, 2, 8, &[0, 1], Some(0.69)),
             eval_record(11.0, 3, 0.81),
             summary_record(99.0, 7, &BTreeMap::new(), &MetricsRegistry::new()),

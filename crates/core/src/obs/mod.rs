@@ -126,6 +126,14 @@ pub mod names {
     pub const UPDATES_REJECTED_NONFINITE: &str = "updates_rejected_nonfinite";
     /// Updates rejected by the sanitizer for excessive parameter norm.
     pub const UPDATES_REJECTED_NORM: &str = "updates_rejected_norm";
+    /// Updates screened out by the Byzantine-robust aggregation layer
+    /// (e.g. Krum's pairwise-distance selection).
+    pub const UPDATES_SCREENED_ROBUST: &str = "updates_screened_robust";
+    /// Updates whose distance-to-global the robust layer clipped
+    /// (`NormClip`); the update still aggregates, shortened.
+    pub const UPDATES_CLIPPED_ROBUST: &str = "updates_clipped_robust";
+    /// Uploads tampered with by adversarial devices (attack injection).
+    pub const UPDATES_ATTACKED: &str = "updates_attacked";
     /// Uploads lost in transit (fault injection).
     pub const UPLOAD_FAILURES: &str = "upload_failures";
     /// Retries scheduled after transit losses.

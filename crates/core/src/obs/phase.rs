@@ -15,7 +15,8 @@ use std::time::Duration;
 /// ([`Dispatch`](Phase::Dispatch)), trainer-pool execution
 /// ([`Train`](Phase::Train)), the admission verdict
 /// ([`Admission`](Phase::Admission)), the update sanitizer
-/// ([`Sanitize`](Phase::Sanitize)), aggregation-weight computation
+/// ([`Sanitize`](Phase::Sanitize)), Byzantine-robust screening and
+/// combination ([`Robust`](Phase::Robust)), aggregation-weight computation
 /// ([`Weighting`](Phase::Weighting)), the whole aggregation
 /// ([`Aggregate`](Phase::Aggregate), which contains Weighting and
 /// [`Mix`](Phase::Mix)), model evaluation ([`Eval`](Phase::Eval)) and
@@ -30,6 +31,11 @@ pub enum Phase {
     Admission,
     /// Update sanitization in front of the aggregation.
     Sanitize,
+    /// Byzantine-robust screening/clipping and (for rank-based rules) the
+    /// robust combine step, between sanitization and weighting. Never
+    /// entered under `RobustAggregator::Mean` — the pass-through default
+    /// adds no work to measure.
+    Robust,
     /// Aggregation-weight computation (`weights_for_buffer`).
     Weighting,
     /// The full aggregation (weights + average + mix, or the policy's own
@@ -46,11 +52,12 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Dispatch,
         Phase::Train,
         Phase::Admission,
         Phase::Sanitize,
+        Phase::Robust,
         Phase::Weighting,
         Phase::Aggregate,
         Phase::Mix,
@@ -66,6 +73,7 @@ impl Phase {
             Phase::Train => "train",
             Phase::Admission => "admission",
             Phase::Sanitize => "sanitize",
+            Phase::Robust => "robust",
             Phase::Weighting => "weighting",
             Phase::Aggregate => "aggregate",
             Phase::Mix => "mix",

@@ -9,11 +9,13 @@
 //! weights renormalize automatically.
 //!
 //! This is deliberately a *sanity* filter, not a Byzantine-robust
-//! aggregation rule (no medians, no trimmed means): it is the cheap server
-//! hygiene any production FL deployment needs even when all clients are
-//! honest, because a single diverged client would otherwise NaN the global
-//! model for everyone. The thresholds live in
-//! [`crate::config::ResilienceConfig`].
+//! aggregation rule: it is the cheap server hygiene any production FL
+//! deployment needs even when all clients are honest, because a single
+//! diverged client would otherwise NaN the global model for everyone. The
+//! thresholds live in [`crate::config::ResilienceConfig`]. Defenses against
+//! *deliberately adversarial* (well-formed but malicious) updates — medians,
+//! trimmed means, Krum — live one stage downstream in [`crate::robust`],
+//! which screens and combines the sanitized buffer.
 
 use crate::config::ResilienceConfig;
 use crate::update::ModelUpdate;

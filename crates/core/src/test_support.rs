@@ -6,8 +6,9 @@
 //! from the documented API surface.
 
 use crate::config::{Algorithm, ExperimentConfig};
+use crate::robust::RobustAggregator;
 use seafl_nn::ModelKind;
-use seafl_sim::{CorruptionKind, FleetConfig};
+use seafl_sim::{AttackKind, CorruptionKind, FleetConfig};
 
 /// The small-but-real experiment config the engine tests run: 12 Pareto
 /// devices, a thin MLP, 30 rounds. Heavy enough to exercise staleness and
@@ -29,16 +30,18 @@ pub fn tiny_cfg(seed: u64, algorithm: Algorithm) -> ExperimentConfig {
 pub struct FixtureCase {
     /// Algorithm label, matches `RunResult::algorithm`.
     pub label: &'static str,
-    /// Whether the fault-injection overlay is applied.
-    pub faults: bool,
+    /// Overlay applied on top of the tiny config: `"clean"` (none),
+    /// `"faults"` (fault injection + resilience knobs) or `"attack"`
+    /// (adversarial clients + a robust aggregation rule).
+    pub variant: &'static str,
     /// The fully specified experiment config the fixture pins.
     pub cfg: ExperimentConfig,
 }
 
 impl FixtureCase {
-    /// The fixture-file key for this case (`<label>/<faults|clean>`).
+    /// The fixture-file key for this case (`<label>/<variant>`).
     pub fn key(&self) -> String {
-        format!("{}/{}", self.label, if self.faults { "faults" } else { "clean" })
+        format!("{}/{}", self.label, self.variant)
     }
 }
 
@@ -59,10 +62,26 @@ fn apply_fault_overlay(cfg: &mut ExperimentConfig) {
     cfg.resilience.max_update_norm_ratio = Some(50.0);
 }
 
+/// Adversarial-fleet overlay: ~30 % of devices attack through every
+/// [`AttackKind`], defended by the coordinate-median robust rule. Shared by
+/// the fixture set and the robustness test suite.
+pub fn apply_attack_overlay(cfg: &mut ExperimentConfig) {
+    cfg.attack.attacker_prob = 0.3;
+    cfg.attack.kinds = vec![
+        AttackKind::SignFlip,
+        AttackKind::ScaledBoost { lambda: 8.0 },
+        AttackKind::Collude,
+        AttackKind::StaleReplay,
+    ];
+    cfg.attack.collude_radius = 2.0;
+    cfg.robust.rule = RobustAggregator::CoordMedian;
+}
+
 /// The digest-equivalence fixture set: every seed algorithm, with and
-/// without faults, on one fixed seed. Shared by the generator
-/// (`examples/digest_fixtures.rs`) and the guard (`tests/refactor_guard.rs`)
-/// so the two can never drift apart.
+/// without faults, on one fixed seed — plus an adversarial variant for the
+/// buffered semi-async algorithms (the robust layer's home turf). Shared by
+/// the generator (`examples/digest_fixtures.rs`) and the guard
+/// (`tests/refactor_guard.rs`) so the two can never drift apart.
 pub fn fixture_cases() -> Vec<FixtureCase> {
     let algorithms: [(&'static str, Algorithm); 7] = [
         ("seafl", Algorithm::seafl(6, 3, Some(10))),
@@ -75,13 +94,19 @@ pub fn fixture_cases() -> Vec<FixtureCase> {
     ];
     let mut cases = Vec::new();
     for (label, algorithm) in algorithms {
-        for faults in [false, true] {
+        for variant in ["clean", "faults"] {
             let mut cfg = tiny_cfg(42, algorithm);
             cfg.stop_at_accuracy = None;
-            if faults {
+            if variant == "faults" {
                 apply_fault_overlay(&mut cfg);
             }
-            cases.push(FixtureCase { label, faults, cfg });
+            cases.push(FixtureCase { label, variant, cfg });
+        }
+        if matches!(label, "seafl" | "fedbuff" | "fedasync") {
+            let mut cfg = tiny_cfg(42, algorithm);
+            cfg.stop_at_accuracy = None;
+            apply_attack_overlay(&mut cfg);
+            cases.push(FixtureCase { label, variant: "attack", cfg });
         }
     }
     cases

@@ -27,6 +27,40 @@ use crate::rng::{stream_rng, streams, unit_from_counter};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// A human-readable configuration error.
+///
+/// Validation used to panic straight from `assert!`; CLI front-ends (chaos,
+/// the bench binaries) want to print the message and exit nonzero instead of
+/// dumping a backtrace, so validators return this and the engine-side entry
+/// points (`FaultPlan::build`, `ExperimentConfig::validate`) convert it back
+/// into a panic with the identical message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl ConfigError {
+    /// Wrap a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ConfigError(msg.into())
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// `Ok(())` when `cond` holds, else a [`ConfigError`] with `msg`'s output.
+fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), ConfigError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(ConfigError::new(msg()))
+    }
+}
+
 /// What a Byzantine/buggy device does to its update before uploading.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CorruptionKind {
@@ -109,9 +143,11 @@ impl FaultConfig {
             && self.server_crash_prob == 0.0
     }
 
-    /// Panic on out-of-range parameters (mirrors `ExperimentConfig`'s
-    /// assert-style validation).
-    pub fn validate(&self) {
+    /// Check parameters, returning a readable [`ConfigError`] on the first
+    /// violation. `FaultPlan::build` and `ExperimentConfig::validate`
+    /// escalate the error into a panic with the same message; CLI callers
+    /// print it and exit instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         for (name, p) in [
             ("crash_prob", self.crash_prob),
             ("upload_drop_prob", self.upload_drop_prob),
@@ -119,26 +155,26 @@ impl FaultConfig {
             ("corrupt_prob", self.corrupt_prob),
             ("server_crash_prob", self.server_crash_prob),
         ] {
-            assert!((0.0..=1.0).contains(&p), "faults: {name} {p} outside [0,1]");
+            ensure((0.0..=1.0).contains(&p), || format!("faults: {name} {p} outside [0,1]"))?;
         }
-        assert!(
-            self.upload_drop_prob < 1.0,
-            "faults: upload_drop_prob must be < 1 (every attempt would fail)"
-        );
-        assert!(self.crash_window.0 <= self.crash_window.1, "faults: inverted crash_window");
-        assert!(
-            self.straggler_window.0 <= self.straggler_window.1,
-            "faults: inverted straggler_window"
-        );
-        assert!(
-            self.server_crash_window.0 <= self.server_crash_window.1,
-            "faults: inverted server_crash_window"
-        );
-        assert!(self.straggler_duration >= 0.0, "faults: negative straggler_duration");
-        assert!(self.straggler_factor >= 1.0, "faults: straggler_factor must be >= 1");
+        ensure(self.upload_drop_prob < 1.0, || {
+            "faults: upload_drop_prob must be < 1 (every attempt would fail)".into()
+        })?;
+        ensure(self.crash_window.0 <= self.crash_window.1, || {
+            "faults: inverted crash_window".into()
+        })?;
+        ensure(self.straggler_window.0 <= self.straggler_window.1, || {
+            "faults: inverted straggler_window".into()
+        })?;
+        ensure(self.server_crash_window.0 <= self.server_crash_window.1, || {
+            "faults: inverted server_crash_window".into()
+        })?;
+        ensure(self.straggler_duration >= 0.0, || "faults: negative straggler_duration".into())?;
+        ensure(self.straggler_factor >= 1.0, || "faults: straggler_factor must be >= 1".into())?;
         if let CorruptionKind::NanBurst { count } = self.corruption {
-            assert!(count >= 1, "faults: NanBurst count must be >= 1");
+            ensure(count >= 1, || "faults: NanBurst count must be >= 1".into())?;
         }
+        Ok(())
     }
 }
 
@@ -184,7 +220,7 @@ impl FaultPlan {
     /// fixed number of draws from the `FAULTS` stream, so device `k`'s
     /// faults depend only on `(cfg, master_seed, k)`.
     pub fn build(cfg: &FaultConfig, num_devices: usize, master_seed: u64) -> Self {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
         let mut rng = stream_rng(master_seed, streams::FAULTS);
         let devices = (0..num_devices)
             .map(|_| {
@@ -345,6 +381,258 @@ impl FaultPlan {
                 true
             }
         }
+    }
+}
+
+/// What an *adversarial* (as opposed to merely broken) device does to the
+/// update it uploads. Unlike [`CorruptionKind`], these attacks are crafted to
+/// survive the hygiene sanitizer — finite values, often norm-plausible — and
+/// must be caught (if at all) by a Byzantine-robust aggregation rule.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Reflect the update about the current global model (`p ← 2g − p`):
+    /// the classic sign-flip, pointing local progress exactly backwards
+    /// while keeping the distance-to-global unchanged.
+    SignFlip,
+    /// Amplify the update's drift from the global by `lambda`
+    /// (`p ← g + λ(p − g)`): a model-boosting attack that drags the average
+    /// without tripping non-finite checks.
+    ScaledBoost {
+        /// Drift amplification factor (> 0, finite).
+        lambda: f32,
+    },
+    /// Same-value collusion: every colluding device uploads the *identical*
+    /// shared target vector, drawn once per run from the attack RNG stream.
+    /// Rank-based rules see a coordinated cluster, not independent noise.
+    Collude,
+    /// Replay the attacker's own previous upload verbatim (the first upload
+    /// is honest and recorded). Exploits staleness handling: the update is
+    /// well-formed but perpetually one session out of date.
+    StaleReplay,
+}
+
+impl AttackKind {
+    /// Stable snake_case label (trace/report bridging, CLI parsing).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackKind::SignFlip => "sign_flip",
+            AttackKind::ScaledBoost { .. } => "scaled_boost",
+            AttackKind::Collude => "collude",
+            AttackKind::StaleReplay => "stale_replay",
+        }
+    }
+
+    /// Parse a CLI label into a kind with default parameters
+    /// (`scaled_boost` gets λ = 10).
+    pub fn from_label(s: &str) -> Option<AttackKind> {
+        match s {
+            "sign_flip" => Some(AttackKind::SignFlip),
+            "scaled_boost" => Some(AttackKind::ScaledBoost { lambda: 10.0 }),
+            "collude" => Some(AttackKind::Collude),
+            "stale_replay" => Some(AttackKind::StaleReplay),
+            _ => None,
+        }
+    }
+}
+
+/// Fleet-level adversarial model: how many devices are attackers and what
+/// they do. Off by default ([`AttackConfig::none`]); the attacker draw uses
+/// its own RNG stream ([`crate::rng::streams::ATTACKS`]), so arming the
+/// channel never perturbs fault plans, selection, or training.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Probability a device is adversarial (one draw per device).
+    pub attacker_prob: f64,
+    /// Attack kinds assigned to attacker devices (each attacker draws one,
+    /// uniformly). Empty list disables the channel.
+    pub kinds: Vec<AttackKind>,
+    /// Per-coordinate amplitude of the shared [`AttackKind::Collude`]
+    /// target (uniform in `[-radius, radius]`).
+    pub collude_radius: f32,
+}
+
+impl AttackConfig {
+    /// No attacks (the default): bit-identical to a build without the
+    /// adversarial model.
+    pub fn none() -> Self {
+        AttackConfig { attacker_prob: 0.0, kinds: Vec::new(), collude_radius: 1.0 }
+    }
+
+    /// True when the channel is disabled.
+    pub fn is_noop(&self) -> bool {
+        self.attacker_prob == 0.0 || self.kinds.is_empty()
+    }
+
+    /// Check parameters (same contract as [`FaultConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        ensure((0.0..=1.0).contains(&self.attacker_prob), || {
+            format!("attack: attacker_prob {} outside [0,1]", self.attacker_prob)
+        })?;
+        ensure(self.collude_radius.is_finite() && self.collude_radius > 0.0, || {
+            "attack: collude_radius must be positive and finite".into()
+        })?;
+        for k in &self.kinds {
+            if let AttackKind::ScaledBoost { lambda } = k {
+                ensure(lambda.is_finite() && *lambda > 0.0, || {
+                    "attack: ScaledBoost lambda must be positive and finite".into()
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The materialized, deterministic attacker assignment of a fleet, plus the
+/// per-attacker mutable state the attacks need (stale-replay memory and the
+/// lazily generated collusion target).
+///
+/// Like [`FaultPlan`], the assignment is a pure function of
+/// `(AttackConfig, num_devices, master_seed)` — each device consumes a fixed
+/// two draws from the `ATTACKS` stream — so it is rebuilt from config on
+/// resume. The replay memory is the only state a checkpoint must carry
+/// ([`replay_state`](AttackPlan::replay_state) /
+/// [`restore_replay_state`](AttackPlan::restore_replay_state)); the
+/// collusion target is a pure function of `(master_seed, dimension)` and
+/// regenerates on first use.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttackPlan {
+    master_seed: u64,
+    collude_radius: f32,
+    assignments: Vec<Option<AttackKind>>,
+    /// Attacker's previous upload (StaleReplay memory). Mutable state —
+    /// checkpointed.
+    replay: Vec<Option<Vec<f32>>>,
+    /// Shared collusion target, generated deterministically on first use
+    /// once the model dimension is known. Never serialized: a rebuilt plan
+    /// regenerates the identical vector.
+    #[serde(skip)]
+    collusion_target: Option<Vec<f32>>,
+}
+
+impl AttackPlan {
+    /// Sample attacker assignments for `num_devices` devices. Each device
+    /// consumes exactly two draws (attacker decision + kind pick), so device
+    /// `k`'s assignment depends only on `(cfg, master_seed, k)`.
+    pub fn build(cfg: &AttackConfig, num_devices: usize, master_seed: u64) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+        if cfg.is_noop() {
+            return Self::none(num_devices);
+        }
+        let mut rng = stream_rng(master_seed, streams::ATTACKS);
+        let assignments = (0..num_devices)
+            .map(|_| {
+                let (u_attacker, u_kind): (f64, f64) = (rng.gen(), rng.gen());
+                (u_attacker < cfg.attacker_prob).then(|| {
+                    let i = ((u_kind * cfg.kinds.len() as f64) as usize).min(cfg.kinds.len() - 1);
+                    cfg.kinds[i]
+                })
+            })
+            .collect();
+        AttackPlan {
+            master_seed,
+            collude_radius: cfg.collude_radius,
+            assignments,
+            replay: vec![None; num_devices],
+            collusion_target: None,
+        }
+    }
+
+    /// A plan with no attackers (what every experiment gets by default).
+    pub fn none(num_devices: usize) -> Self {
+        AttackPlan {
+            master_seed: 0,
+            collude_radius: 0.0,
+            assignments: vec![None; num_devices],
+            replay: vec![None; num_devices],
+            collusion_target: None,
+        }
+    }
+
+    /// True when no device attacks.
+    pub fn is_noop(&self) -> bool {
+        self.assignments.iter().all(Option::is_none)
+    }
+
+    /// Attack assigned to device `k` (`None` = honest device).
+    pub fn kind(&self, k: usize) -> Option<AttackKind> {
+        self.assignments[k]
+    }
+
+    /// The ground-truth attacker set, sorted — what detection
+    /// precision/recall is measured against.
+    pub fn attackers(&self) -> Vec<usize> {
+        (0..self.assignments.len()).filter(|&k| self.assignments[k].is_some()).collect()
+    }
+
+    /// Apply device `k`'s attack to an outgoing update in place. `global`
+    /// is the server model the reflection/boost attacks aim against.
+    /// Returns the kind applied when the update was modified.
+    pub fn apply(&mut self, k: usize, params: &mut [f32], global: &[f32]) -> Option<AttackKind> {
+        let kind = self.assignments[k]?;
+        match kind {
+            AttackKind::SignFlip => {
+                assert_eq!(params.len(), global.len(), "attack: model size mismatch");
+                for (p, &g) in params.iter_mut().zip(global.iter()) {
+                    *p = 2.0 * g - *p;
+                }
+            }
+            AttackKind::ScaledBoost { lambda } => {
+                assert_eq!(params.len(), global.len(), "attack: model size mismatch");
+                for (p, &g) in params.iter_mut().zip(global.iter()) {
+                    *p = g + lambda * (*p - g);
+                }
+            }
+            AttackKind::Collude => {
+                let target = self.collusion_target(params.len());
+                params.copy_from_slice(target);
+            }
+            AttackKind::StaleReplay => {
+                // Record this (honest) upload, send the previous one. The
+                // first upload has nothing to replay and goes out unchanged.
+                let prev = self.replay[k].replace(params.to_vec());
+                match prev {
+                    Some(p) => {
+                        assert_eq!(params.len(), p.len(), "attack: model size changed");
+                        params.copy_from_slice(&p);
+                    }
+                    None => return None,
+                }
+            }
+        }
+        Some(kind)
+    }
+
+    /// The shared collusion target for models of `dim` parameters,
+    /// generated on first use from the `ATTACK_TARGET` stream.
+    fn collusion_target(&mut self, dim: usize) -> &[f32] {
+        let target = self.collusion_target.get_or_insert_with(|| {
+            let mut rng = stream_rng(self.master_seed, streams::ATTACK_TARGET);
+            let r = self.collude_radius;
+            (0..dim).map(|_| rng.gen::<f32>() * 2.0 * r - r).collect()
+        });
+        assert_eq!(target.len(), dim, "attack: model size changed");
+        target
+    }
+
+    /// The per-attacker replay memory — the plan's only checkpointed state.
+    pub fn replay_state(&self) -> &[Option<Vec<f32>>] {
+        &self.replay
+    }
+
+    /// Restore checkpointed replay memory into a freshly rebuilt plan.
+    pub fn restore_replay_state(&mut self, replay: Vec<Option<Vec<f32>>>) {
+        assert_eq!(
+            replay.len(),
+            self.assignments.len(),
+            "replay-state count does not match device count"
+        );
+        self.replay = replay;
     }
 }
 
@@ -554,5 +842,149 @@ mod tests {
         let mut cfg = FaultConfig::none();
         cfg.crash_prob = 1.5;
         FaultPlan::build(&cfg, 1, 0);
+    }
+
+    #[test]
+    fn validate_returns_readable_errors() {
+        let mut cfg = FaultConfig::none();
+        cfg.straggler_factor = 0.5;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.to_string(), "faults: straggler_factor must be >= 1");
+        assert!(FaultConfig::none().validate().is_ok());
+
+        let mut atk = AttackConfig::none();
+        atk.attacker_prob = -0.1;
+        assert!(atk.validate().unwrap_err().to_string().contains("outside [0,1]"));
+        atk.attacker_prob = 0.5;
+        atk.kinds = vec![AttackKind::ScaledBoost { lambda: f32::INFINITY }];
+        assert!(atk.validate().unwrap_err().to_string().contains("lambda"));
+    }
+
+    fn hostile() -> AttackConfig {
+        AttackConfig {
+            attacker_prob: 0.4,
+            kinds: vec![
+                AttackKind::SignFlip,
+                AttackKind::ScaledBoost { lambda: 8.0 },
+                AttackKind::Collude,
+                AttackKind::StaleReplay,
+            ],
+            collude_radius: 2.0,
+        }
+    }
+
+    #[test]
+    fn attack_plan_is_deterministic_and_off_is_noop() {
+        let a = AttackPlan::build(&hostile(), 50, 42);
+        let b = AttackPlan::build(&hostile(), 50, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_noop(), "prob=0.4 over 50 devices drew no attacker");
+        assert_ne!(a, AttackPlan::build(&hostile(), 50, 43));
+        assert!(AttackPlan::build(&AttackConfig::none(), 50, 42).is_noop());
+        assert!(AttackPlan::none(50).is_noop());
+        let mut none = AttackPlan::none(3);
+        let mut params = vec![1.0f32, 2.0];
+        assert_eq!(none.apply(1, &mut params, &[0.0, 0.0]), None);
+        assert_eq!(params, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn attackers_match_assignments() {
+        let plan = AttackPlan::build(&hostile(), 80, 7);
+        let attackers = plan.attackers();
+        assert!(attackers.windows(2).all(|w| w[0] < w[1]), "attacker set must be sorted");
+        for k in 0..80 {
+            assert_eq!(attackers.contains(&k), plan.kind(k).is_some());
+        }
+    }
+
+    #[test]
+    fn sign_flip_reflects_about_global() {
+        let mut plan = AttackPlan::none(1);
+        plan.assignments[0] = Some(AttackKind::SignFlip);
+        let mut p = vec![3.0f32, -1.0];
+        assert_eq!(plan.apply(0, &mut p, &[1.0, 1.0]), Some(AttackKind::SignFlip));
+        assert_eq!(p, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn scaled_boost_amplifies_drift() {
+        let mut plan = AttackPlan::none(1);
+        plan.assignments[0] = Some(AttackKind::ScaledBoost { lambda: 10.0 });
+        let mut p = vec![1.5f32];
+        plan.apply(0, &mut p, &[1.0]);
+        assert_eq!(p, vec![6.0]);
+    }
+
+    #[test]
+    fn colluders_share_one_deterministic_target() {
+        let mut cfg = hostile();
+        cfg.kinds = vec![AttackKind::Collude];
+        cfg.attacker_prob = 1.0;
+        let mut a = AttackPlan::build(&cfg, 2, 9);
+        let mut b = AttackPlan::build(&cfg, 2, 9);
+        let g = vec![0.0f32; 16];
+        let mut u0 = vec![1.0f32; 16];
+        let mut u1 = vec![-1.0f32; 16];
+        a.apply(0, &mut u0, &g);
+        a.apply(1, &mut u1, &g);
+        assert_eq!(u0, u1, "colluders must upload the identical target");
+        assert!(u0.iter().all(|v| v.abs() <= cfg.collude_radius));
+        let mut u2 = vec![5.0f32; 16];
+        b.apply(0, &mut u2, &g);
+        assert_eq!(u0, u2, "target must be a pure function of seed + dim");
+    }
+
+    #[test]
+    fn stale_replay_lags_one_upload_and_restores() {
+        let mut plan = AttackPlan::none(2);
+        plan.assignments[1] = Some(AttackKind::StaleReplay);
+        let g = vec![0.0f32; 2];
+        let mut first = vec![1.0f32, 2.0];
+        assert_eq!(plan.apply(1, &mut first, &g), None, "first upload goes out honest");
+        assert_eq!(first, vec![1.0, 2.0]);
+        let mut second = vec![3.0f32, 4.0];
+        assert_eq!(plan.apply(1, &mut second, &g), Some(AttackKind::StaleReplay));
+        assert_eq!(second, vec![1.0, 2.0], "second upload replays the first");
+
+        // Resume: rebuild + restore replay memory continues the sequence.
+        let saved: Vec<Option<Vec<f32>>> = plan.replay_state().to_vec();
+        let mut rebuilt = AttackPlan::none(2);
+        rebuilt.assignments[1] = Some(AttackKind::StaleReplay);
+        rebuilt.restore_replay_state(saved);
+        let mut third_a = vec![5.0f32, 6.0];
+        let mut third_b = third_a.clone();
+        plan.apply(1, &mut third_a, &g);
+        rebuilt.apply(1, &mut third_b, &g);
+        assert_eq!(third_a, third_b);
+        assert_eq!(third_a, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay-state count")]
+    fn replay_restore_rejects_wrong_length() {
+        let mut plan = AttackPlan::none(3);
+        plan.restore_replay_state(vec![None; 5]);
+    }
+
+    #[test]
+    fn attack_plan_round_trips_through_serde() {
+        let plan = AttackPlan::build(&hostile(), 20, 9);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: AttackPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn attack_labels_round_trip() {
+        for k in [
+            AttackKind::SignFlip,
+            AttackKind::ScaledBoost { lambda: 10.0 },
+            AttackKind::Collude,
+            AttackKind::StaleReplay,
+        ] {
+            assert_eq!(AttackKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(AttackKind::from_label("nope"), None);
     }
 }

@@ -23,7 +23,10 @@ pub mod trace;
 
 pub use device::{DeviceProfile, FleetConfig};
 pub use event::{EventQueue, EventQueueSnapshot};
-pub use faults::{CorruptionKind, DeviceFaults, FaultConfig, FaultPlan, SpeedSpike};
+pub use faults::{
+    AttackConfig, AttackKind, AttackPlan, ConfigError, CorruptionKind, DeviceFaults, FaultConfig,
+    FaultPlan, SpeedSpike,
+};
 pub use rng::{SimRng, SimRngState};
 pub use time::SimTime;
 pub use trace::{RejectCause, TerminationReason, TraceEvent, TraceLog};

@@ -79,6 +79,12 @@ pub mod streams {
     pub const SELECTION: u64 = 5;
     /// Fault-plan sampling (crash times, straggler spikes, corruption).
     pub const FAULTS: u64 = 6;
+    /// Adversarial attack-plan sampling (attacker set + kind assignment).
+    /// Its own stream, so arming attacks never moves a fault draw.
+    pub const ATTACKS: u64 = 7;
+    /// Shared collusion-target generation (drawn lazily once the model
+    /// dimension is known; see `AttackPlan::collusion_target`).
+    pub const ATTACK_TARGET: u64 = 8;
     /// Base id for per-client local-training streams; client `k` uses
     /// `CLIENT_BASE + k`.
     pub const CLIENT_BASE: u64 = 1000;

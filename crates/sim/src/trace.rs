@@ -27,7 +27,8 @@ pub enum TerminationReason {
     ServerCrash,
 }
 
-/// Why the server's update sanitizer rejected an update.
+/// Why the server rejected an update before aggregation (hygiene sanitizer
+/// or Byzantine-robust screening).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RejectCause {
     /// The update contained NaN or infinite parameters.
@@ -35,6 +36,9 @@ pub enum RejectCause {
     /// The update's distance from the global model exceeded the configured
     /// norm bound.
     NormExploded,
+    /// The robust aggregation layer screened the update as a suspected
+    /// Byzantine outlier (e.g. Krum's pairwise-distance selection).
+    RobustScreened,
 }
 
 /// One recorded simulation event.
@@ -77,9 +81,12 @@ pub enum TraceEvent {
     /// Client `id` was quarantined after repeated session timeouts and will
     /// no longer be selected.
     Quarantine { id: usize },
-    /// The update sanitizer rejected client `id`'s update before
-    /// aggregation.
+    /// The update sanitizer (or the robust aggregation layer) rejected
+    /// client `id`'s update before aggregation.
     Rejected { id: usize, cause: RejectCause },
+    /// Adversarial device `id` tampered with the update it uploaded (fault
+    /// injection; `kind` is the attack applied).
+    Attacked { id: usize, kind: crate::faults::AttackKind },
     /// Terminal event: why the run stopped, and how many updates were still
     /// sitting in the buffer at that point.
     Terminated { reason: TerminationReason, buffered: usize },
@@ -102,6 +109,7 @@ impl TraceEvent {
             TraceEvent::Timeout { .. } => "timeout",
             TraceEvent::Quarantine { .. } => "quarantine",
             TraceEvent::Rejected { .. } => "rejected",
+            TraceEvent::Attacked { .. } => "attacked",
             TraceEvent::Terminated { .. } => "terminated",
         }
     }
@@ -177,9 +185,31 @@ impl TraceLog {
         self.count(|e| matches!(e, TraceEvent::Timeout { .. }))
     }
 
-    /// Number of updates the sanitizer rejected.
+    /// Number of updates the sanitizer or robust layer rejected.
     pub fn num_rejections(&self) -> usize {
         self.count(|e| matches!(e, TraceEvent::Rejected { .. }))
+    }
+
+    /// Number of uploads tampered with by adversarial devices.
+    pub fn num_attacked(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Attacked { .. }))
+    }
+
+    /// Distinct client ids rejected with `cause`, sorted — e.g. the robust
+    /// layer's detection set for precision/recall against the ground-truth
+    /// attacker set.
+    pub fn rejected_clients(&self, cause: RejectCause) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .entries
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::Rejected { id, cause: c } if *c == cause => Some(*id),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// The terminal event's reason, if one was recorded.

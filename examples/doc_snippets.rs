@@ -50,6 +50,22 @@ fn readme_fault_overlay() {
              result.termination, result.crashes, result.timeouts, result.rejected_updates);
 }
 
+fn readme_attack_overlay() {
+    use seafl::core::robust::RobustAggregator;
+    use seafl::core::{run_experiment, Algorithm, ExperimentConfig};
+    use seafl::sim::AttackKind;
+
+    let mut config = ExperimentConfig::quick(1, Algorithm::fedbuff(10, 5));
+    config.attack.attacker_prob = 0.3;   // ~30% of devices are adversarial...
+    config.attack.kinds = vec![AttackKind::SignFlip, AttackKind::Collude];
+    config.robust.rule = RobustAggregator::CoordMedian; // ...the median shrugs them off
+    let result = run_experiment(&config);
+    let d = result.detection();
+    println!("{} attackers tampered {} uploads; screened {} clients (recall {:.2})",
+             result.attackers.len(), result.attacked_updates,
+             result.screened_clients.len(), d.recall);
+}
+
 // ----- OBSERVABILITY.md -----
 
 fn observability_modes() {
