@@ -1,7 +1,13 @@
 //! Microbenchmarks for the tensor substrate's hot kernels.
+//!
+//! The matmul group carries a `naive` arm per size so the packed kernel's
+//! speedup is measured in-repo rather than asserted; `matmul_at_b` /
+//! `matmul_a_bt` cover the two transposed entry points the backward passes
+//! use, and the conv group times forward and backward on the LeNet-5 first
+//! layer at the profiles' batch size.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use seafl_tensor::conv::{conv2d_forward, Conv2dGeom};
+use seafl_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dGeom};
 use seafl_tensor::{cosine_similarity, matmul, Shape, Tensor};
 use std::time::Duration;
 
@@ -28,7 +34,21 @@ fn bench_matmul(c: &mut Criterion) {
         g.bench_function(format!("{n}x{n}"), |bench| {
             bench.iter(|| matmul::matmul(black_box(&a), black_box(&b)))
         });
+        g.bench_function(format!("{n}x{n}/naive"), |bench| {
+            bench.iter(|| matmul::matmul_naive(black_box(&a), black_box(&b)))
+        });
     }
+    // The dense-layer shapes the MLP hot path actually runs: batch 20
+    // forward (x·Wᵀ), and the two transposed products from backward.
+    let x = rng_tensor(Shape::d2(20, 784), 7);
+    let w = rng_tensor(Shape::d2(64, 784), 8);
+    let gy = rng_tensor(Shape::d2(20, 64), 9);
+    g.bench_function("a_bt/dense_fwd_20x784x64", |bench| {
+        bench.iter(|| matmul::matmul_a_bt(black_box(&x), black_box(&w)))
+    });
+    g.bench_function("at_b/dense_gw_20x64x784", |bench| {
+        bench.iter(|| matmul::matmul_at_b(black_box(&gy), black_box(&x)))
+    });
     g.finish();
 }
 
@@ -41,6 +61,11 @@ fn bench_conv(c: &mut Criterion) {
     let bias = vec![0.0f32; 6];
     c.bench_function("conv2d_forward/lenet_c1_b20", |bench| {
         bench.iter(|| conv2d_forward(black_box(&x), black_box(&w), black_box(&bias), &geom))
+    });
+    let out = conv2d_forward(&x, &w, &bias, &geom);
+    let gout = rng_tensor(out.shape(), 10);
+    c.bench_function("conv2d_backward/lenet_c1_b20", |bench| {
+        bench.iter(|| conv2d_backward(black_box(&gout), black_box(&x), black_box(&w), &geom))
     });
 }
 

@@ -127,6 +127,10 @@ pub fn write_run_json(name: &str, results: &[ArmResult]) -> PathBuf {
                 "label": a.label,
                 "algorithm": a.result.algorithm,
                 "threads": a.threads,
+                // Which GEMM micro-kernel the build dispatched to
+                // ("packed-scalar" or "packed-simd-avx"), so speedup
+                // trajectories across runs attribute to the kernel.
+                "kernel": seafl_tensor::kernel_variant(),
                 "wall_secs": a.wall_secs,
                 "sim_time_end": a.result.sim_time_end,
                 "rounds": a.result.rounds,

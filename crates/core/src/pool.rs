@@ -22,6 +22,11 @@
 //! `threads >= 2` runs on a dedicated pool of that size. The
 //! `tests/parallel_determinism.rs` suite pins the bitwise guarantee across
 //! all algorithms.
+//!
+//! A dedicated pool also keeps its worker threads — and therefore the
+//! per-thread GEMM scratch arenas in `seafl_tensor::pack` — alive across
+//! cohorts: after the first session on each worker, panel packing in the
+//! training hot path reuses pooled buffers instead of allocating.
 
 use crate::client::{LocalTrainer, TrainOutcome};
 use parking_lot::Mutex;

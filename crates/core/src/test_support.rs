@@ -10,6 +10,16 @@ use crate::robust::RobustAggregator;
 use seafl_nn::ModelKind;
 use seafl_sim::{AttackKind, CorruptionKind, FleetConfig};
 
+/// Monotone counter for *intended* numeric changes. Bump it whenever a
+/// change deliberately alters bit-level results (a new accumulation order,
+/// a different reduction tree) so the refactor guard re-pins its digest
+/// fixtures instead of failing on stale ones; `tests/fixtures/digests.txt`
+/// records the epoch it was pinned under in a `# numeric-epoch: N` header.
+///
+/// Epoch 2: packed tiled-GEMM matmul + im2col-free convolution (KC-slab
+/// accumulation order replaced the naive k-loop).
+pub const NUMERIC_EPOCH: u32 = 2;
+
 /// The small-but-real experiment config the engine tests run: 12 Pareto
 /// devices, a thin MLP, 30 rounds. Heavy enough to exercise staleness and
 /// device turnover, light enough for debug-mode `cargo test`.

@@ -1,4 +1,5 @@
-//! 2-D convolution layer backed by the im2col kernels in `seafl-tensor`.
+//! 2-D convolution layer backed by the im2col-free conv kernels in
+//! `seafl-tensor`.
 
 use crate::layer::Layer;
 use rand::Rng;
@@ -8,7 +9,8 @@ use seafl_tensor::{init, Shape, Tensor};
 /// 2-D convolution over NCHW batches.
 ///
 /// Weights are stored pre-flattened as `[out_channels, in_c*k*k]` so the
-/// forward pass is a single GEMM against the im2col buffer.
+/// forward pass is a GEMM against a virtual im2col view of the input —
+/// patches are packed straight into the kernel's panels, never materialized.
 #[derive(Clone)]
 pub struct Conv2d {
     geom: Conv2dGeom,
@@ -17,8 +19,7 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    cached_cols: Option<Tensor>,
-    cached_batch: usize,
+    cached_input: Option<Tensor>,
 }
 
 impl Conv2d {
@@ -35,8 +36,7 @@ impl Conv2d {
             bias: Tensor::zeros(Shape::d1(out_channels)),
             grad_weight: Tensor::zeros(Shape::d2(out_channels, patch)),
             grad_bias: Tensor::zeros(Shape::d1(out_channels)),
-            cached_cols: None,
-            cached_batch: 0,
+            cached_input: None,
         }
     }
 
@@ -69,18 +69,18 @@ impl Layer for Conv2d {
             s,
             self.geom
         );
-        let (out, cols) = conv2d_forward(&x, &self.weight, self.bias.as_slice(), &self.geom);
-        if train {
-            self.cached_cols = Some(cols);
-            self.cached_batch = s.dim(0);
-        }
+        let out = conv2d_forward(&x, &self.weight, self.bias.as_slice(), &self.geom);
+        // Backward re-reads patches through the virtual im2col views, so the
+        // only state kept between passes is the input itself — no
+        // `[n·oh·ow, patch]` column matrix is ever materialized.
+        self.cached_input = train.then_some(x);
         out
     }
 
     fn backward(&mut self, grad_out: Tensor) -> Tensor {
-        let cols =
-            self.cached_cols.take().expect("Conv2d::backward called without forward(train=true)");
-        let (grad_in, gw, gb) = conv2d_backward(&grad_out, &cols, &self.weight, &self.geom);
+        let x =
+            self.cached_input.take().expect("Conv2d::backward called without forward(train=true)");
+        let (grad_in, gw, gb) = conv2d_backward(&grad_out, &x, &self.weight, &self.geom);
         self.grad_weight.add_assign(&gw);
         for (b, g) in self.grad_bias.as_mut_slice().iter_mut().zip(gb.iter()) {
             *b += g;

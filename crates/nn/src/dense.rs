@@ -76,14 +76,9 @@ impl Layer for Dense {
             x.shape().dim(1),
             self.in_features
         );
-        // y = x · Wᵀ + b
-        let mut y = matmul::matmul_a_bt(&x, &self.weight);
-        let b = self.bias.as_slice();
-        for row in y.as_mut_slice().chunks_exact_mut(self.out_features) {
-            for (v, &bi) in row.iter_mut().zip(b.iter()) {
-                *v += bi;
-            }
-        }
+        // y = x · Wᵀ + b, with the bias fused into the GEMM's C-init so the
+        // output rows are written exactly once.
+        let y = matmul::matmul_a_bt_bias(&x, &self.weight, self.bias.as_slice());
         self.cached_input = train.then_some(x);
         y
     }

@@ -9,24 +9,36 @@
 //! * [`Tensor`] — an owned, contiguous, row-major `f32` tensor with
 //!   elementwise ops, BLAS-1 style vector ops (`axpy`, `scale`, `dot`),
 //!   and reductions.
-//! * [`matmul`] — a cache-blocked, rayon-parallel SGEMM plus matrix–vector
+//! * [`matmul`] — a packed, cache-blocked, rayon-parallel SGEMM (BLIS-style
+//!   MC/KC/NC blocking over an `MR×NR` micro-kernel) plus matrix–vector
 //!   products.
-//! * [`conv`] — im2col 2-D convolution (forward and backward), max/average
-//!   pooling with index caching for backprop.
+//! * [`microkernel`] — the register-blocked micro-kernel: scalar baseline,
+//!   and an AVX variant behind the `simd` cargo feature that stays bitwise
+//!   identical to it (separate mul+add, no FMA).
+//! * [`pack`] — operand views and panel packing for the GEMM, including
+//!   the virtual-im2col views that make convolution im2col-free, and the
+//!   per-thread scratch arena the panels live in.
+//! * [`conv`] — im2col-free 2-D convolution (forward and backward),
+//!   max/average pooling with index caching for backprop.
 //! * [`stats`] — softmax, log-softmax, argmax and friends.
 //! * [`init`] — Xavier/He/uniform initializers over seedable RNGs.
 //!
-//! Everything is deterministic for a fixed seed: rayon is only used for
-//! reductions whose result does not depend on the split (each output cell is
-//! produced by exactly one thread).
+//! Everything is deterministic for a fixed seed: rayon parallelism only
+//! splits work whose per-element accumulation order is fixed (each output
+//! cell is produced by exactly one thread, in one order), so results are
+//! bitwise identical across thread counts and across the scalar/`simd`
+//! kernels.
 
 pub mod conv;
 pub mod init;
 pub mod matmul;
+pub mod microkernel;
+pub mod pack;
 pub mod shape;
 pub mod stats;
 pub mod tensor;
 
+pub use microkernel::variant as kernel_variant;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,632 @@
+//! Operand views, panel packing, fast div/mod and the per-thread scratch
+//! arena behind the blocked GEMM in [`crate::matmul`].
+//!
+//! The GEMM driver never reads its operands directly: it sees them through
+//! the [`Operand`] trait, a read-only `rows × cols` view whose bulk entry
+//! points ([`Operand::copy_row`] / [`Operand::copy_col`]) the packers call
+//! to copy cache-sized panels into tile-ordered scratch. Plain matrices,
+//! their transposes, and *virtual* matrices — the im2col column matrix of a
+//! convolution, the channel-major reading of an NCHW gradient — all plug in
+//! the same way, which is what makes the convolution path im2col-free: conv
+//! patches are materialized only panel-by-panel inside the pack step, never
+//! as a whole `cols` tensor (the `Im2colLayout` idea from cubek, done here
+//! with [`FastDivmod`] coordinate decomposition).
+//!
+//! Scratch for the packed panels comes from a per-thread arena
+//! ([`scratch_buf`]): each rayon worker reuses its own buffers across calls
+//! instead of allocating fresh `Vec`s per GEMM, and the arena is only
+//! touched at checkout/return, never held across a parallel region.
+
+use crate::conv::Conv2dGeom;
+use crate::microkernel::{MR, NR};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Exact division and remainder by a runtime-invariant divisor using one
+/// 128-bit multiply instead of a hardware divide: the round-up magic number
+/// `m = ⌊2^64 / d⌋ + 1` gives `n / d = (n · m) >> 64` exactly for all
+/// `n < 2^32`, `d < 2^32`. The im2col views burn one divisor per coordinate
+/// axis, so this is the difference between a shift-multiply and a `div`
+/// instruction in the innermost pack loop.
+#[derive(Clone, Copy, Debug)]
+pub struct FastDivmod {
+    d: u64,
+    magic: u64,
+}
+
+impl FastDivmod {
+    /// Divider for `d`. Panics if `d` is zero or `≥ 2^32`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "FastDivmod: divisor must be positive");
+        assert!((d as u128) < (1u128 << 32), "FastDivmod: divisor must be < 2^32");
+        let d = d as u64;
+        // d == 1 would need magic = 2^64 + 1; div_mod special-cases it.
+        let magic = if d == 1 { 0 } else { ((1u128 << 64) / d as u128) as u64 + 1 };
+        FastDivmod { d, magic }
+    }
+
+    /// `(n / d, n % d)`. `n` must be `< 2^32` (all tensor coordinate spaces
+    /// here are far below that).
+    #[inline(always)]
+    pub fn div_mod(&self, n: usize) -> (usize, usize) {
+        debug_assert!((n as u128) < (1u128 << 32), "FastDivmod: numerator must be < 2^32");
+        if self.d == 1 {
+            return (n, 0);
+        }
+        let q = ((n as u128 * self.magic as u128) >> 64) as u64;
+        let r = n as u64 - q * self.d;
+        (q as usize, r as usize)
+    }
+}
+
+/// A read-only `rows × cols` GEMM operand the packers copy panels from.
+///
+/// [`Operand::at`] is the universal accessor; [`Operand::copy_row`] and
+/// [`Operand::copy_col`] are the bulk entry points packing actually uses,
+/// overridden when a view has a contiguous (or otherwise cheap) layout in
+/// that direction.
+pub trait Operand: Sync {
+    /// Element at row `r`, column `c`.
+    fn at(&self, r: usize, c: usize) -> f32;
+
+    /// Fill `out` with columns `c0 .. c0 + out.len()` of row `r`.
+    #[inline]
+    fn copy_row(&self, r: usize, c0: usize, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.at(r, c0 + i);
+        }
+    }
+
+    /// Fill `out` with rows `r0 .. r0 + out.len()` of column `c`.
+    #[inline]
+    fn copy_col(&self, c: usize, r0: usize, out: &mut [f32]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.at(r0 + i, c);
+        }
+    }
+}
+
+/// Row-major matrix view over a borrowed slice with `cols` columns.
+pub struct RowMajor<'a> {
+    data: &'a [f32],
+    cols: usize,
+}
+
+impl<'a> RowMajor<'a> {
+    /// View `data` as a row-major matrix with `cols` columns.
+    pub fn new(data: &'a [f32], cols: usize) -> Self {
+        RowMajor { data, cols }
+    }
+}
+
+impl Operand for RowMajor<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn copy_row(&self, r: usize, c0: usize, out: &mut [f32]) {
+        let start = r * self.cols + c0;
+        out.copy_from_slice(&self.data[start..start + out.len()]);
+    }
+}
+
+/// Transpose view: the logical `(r, c)` element reads `data[c · rows + r]`,
+/// i.e. the logical matrix is the transpose of a row-major matrix whose row
+/// length is `rows`. Columns of the logical matrix are contiguous in
+/// storage, so `copy_col` is a straight memcpy — packing Aᵀ panels costs
+/// the same as packing A.
+pub struct Transposed<'a> {
+    data: &'a [f32],
+    rows: usize,
+}
+
+impl<'a> Transposed<'a> {
+    /// View `data` (row-major with `rows` columns per storage row) as its
+    /// transpose: a logical matrix with `rows` rows.
+    pub fn new(data: &'a [f32], rows: usize) -> Self {
+        Transposed { data, rows }
+    }
+}
+
+impl Operand for Transposed<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[c * self.rows + r]
+    }
+
+    #[inline]
+    fn copy_col(&self, c: usize, r0: usize, out: &mut [f32]) {
+        let start = c * self.rows + r0;
+        out.copy_from_slice(&self.data[start..start + out.len()]);
+    }
+}
+
+/// Shared coordinate math for the virtual im2col views: patch index
+/// `p = (ci · k_h + ky) · k_w + kx`, output position `j = oy · ow + ox`,
+/// both decomposed with [`FastDivmod`].
+#[derive(Clone, Copy)]
+struct Im2colMap {
+    h: usize,
+    w: usize,
+    k_h: usize,
+    k_w: usize,
+    stride: usize,
+    pad: usize,
+    ow: usize,
+    dm_ow: FastDivmod,
+    dm_khw: FastDivmod,
+    dm_kw: FastDivmod,
+}
+
+impl Im2colMap {
+    fn new(g: &Conv2dGeom) -> Self {
+        Im2colMap {
+            h: g.in_h,
+            w: g.in_w,
+            k_h: g.k_h,
+            k_w: g.k_w,
+            stride: g.stride,
+            pad: g.pad,
+            ow: g.out_w(),
+            dm_ow: FastDivmod::new(g.out_w()),
+            dm_khw: FastDivmod::new(g.k_h * g.k_w),
+            dm_kw: FastDivmod::new(g.k_w),
+        }
+    }
+
+    /// The input pixel kernel element `p` covers at output position `j` of
+    /// one image, or 0 in the padding halo.
+    #[inline(always)]
+    fn pixel(&self, img: &[f32], p: usize, j: usize) -> f32 {
+        let (ci, rem) = self.dm_khw.div_mod(p);
+        let (ky, kx) = self.dm_kw.div_mod(rem);
+        let (oy, ox) = self.dm_ow.div_mod(j);
+        let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+        let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+        if iy >= 0 && iy < self.h as isize && ix >= 0 && ix < self.w as isize {
+            img[ci * self.h * self.w + iy as usize * self.w + ix as usize]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Virtual im2col matrix of a single image: `patch_len × (out_h · out_w)`,
+/// element `(p, j)` being the input pixel kernel element `p` covers at
+/// output position `j` (0 in the padding halo). The B operand of the
+/// per-image forward-conv GEMM — patches are packed straight from the
+/// image, the column matrix never exists in memory.
+pub struct Im2colImage<'a> {
+    img: &'a [f32],
+    m: Im2colMap,
+}
+
+impl<'a> Im2colImage<'a> {
+    /// View one image (`in_c · in_h · in_w` floats) through geometry `g`.
+    pub fn new(img: &'a [f32], g: &Conv2dGeom) -> Self {
+        debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
+        Im2colImage { img, m: Im2colMap::new(g) }
+    }
+}
+
+impl Operand for Im2colImage<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.m.pixel(self.img, r, c)
+    }
+
+    /// Fixed patch element, walking output positions: the kernel offset is
+    /// decomposed once and the `(oy, ox)` walk is incremental, so the inner
+    /// loop is bounds checks and adds only — no division.
+    fn copy_row(&self, p: usize, j0: usize, out: &mut [f32]) {
+        let m = &self.m;
+        let (ci, rem) = m.dm_khw.div_mod(p);
+        let (ky, kx) = m.dm_kw.div_mod(rem);
+        let chan = &self.img[ci * m.h * m.w..(ci + 1) * m.h * m.w];
+        let (mut oy, mut ox) = m.dm_ow.div_mod(j0);
+        for o in out.iter_mut() {
+            let iy = (oy * m.stride + ky) as isize - m.pad as isize;
+            let ix = (ox * m.stride + kx) as isize - m.pad as isize;
+            *o = if iy >= 0 && iy < m.h as isize && ix >= 0 && ix < m.w as isize {
+                chan[iy as usize * m.w + ix as usize]
+            } else {
+                0.0
+            };
+            ox += 1;
+            if ox == m.ow {
+                ox = 0;
+                oy += 1;
+            }
+        }
+    }
+}
+
+/// Virtual im2col matrix of a whole NCHW batch, transposed relative to
+/// [`Im2colImage`]: `(n · out_h · out_w) × patch_len`, row `kk` enumerating
+/// (image, output position) and column `p` the patch element. The B operand
+/// of the weight-gradient GEMM `∂W = G · cols`.
+pub struct Im2colBatch<'a> {
+    x: &'a [f32],
+    m: Im2colMap,
+    img_stride: usize,
+    dm_hw: FastDivmod,
+}
+
+impl<'a> Im2colBatch<'a> {
+    /// View a batch of `n` images (`n · in_c · in_h · in_w` floats) through
+    /// geometry `g`.
+    pub fn new(x: &'a [f32], g: &Conv2dGeom, n: usize) -> Self {
+        let img_stride = g.in_c * g.in_h * g.in_w;
+        debug_assert_eq!(x.len(), n * img_stride);
+        Im2colBatch {
+            x,
+            m: Im2colMap::new(g),
+            img_stride,
+            dm_hw: FastDivmod::new(g.out_h() * g.out_w()),
+        }
+    }
+}
+
+impl Operand for Im2colBatch<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        let (ni, pos) = self.dm_hw.div_mod(r);
+        self.m.pixel(&self.x[ni * self.img_stride..(ni + 1) * self.img_stride], c, pos)
+    }
+
+    /// Fixed (image, output position), walking patch elements: one divmod
+    /// for the row, one for the starting column, then an incremental
+    /// `(ci, ky, kx)` odometer.
+    fn copy_row(&self, kk: usize, p0: usize, out: &mut [f32]) {
+        let m = &self.m;
+        let (ni, pos) = self.dm_hw.div_mod(kk);
+        let img = &self.x[ni * self.img_stride..(ni + 1) * self.img_stride];
+        let (oy, ox) = m.dm_ow.div_mod(pos);
+        let (mut ci, rem) = m.dm_khw.div_mod(p0);
+        let (mut ky, mut kx) = m.dm_kw.div_mod(rem);
+        for o in out.iter_mut() {
+            let iy = (oy * m.stride + ky) as isize - m.pad as isize;
+            let ix = (ox * m.stride + kx) as isize - m.pad as isize;
+            *o = if iy >= 0 && iy < m.h as isize && ix >= 0 && ix < m.w as isize {
+                img[ci * m.h * m.w + iy as usize * m.w + ix as usize]
+            } else {
+                0.0
+            };
+            kx += 1;
+            if kx == m.k_w {
+                kx = 0;
+                ky += 1;
+                if ky == m.k_h {
+                    ky = 0;
+                    ci += 1;
+                }
+            }
+        }
+    }
+}
+
+/// An NCHW gradient tensor `[n, oc, oh, ow]` read as the `oc × (n · oh·ow)`
+/// matrix whose columns enumerate (image, output position) — the A operand
+/// of the weight-gradient GEMM, replacing the old materialized
+/// `[n · oh·ow, oc]` reorder of the gradient.
+pub struct GradNchw<'a> {
+    g: &'a [f32],
+    oc: usize,
+    hw: usize,
+    dm_hw: FastDivmod,
+}
+
+impl<'a> GradNchw<'a> {
+    /// View gradient `g` (`n · oc · hw` floats, NCHW) with `hw = oh · ow`.
+    pub fn new(g: &'a [f32], oc: usize, hw: usize) -> Self {
+        debug_assert_eq!(g.len() % (oc * hw), 0);
+        GradNchw { g, oc, hw, dm_hw: FastDivmod::new(hw) }
+    }
+}
+
+impl Operand for GradNchw<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        let (ni, pos) = self.dm_hw.div_mod(c);
+        self.g[(ni * self.oc + r) * self.hw + pos]
+    }
+
+    /// Fixed column (one divmod), rows strided by `hw`.
+    fn copy_col(&self, c: usize, r0: usize, out: &mut [f32]) {
+        let (ni, pos) = self.dm_hw.div_mod(c);
+        let base = ni * self.oc * self.hw + pos;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.g[base + (r0 + i) * self.hw];
+        }
+    }
+}
+
+/// Pack rows `[i0, i0+mc)` × columns `[p0, p0+kc)` of `v` into MR-row
+/// tiles: tile `t` holds rows `i0 + t·MR ..` as `kc` consecutive groups of
+/// `MR` values (zero-padded past the last real row) — exactly the order
+/// [`crate::microkernel::kernel`] reads its A panel in.
+pub fn pack_a<V: Operand + ?Sized>(
+    v: &V,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    let tiles = mc.div_ceil(MR);
+    debug_assert!(out.len() >= tiles * kc * MR, "pack_a: scratch too small");
+    for t in 0..tiles {
+        let i = i0 + t * MR;
+        let rows = MR.min(i0 + mc - i);
+        let tile = &mut out[t * kc * MR..(t + 1) * kc * MR];
+        for p in 0..kc {
+            let dst = &mut tile[p * MR..(p + 1) * MR];
+            v.copy_col(p0 + p, i, &mut dst[..rows]);
+            for d in dst[rows..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Pack rows `[p0, p0+kc)` × columns `[j0, j0+nc)` of `v` into NR-column
+/// tiles: tile `t` holds columns `j0 + t·NR ..` as `kc` consecutive groups
+/// of `NR` values (zero-padded past the last real column) — the B-panel
+/// order of [`crate::microkernel::kernel`].
+pub fn pack_b<V: Operand + ?Sized>(
+    v: &V,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
+    let tiles = nc.div_ceil(NR);
+    debug_assert!(out.len() >= tiles * kc * NR, "pack_b: scratch too small");
+    for t in 0..tiles {
+        let j = j0 + t * NR;
+        let cols = NR.min(j0 + nc - j);
+        let tile = &mut out[t * kc * NR..(t + 1) * kc * NR];
+        for p in 0..kc {
+            let dst = &mut tile[p * NR..(p + 1) * NR];
+            v.copy_row(p0 + p, j, &mut dst[..cols]);
+            for d in dst[cols..].iter_mut() {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Per-thread pool of reusable `f32` buffers. Buffers are checked out
+/// zero-filled via [`scratch_buf`] and their storage returns to the pool
+/// when the guard drops, so steady-state GEMM and conv calls on a given
+/// thread allocate nothing. Worker threads in a persistent rayon pool (the
+/// `TrainerPool` case) keep their arenas across training sessions.
+struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+/// Pool-size cap: more simultaneous buffers than this per thread just fall
+/// back to the allocator on release.
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl Scratch {
+    const fn new() -> Self {
+        Scratch { pool: Vec::new() }
+    }
+
+    fn acquire(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    fn release(&mut self, v: Vec<f32>) {
+        if self.pool.len() < SCRATCH_POOL_CAP {
+            self.pool.push(v);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const { RefCell::new(Scratch::new()) };
+}
+
+/// A zero-filled scratch buffer checked out of the current thread's arena;
+/// derefs to `[f32]` and returns its storage on drop. The arena is only
+/// borrowed inside [`scratch_buf`] and `drop` — never while user code (or a
+/// nested parallel region) runs — so checkout order and rayon
+/// work-stealing can't conflict.
+pub struct ScratchBuf {
+    v: Vec<f32>,
+}
+
+/// Check a zero-filled buffer of `len` floats out of the calling thread's
+/// scratch arena.
+pub fn scratch_buf(len: usize) -> ScratchBuf {
+    let v = SCRATCH.with(|s| s.borrow_mut().acquire(len));
+    ScratchBuf { v }
+}
+
+impl Deref for ScratchBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.v
+    }
+}
+
+impl DerefMut for ScratchBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.v
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.v);
+        // During thread teardown the arena TLS may already be destroyed;
+        // the buffer then just drops normally.
+        let _ = SCRATCH.try_with(move |s| s.borrow_mut().release(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_divmod_matches_hardware_divide() {
+        let divisors =
+            [1usize, 2, 3, 5, 7, 24, 25, 28, 100, 783, 784, 4095, 4096, 65535, (1 << 32) - 1];
+        let numerators = [0usize, 1, 2, 3, 24, 25, 27, 783, 784, 12345, 999_999, u32::MAX as usize];
+        for &d in &divisors {
+            let dm = FastDivmod::new(d);
+            for &n in &numerators {
+                assert_eq!(dm.div_mod(n), (n / d, n % d), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be positive")]
+    fn fast_divmod_rejects_zero() {
+        FastDivmod::new(0);
+    }
+
+    #[test]
+    fn transposed_view_matches_manual_transpose() {
+        // Storage: 3 rows × 2 cols row-major; logical transpose is 2 × 3.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let t = Transposed::new(&data, 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(t.at(r, c), data[c * 2 + r]);
+            }
+        }
+        let mut col = [0.0; 2];
+        t.copy_col(1, 0, &mut col);
+        assert_eq!(col, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn pack_a_tiles_and_zero_pads() {
+        // 5×3 row-major matrix, mc = 5 ⇒ 2 tiles, second tile 1 real row.
+        let data: Vec<f32> = (0..15).map(|x| x as f32).collect();
+        let v = RowMajor::new(&data, 3);
+        let kc = 3;
+        let mut out = vec![f32::NAN; 2 * kc * MR];
+        pack_a(&v, 0, 5, 0, kc, &mut out);
+        for p in 0..kc {
+            for i in 0..MR {
+                assert_eq!(out[p * MR + i], data[i * 3 + p], "tile 0 p={p} i={i}");
+            }
+            assert_eq!(out[kc * MR + p * MR], data[4 * 3 + p], "tile 1 row");
+            for i in 1..MR {
+                assert_eq!(out[kc * MR + p * MR + i], 0.0, "tile 1 pad");
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_tiles_and_zero_pads() {
+        // 2×10 row-major matrix ⇒ 2 NR-tiles, second tile 2 real columns.
+        let data: Vec<f32> = (0..20).map(|x| x as f32).collect();
+        let v = RowMajor::new(&data, 10);
+        let kc = 2;
+        let mut out = vec![f32::NAN; 2 * kc * NR];
+        pack_b(&v, 0, kc, 0, 10, &mut out);
+        for p in 0..kc {
+            for j in 0..NR {
+                assert_eq!(out[p * NR + j], data[p * 10 + j], "tile 0");
+            }
+            for j in 0..2 {
+                assert_eq!(out[kc * NR + p * NR + j], data[p * 10 + 8 + j], "tile 1");
+            }
+            for j in 2..NR {
+                assert_eq!(out[kc * NR + p * NR + j], 0.0, "tile 1 pad");
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_views_match_reference_im2col() {
+        use crate::conv::{im2col, Conv2dGeom};
+        use crate::shape::Shape;
+        use crate::tensor::Tensor;
+        for (geom, n) in [
+            (Conv2dGeom { in_c: 2, in_h: 5, in_w: 4, k_h: 3, k_w: 2, stride: 1, pad: 1 }, 2usize),
+            (Conv2dGeom { in_c: 1, in_h: 7, in_w: 7, k_h: 3, k_w: 3, stride: 2, pad: 0 }, 3),
+            (Conv2dGeom { in_c: 3, in_h: 4, in_w: 4, k_h: 1, k_w: 1, stride: 1, pad: 0 }, 1),
+        ] {
+            let g = &geom;
+            let img_len = g.in_c * g.in_h * g.in_w;
+            let x: Vec<f32> = (0..n * img_len).map(|v| (v as f32) * 0.37 - 3.0).collect();
+            let xt = Tensor::from_vec(Shape::d4(n, g.in_c, g.in_h, g.in_w), x.clone());
+            let cols = im2col(&xt, g); // [n·oh·ow, patch] reference
+            let (hw, patch) = (g.out_h() * g.out_w(), g.patch_len());
+
+            let batch = Im2colBatch::new(&x, g, n);
+            for kk in 0..n * hw {
+                for p in 0..patch {
+                    assert_eq!(batch.at(kk, p), cols.as_slice()[kk * patch + p]);
+                }
+                let mut row = vec![0.0; patch];
+                batch.copy_row(kk, 0, &mut row);
+                assert_eq!(&row[..], &cols.as_slice()[kk * patch..(kk + 1) * patch]);
+                let mut frag = vec![0.0; (patch - patch / 2).min(3)];
+                batch.copy_row(kk, patch / 2, &mut frag);
+                let base = kk * patch + patch / 2;
+                assert_eq!(&frag[..], &cols.as_slice()[base..base + frag.len()]);
+            }
+
+            for ni in 0..n {
+                let per = Im2colImage::new(&x[ni * img_len..(ni + 1) * img_len], g);
+                for p in 0..patch {
+                    for j in 0..hw {
+                        // Im2colImage is the per-image transpose of the batch view.
+                        assert_eq!(per.at(p, j), cols.as_slice()[(ni * hw + j) * patch + p]);
+                    }
+                    let mut row = vec![0.0; hw - 1];
+                    per.copy_row(p, 1, &mut row);
+                    for (off, got) in row.iter().enumerate() {
+                        assert_eq!(*got, per.at(p, 1 + off));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_nchw_view_reads_channel_rows() {
+        // n=2 images, oc=3 channels, hw=4 positions.
+        let g: Vec<f32> = (0..24).map(|x| x as f32).collect();
+        let v = GradNchw::new(&g, 3, 4);
+        for co in 0..3 {
+            for kk in 0..8 {
+                let (ni, pos) = (kk / 4, kk % 4);
+                assert_eq!(v.at(co, kk), g[(ni * 3 + co) * 4 + pos]);
+            }
+        }
+        let mut col = [0.0; 3];
+        v.copy_col(6, 0, &mut col);
+        assert_eq!(col, [g[14], g[18], g[22]]);
+    }
+
+    #[test]
+    fn scratch_buf_zeroed_and_storage_reused() {
+        let ptr = {
+            let mut b = scratch_buf(128);
+            assert!(b.iter().all(|&x| x == 0.0));
+            b[0] = 42.0;
+            b.as_ptr() as usize
+        };
+        // Same thread, same size: the dirtied storage comes back zeroed.
+        let b2 = scratch_buf(128);
+        assert!(b2.iter().all(|&x| x == 0.0));
+        assert_eq!(b2.as_ptr() as usize, ptr, "storage should be reused");
+    }
+}

@@ -13,9 +13,10 @@
 //! bit for bit.
 
 use seafl::core::run_experiment;
-use seafl::core::test_support::fixture_cases;
+use seafl::core::test_support::{fixture_cases, NUMERIC_EPOCH};
 
 fn main() {
+    println!("# numeric-epoch: {NUMERIC_EPOCH}");
     for case in fixture_cases() {
         let r = run_experiment(&case.cfg);
         eprintln!(
