@@ -70,16 +70,51 @@ fn print_attack_outcomes(runs: &Path) {
     }
 }
 
+/// Print the wire-resilience table for any arm whose run saw transport
+/// turbulence: bytes on the wire plus retransmits, resumed connections and
+/// quarantined workers. Every run records modeled (or measured) traffic
+/// bytes, but retransmit/reconnect/quarantine counters only move when a
+/// real lossy transport misbehaved — so, like the attack table, this stays
+/// silent for clean simulator runs and the report output is unchanged.
+fn print_net_outcomes(runs: &Path) {
+    let Ok(body) = std::fs::read_to_string(runs) else { return };
+    let Ok(records) = serde_json::from_str::<serde_json::Value>(&body) else { return };
+    let Some(arr) = records.as_array() else { return };
+    let count = |r: &serde_json::Value, k: &str| r["obs"]["counters"][k].as_u64().unwrap_or(0);
+    let active: Vec<&serde_json::Value> = arr
+        .iter()
+        .filter(|r| {
+            count(r, "net_retransmits") > 0
+                || count(r, "net_reconnects") > 0
+                || count(r, "net_workers_quarantined") > 0
+        })
+        .collect();
+    if active.is_empty() {
+        return;
+    }
+    println!("\nwire resilience (transport retransmit/resume/quarantine record):");
+    println!("{:<22} | bytes sent | bytes recv | retransmits | reconnects | quarantined", "arm");
+    println!("{}", "-".repeat(92));
+    for r in active {
+        println!(
+            "{:<22} | {:>10} | {:>10} | {:>11} | {:>10} | {:>11}",
+            r["label"].as_str().unwrap_or("?"),
+            count(r, "net_bytes_sent"),
+            count(r, "net_bytes_received"),
+            count(r, "net_retransmits"),
+            count(r, "net_reconnects"),
+            count(r, "net_workers_quarantined"),
+        );
+    }
+}
+
 fn main() {
     let Some(runs) = arg_value("runs").map(PathBuf::from) else {
         eprintln!("usage: report --runs <X_runs.json> [--obs-dir <dir>] [--targets 0.5,0.7]");
         exit(2);
     };
     let obs_dir = arg_value("obs-dir").map(PathBuf::from).unwrap_or_else(|| {
-        let name = runs
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
+        let name = runs.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
         let stem = name.strip_suffix("_runs.json").unwrap_or_else(|| {
             eprintln!("cannot derive the obs dir from {name:?}; pass --obs-dir");
             exit(2);
@@ -89,11 +124,7 @@ fn main() {
     let targets: Vec<f64> = arg_value("targets")
         .map(|v| {
             v.split(',')
-                .map(|s| {
-                    s.trim()
-                        .parse()
-                        .unwrap_or_else(|_| panic!("bad --targets value {s:?}"))
-                })
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad --targets value {s:?}")))
                 .collect()
         })
         .unwrap_or_else(|| vec![0.5, 0.7]);
@@ -113,12 +144,8 @@ fn main() {
             BTreeMap::new()
         });
 
-    println!(
-        "report: {} run(s) from {} + {}",
-        obs_runs.len(),
-        obs_dir.display(),
-        runs.display()
-    );
+    println!("report: {} run(s) from {} + {}", obs_runs.len(), obs_dir.display(), runs.display());
     obs_report::print_report(&obs_runs, &phases, &targets);
     print_attack_outcomes(&runs);
+    print_net_outcomes(&runs);
 }

@@ -230,6 +230,14 @@ impl BinWriter {
                     AttackKind::StaleReplay => self.u8(3),
                 }
             }
+            TraceEvent::NetReconnect { worker } => {
+                self.u8(14);
+                self.usize(worker);
+            }
+            TraceEvent::NetQuarantine { worker } => {
+                self.u8(15);
+                self.usize(worker);
+            }
             TraceEvent::Terminated { reason, buffered } => {
                 self.u8(12);
                 self.u8(match reason {
@@ -435,6 +443,8 @@ impl<'a> BinReader<'a> {
                     b => return err(format!("invalid AttackKind tag {b}")),
                 },
             },
+            14 => TraceEvent::NetReconnect { worker: self.usize()? },
+            15 => TraceEvent::NetQuarantine { worker: self.usize()? },
             12 => TraceEvent::Terminated {
                 reason: match self.u8()? {
                     0 => TerminationReason::TargetAccuracy,
@@ -576,6 +586,8 @@ mod tests {
             TraceEvent::Attacked { id: 12, kind: AttackKind::ScaledBoost { lambda: 10.0 } },
             TraceEvent::Attacked { id: 13, kind: AttackKind::Collude },
             TraceEvent::Attacked { id: 14, kind: AttackKind::StaleReplay },
+            TraceEvent::NetReconnect { worker: 2 },
+            TraceEvent::NetQuarantine { worker: 3 },
             TraceEvent::Terminated { reason: TerminationReason::ServerCrash, buffered: 2 },
         ];
         for e in &events {

@@ -248,12 +248,19 @@ impl CheckpointStore {
 
     /// Load the newest snapshot that passes validation, falling back to
     /// older ones when the newest is torn, corrupted, or from a different
-    /// experiment. Returns `(round, payload)`.
+    /// experiment.
+    ///
+    /// A fallback is a recovery, but it is also a data-loss event: newer
+    /// rounds existed and could not be restored. The rejected files'
+    /// paths and causes therefore ride along in
+    /// [`LoadedCheckpoint::rejected`] instead of being silently discarded —
+    /// callers surface them (e.g. `resume_experiment` logs each one) so an
+    /// operator can tell a clean resume from a lossy one.
     pub fn load_latest(
         &self,
         engine_tag: u8,
         config_hash: u64,
-    ) -> Result<(u64, Vec<u8>), CheckpointError> {
+    ) -> Result<LoadedCheckpoint, CheckpointError> {
         let mut files = self.list()?;
         files.reverse(); // newest first
         let mut tried: Vec<(PathBuf, String)> = Vec::new();
@@ -266,12 +273,31 @@ impl CheckpointStore {
                 }
             };
             match decode_file(&bytes, engine_tag, config_hash) {
-                Ok((round, payload)) => return Ok((round, payload.to_vec())),
+                Ok((round, payload)) => {
+                    return Ok(LoadedCheckpoint {
+                        round,
+                        payload: payload.to_vec(),
+                        rejected: tried,
+                    })
+                }
                 Err(why) => tried.push((path, why)),
             }
         }
         Err(CheckpointError::NoValidCheckpoint { dir: self.dir.clone(), tried })
     }
+}
+
+/// A successfully restored snapshot, plus the rejection record of every
+/// *newer* candidate that failed validation on the way to it (newest
+/// first; empty on a clean load).
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// Round the snapshot was written at.
+    pub round: u64,
+    /// The engine-opaque state payload.
+    pub payload: Vec<u8>,
+    /// `(path, cause)` for each newer file rejected before this one.
+    pub rejected: Vec<(PathBuf, String)>,
 }
 
 #[cfg(test)]
@@ -290,9 +316,10 @@ mod tests {
         let store = tmp_store("roundtrip", 2);
         let payload = b"not a real payload, but faithfully checksummed".to_vec();
         store.save(ENGINE_UNIFIED, 0xABCD, 4, &payload).unwrap();
-        let (round, back) = store.load_latest(ENGINE_UNIFIED, 0xABCD).unwrap();
-        assert_eq!(round, 4);
-        assert_eq!(back, payload);
+        let loaded = store.load_latest(ENGINE_UNIFIED, 0xABCD).unwrap();
+        assert_eq!(loaded.round, 4);
+        assert_eq!(loaded.payload, payload);
+        assert!(loaded.rejected.is_empty(), "clean load must report no rejections");
         fs::remove_dir_all(&store.dir).ok();
     }
 
@@ -304,8 +331,8 @@ mod tests {
         }
         let files = store.list().unwrap();
         assert_eq!(files.len(), 2);
-        let (round, payload) = store.load_latest(ENGINE_UNIFIED, 1).unwrap();
-        assert_eq!((round, payload), (5, vec![5u8]));
+        let loaded = store.load_latest(ENGINE_UNIFIED, 1).unwrap();
+        assert_eq!((loaded.round, loaded.payload), (5, vec![5u8]));
         fs::remove_dir_all(&store.dir).ok();
     }
 
@@ -321,8 +348,17 @@ mod tests {
         bytes[last] ^= 0x01;
         fs::write(&newest, &bytes).unwrap();
 
-        let (round, payload) = store.load_latest(ENGINE_UNIFIED, 9).unwrap();
-        assert_eq!((round, payload.as_slice()), (2, b"older snapshot".as_slice()));
+        let loaded = store.load_latest(ENGINE_UNIFIED, 9).unwrap();
+        assert_eq!((loaded.round, loaded.payload.as_slice()), (2, b"older snapshot".as_slice()));
+        // The fallback is not silent: the corrupted file's path and cause
+        // surface alongside the recovered payload.
+        assert_eq!(loaded.rejected.len(), 1);
+        assert_eq!(loaded.rejected[0].0, newest);
+        assert!(
+            loaded.rejected[0].1.contains("checksum mismatch"),
+            "unexpected cause: {}",
+            loaded.rejected[0].1
+        );
         fs::remove_dir_all(&store.dir).ok();
     }
 

@@ -6,6 +6,7 @@ use seafl_nn::{Model, Sgd};
 use seafl_sim::SimRng;
 
 /// Result of one local training session.
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainOutcome {
     /// Model state after each completed epoch; `snapshots[e]` is the state
     /// after epoch `e+1`. Populated only when `keep_snapshots` is requested

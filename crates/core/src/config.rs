@@ -5,7 +5,8 @@ use crate::robust::RobustConfig;
 use crate::weighting::ImportanceMode;
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_sim::{AttackConfig, FaultConfig, FleetConfig};
+use seafl_sim::faults::ConfigError;
+use seafl_sim::{AttackConfig, FaultConfig, FleetConfig, LossConfig};
 use serde::{Deserialize, Serialize};
 
 /// How the server handles in-flight clients whose staleness reaches the
@@ -241,6 +242,101 @@ impl ResilienceConfig {
     }
 }
 
+/// Wire-transport knobs for running the fleet over real sockets
+/// (`seafl-net`'s server/client binaries). Execution-only, like `threads`
+/// and the checkpoint knobs: the protocol recovers every frame, so none of
+/// these change what a run computes, and they are normalized out of
+/// [`ExperimentConfig::state_hash`] — a TCP run with packet loss handshakes
+/// cleanly against a simulator config that never mentions the wire.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TransportConfig {
+    /// Model download / update upload chunk size, bytes per `Data` frame.
+    pub chunk_bytes: usize,
+    /// How many sent frames each side retains for replay after a reconnect.
+    /// A peer whose last acked offset has fallen out of this window cannot
+    /// resume and is rejected (`ResumeGap`).
+    pub replay_history: usize,
+    /// Base retransmit timeout, seconds; doubles per retry up to
+    /// [`rto_cap`](Self::rto_cap) (capped exponential backoff, mirroring
+    /// [`ResilienceConfig::retry_backoff_base`]).
+    pub rto_base: f64,
+    /// Upper bound on a single retransmit timeout, seconds.
+    pub rto_cap: f64,
+    /// Quarantine a connected worker after this many seconds of wire
+    /// silence while it holds outstanding assignments; its jobs fail over
+    /// (the existing quarantine path, now at the transport layer).
+    pub idle_timeout: f64,
+    /// Connection attempts a client makes before giving up.
+    pub connect_retries: u32,
+    /// Base delay before reconnect attempt `i`: `base · 2^i` seconds,
+    /// capped at [`connect_backoff_cap`](Self::connect_backoff_cap).
+    pub connect_backoff_base: f64,
+    /// Upper bound on a single connect backoff delay, seconds.
+    pub connect_backoff_cap: f64,
+    /// Server listen endpoint (`"tcp://host:port"` or `"uds:///path"`);
+    /// `None` means this config never binds a socket (pure simulation).
+    pub listen: Option<String>,
+    /// Client connect endpoint, same syntax as [`listen`](Self::listen).
+    pub connect: Option<String>,
+    /// Seeded frame-loss injection on this process's links (tests and
+    /// resilience drills; [`LossConfig::none`] in production).
+    pub loss: LossConfig,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            chunk_bytes: 64 * 1024,
+            replay_history: 1024,
+            rto_base: 0.05,
+            rto_cap: 2.0,
+            idle_timeout: 30.0,
+            connect_retries: 10,
+            connect_backoff_base: 0.1,
+            connect_backoff_cap: 5.0,
+            listen: None,
+            connect: None,
+            loss: LossConfig::none(),
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Check invariants (called from [`ExperimentConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), ConfigError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(ConfigError::new(msg()))
+            }
+        }
+        ensure(self.chunk_bytes >= 1, || "config: transport.chunk_bytes must be >= 1".into())?;
+        ensure(self.replay_history >= 1, || {
+            "config: transport.replay_history must be >= 1".into()
+        })?;
+        ensure(self.rto_base > 0.0, || "config: non-positive transport.rto_base".into())?;
+        ensure(self.rto_cap >= self.rto_base, || {
+            "config: transport.rto_cap below rto_base".into()
+        })?;
+        ensure(self.idle_timeout > 0.0, || "config: non-positive transport.idle_timeout".into())?;
+        ensure(self.connect_backoff_base > 0.0, || {
+            "config: non-positive transport.connect_backoff_base".into()
+        })?;
+        ensure(self.connect_backoff_cap >= self.connect_backoff_base, || {
+            "config: transport.connect_backoff_cap below connect_backoff_base".into()
+        })?;
+        for (name, ep) in [("listen", &self.listen), ("connect", &self.connect)] {
+            if let Some(ep) = ep {
+                ensure(ep.starts_with("tcp://") || ep.starts_with("uds://"), || {
+                    format!("config: transport.{name} {ep:?} must start with tcp:// or uds://")
+                })?;
+            }
+        }
+        self.loss.validate()
+    }
+}
+
 /// Full description of one simulated FL run.
 ///
 /// (Serialize-only: `SyntheticSpec` carries a `&'static str` name, so
@@ -334,6 +430,10 @@ pub struct ExperimentConfig {
     /// from [`state_hash`](ExperimentConfig::state_hash) and from
     /// checkpoints.
     pub obs: ObsConfig,
+    /// Wire-transport knobs for the real server/client fleet. Inert in
+    /// simulation; excluded from [`state_hash`](ExperimentConfig::state_hash)
+    /// (the loss-tolerant protocol makes results transport-independent).
+    pub transport: TransportConfig,
 }
 
 impl ExperimentConfig {
@@ -378,6 +478,7 @@ impl ExperimentConfig {
             checkpoint_dir: None,
             keep_last: 2,
             obs: ObsConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 
@@ -395,6 +496,7 @@ impl ExperimentConfig {
         c.checkpoint_dir = None;
         c.keep_last = 0;
         c.obs = ObsConfig::default();
+        c.transport = TransportConfig::default();
         seafl_sim::digest::fnv1a64(format!("{c:?}").as_bytes())
     }
 
@@ -436,6 +538,7 @@ impl ExperimentConfig {
         self.robust.validate().unwrap_or_else(|e| panic!("{e}"));
         self.resilience.validate();
         self.obs.validate();
+        self.transport.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(
             self.train_per_class * self.spec.num_classes >= self.num_clients,
             "config: not enough training samples for the client count"
@@ -596,6 +699,11 @@ mod tests {
         assert_eq!(c.state_hash(), h, "obs knobs changed the state hash");
         c.obs = crate::obs::ObsConfig::off();
         assert_eq!(c.state_hash(), h, "obs knobs changed the state hash");
+        c.transport.listen = Some("tcp://127.0.0.1:7000".into());
+        c.transport.connect = Some("tcp://127.0.0.1:7000".into());
+        c.transport.chunk_bytes = 4096;
+        c.transport.loss.drop_prob = 0.2;
+        assert_eq!(c.state_hash(), h, "transport knobs changed the state hash");
 
         // State-relevant drift: hash MUST move.
         let mut c = base.clone();
@@ -637,6 +745,46 @@ mod tests {
     fn zero_keep_last_rejected() {
         let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
         cfg.keep_last = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transport.chunk_bytes must be >= 1")]
+    fn zero_chunk_bytes_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.transport.chunk_bytes = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transport.replay_history must be >= 1")]
+    fn zero_replay_history_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.transport.replay_history = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_loss_probability_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.transport.loss.dup_prob = 1.2;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must start with tcp:// or uds://")]
+    fn malformed_endpoint_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.transport.listen = Some("http://127.0.0.1:80".into());
+        cfg.validate();
+    }
+
+    #[test]
+    fn transport_endpoints_accepted() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.transport.listen = Some("tcp://127.0.0.1:0".into());
+        cfg.transport.connect = Some("uds:///tmp/seafl.sock".into());
         cfg.validate();
     }
 

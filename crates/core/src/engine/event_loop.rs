@@ -88,8 +88,8 @@ use crate::obs::{bounds, export, names, Obs, Phase};
 use crate::policy::{
     weighted_average, Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView,
 };
-use crate::pool::TrainJob;
 use crate::robust::RobustLayer;
+use crate::trainer::NetIncident;
 use crate::sanitize;
 use crate::update::ModelUpdate;
 use seafl_sim::rng::{stream_rng, streams};
@@ -916,7 +916,6 @@ impl State {
         picked: &[usize],
         now: SimTime,
     ) {
-        let mut jobs = Vec::with_capacity(picked.len());
         let mut round_duration = 0.0f64;
         for &k in picked {
             debug_assert_eq!(self.phase[k], ClientPhase::Idle);
@@ -933,17 +932,11 @@ impl State {
             elapsed += device.upload_time(env.model_bytes);
             self.obs.observe(names::SESSION_SIM_SECS, bounds::SIM_SECS, elapsed);
             round_duration = round_duration.max(elapsed);
-
-            jobs.push(TrainJob {
-                client_id: k,
-                data,
-                epochs: cfg.local_epochs,
-                rng: env.client_rngs[k].clone(),
-                keep_snapshots: false,
-            });
         }
 
-        let outcomes = env.pool.train_cohort(&self.global, jobs);
+        let (outcomes, incidents) =
+            env.train_cohort(&self.global, picked, cfg.local_epochs, false);
+        self.record_incidents(now, incidents);
         let barrier = now.after(round_duration);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
             env.client_rngs[k] = rng;
@@ -1049,6 +1042,7 @@ impl State {
         self.consecutive_timeouts[client] = 0;
         self.total_updates += 1;
         self.obs.count(names::UPDATES_RECEIVED);
+        self.obs.count_n(names::NET_BYTES_RECEIVED, env.model_bytes as u64);
         if epochs < cfg.local_epochs {
             self.partial_updates += 1;
             self.obs.count(names::UPDATES_PARTIAL);
@@ -1368,34 +1362,49 @@ impl State {
         }
         self.obs.count_n(names::SESSIONS_DISPATCHED, picked.len() as u64);
         self.obs.observe(names::COHORT_SIZE, bounds::COHORT, picked.len() as f64);
+        // Modeled protocol traffic: every dispatched session implies one
+        // model download. Real-transport runs overwrite these counters with
+        // measured wire bytes (retransmits included) after the run.
+        self.obs.count_n(names::NET_BYTES_SENT, (picked.len() * env.model_bytes) as u64);
         if self.policy.lockstep() {
             let span = self.obs.span_start();
             self.begin_lockstep_round(cfg, env, &picked, now);
             self.obs.span_end(Phase::Train, span);
             return;
         }
-        // Train the whole picked cohort through the pool before anything is
-        // put on the clock. Jobs carry clones of the per-client RNG streams
-        // (written back below in selection order), and the timing/idle draws
-        // all happen afterwards in `begin_session`, so the virtual-clock
-        // schedule is exactly the one the sequential engine produced.
+        // Train the whole picked cohort before anything is put on the
+        // clock — through the transport seam when a remote trainer is
+        // installed, the local pool otherwise. Jobs carry the per-client
+        // RNG streams (written back below in selection order), and the
+        // timing/idle draws all happen afterwards in `begin_session`, so
+        // the virtual-clock schedule is exactly the one the sequential
+        // engine produced.
         let keep_snapshots = self.policy.keep_epoch_snapshots();
-        let jobs: Vec<TrainJob<'_>> = picked
-            .iter()
-            .map(|&k| TrainJob {
-                client_id: k,
-                data: &env.client_data[k],
-                epochs: cfg.local_epochs,
-                rng: env.client_rngs[k].clone(),
-                keep_snapshots,
-            })
-            .collect();
         let span = self.obs.span_start();
-        let outcomes = env.pool.train_cohort(&self.global, jobs);
+        let (outcomes, incidents) =
+            env.train_cohort(&self.global, &picked, cfg.local_epochs, keep_snapshots);
         self.obs.span_end(Phase::Train, span);
+        self.record_incidents(now, incidents);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
             env.client_rngs[k] = rng;
             self.begin_session(cfg, env, k, now, outcome);
+        }
+    }
+
+    /// Fold transport-layer incidents (never present in pure simulation)
+    /// into the trace and counters at the current virtual time.
+    fn record_incidents(&mut self, now: SimTime, incidents: Vec<NetIncident>) {
+        for incident in incidents {
+            match incident {
+                NetIncident::Reconnect { worker } => {
+                    self.obs.count(names::NET_RECONNECTS);
+                    self.trace.push(now, TraceEvent::NetReconnect { worker });
+                }
+                NetIncident::Quarantine { worker } => {
+                    self.obs.count(names::NET_WORKERS_QUARANTINED);
+                    self.trace.push(now, TraceEvent::NetQuarantine { worker });
+                }
+            }
         }
     }
 }

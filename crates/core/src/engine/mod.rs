@@ -160,7 +160,10 @@ pub fn resume_experiment(cfg: &ExperimentConfig, dir: &Path) -> Result<RunResult
     cfg.checkpoint_dir = Some(dir.to_path_buf());
     cfg.validate();
     let store = CheckpointStore::new(dir, cfg.keep_last)?;
-    let (_round, payload) = store.load_latest(ENGINE_UNIFIED, cfg.state_hash())?;
+    let loaded = store.load_latest(ENGINE_UNIFIED, cfg.state_hash())?;
+    for (path, cause) in &loaded.rejected {
+        eprintln!("resume: skipping checkpoint {}: {cause}", path.display());
+    }
     let mut env = setup::Environment::build(&cfg);
-    event_loop::drive(&cfg, &mut env, build_policy(&cfg), Some(&payload))
+    event_loop::drive(&cfg, &mut env, build_policy(&cfg), Some(&loaded.payload))
 }

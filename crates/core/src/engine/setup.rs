@@ -1,14 +1,15 @@
 //! Shared experiment environment: data, partition, fleet, model, evaluation.
 
-use crate::client::LocalTrainer;
+use crate::client::{LocalTrainer, TrainOutcome};
 use crate::config::{ExperimentConfig, PartitionStrategy};
-use crate::pool::TrainerPool;
+use crate::pool::{TrainJob, TrainerPool};
+use crate::trainer::{CohortTrainer, NetIncident, RemoteJob};
 use rayon::prelude::*;
 use seafl_data::synthetic::{apply_feature_shift, sample_feature_shift};
 use seafl_data::{
     dirichlet_partition, iid_partition, quantity_skew_partition, shard_partition, ImageDataset,
 };
-use seafl_sim::rng::{stream_rng, streams};
+use seafl_sim::rng::{rng_from_state, rng_state, stream_rng, streams};
 use seafl_sim::{DeviceProfile, SimRng};
 
 /// Largest evaluation minibatch (bounds peak activation memory).
@@ -38,6 +39,10 @@ pub struct Environment {
     /// test samples, materialized on demand via `batch_range` instead of
     /// keeping (and cloning) a resident tensor.
     probe_len: Option<usize>,
+    /// Optional remote cohort executor (the transport seam; see
+    /// [`crate::trainer`]). `None` — always, in pure simulation — trains on
+    /// the local `pool`; the `seafl-net` server installs its fleet here.
+    pub trainer: Option<Box<dyn CohortTrainer>>,
 }
 
 impl Environment {
@@ -107,7 +112,68 @@ impl Environment {
             client_rngs,
             idle_rngs,
             probe_len,
+            trainer: None,
         }
+    }
+
+    /// Train a cohort of clients against `global`, in `picked` order.
+    ///
+    /// Routes through the installed remote [`CohortTrainer`] when present,
+    /// recomputing any job it could not serve (a `None` slot) on the local
+    /// pool — so a run always completes with the exact outcomes the pool
+    /// alone would have produced. Returns the `(outcome, advanced RNG)`
+    /// pairs index-aligned with `picked` (the caller writes the RNGs back),
+    /// plus any link incidents the remote path recorded.
+    pub fn train_cohort(
+        &mut self,
+        global: &[f32],
+        picked: &[usize],
+        epochs: usize,
+        keep_snapshots: bool,
+    ) -> (Vec<(TrainOutcome, SimRng)>, Vec<NetIncident>) {
+        let mut slots: Vec<Option<(TrainOutcome, SimRng)>> =
+            (0..picked.len()).map(|_| None).collect();
+        let mut incidents = Vec::new();
+        if let Some(tr) = self.trainer.as_mut() {
+            let jobs: Vec<RemoteJob> = picked
+                .iter()
+                .map(|&k| RemoteJob {
+                    client_id: k,
+                    epochs,
+                    keep_snapshots,
+                    rng: rng_state(&self.client_rngs[k]),
+                })
+                .collect();
+            let remote = tr.train_cohort(global, &jobs);
+            incidents = tr.drain_incidents();
+            debug_assert_eq!(remote.len(), jobs.len(), "trainer must answer every job");
+            for (slot, served) in slots.iter_mut().zip(remote) {
+                if let Some((outcome, rng)) = served {
+                    *slot = Some((outcome, rng_from_state(rng)));
+                }
+            }
+        }
+        let local_jobs: Vec<TrainJob<'_>> = picked
+            .iter()
+            .zip(&slots)
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(&k, _)| TrainJob {
+                client_id: k,
+                data: &self.client_data[k],
+                epochs,
+                rng: self.client_rngs[k].clone(),
+                keep_snapshots,
+            })
+            .collect();
+        if !local_jobs.is_empty() {
+            let mut local = self.pool.train_cohort(global, local_jobs).into_iter();
+            for slot in slots.iter_mut().filter(|slot| slot.is_none()) {
+                *slot = local.next();
+            }
+        }
+        let outcomes =
+            slots.into_iter().map(|slot| slot.expect("cohort slot unserved")).collect();
+        (outcomes, incidents)
     }
 
     /// Test-set accuracy of the given global state (chunked evaluation).

@@ -42,14 +42,15 @@ pub mod sanitize;
 pub mod selection;
 #[doc(hidden)]
 pub mod test_support;
+pub mod trainer;
 pub mod update;
 pub mod weighting;
 
-pub use checkpoint::{CheckpointError, CheckpointStore};
+pub use checkpoint::{CheckpointError, CheckpointStore, LoadedCheckpoint};
 pub use client::{LocalTrainer, TrainOutcome};
 pub use config::{
     Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
-    StalenessPolicy,
+    StalenessPolicy, TransportConfig,
 };
 pub use engine::{resume_experiment, run_experiment, run_with_policy, RunResult};
 pub use obs::{MetricsRegistry, ObsConfig, ObsMode, ObsSummary};
@@ -59,6 +60,7 @@ pub use policy::{
     ServerView,
 };
 pub use pool::{TrainJob, TrainerPool};
+pub use trainer::{CohortTrainer, NetIncident, RemoteJob};
 pub use robust::{
     detection_stats, DetectionStats, DistanceMetric, RobustAggregator, RobustConfig, RobustLayer,
 };

@@ -1,0 +1,241 @@
+//! Sequenced, loss-tolerant link state: offset-numbered frames with a
+//! bounded sender-side replay history and a deduplicating, reordering
+//! receiver.
+//!
+//! This is the layer that turns a lossy byte pipe into exactly-once,
+//! in-order message delivery:
+//!
+//! * the **sender** stamps each message with the next sequence offset and
+//!   retains it in a bounded history until the peer's cumulative ack
+//!   passes it — retained frames answer both RTO retransmits and
+//!   resume-after-reconnect replay;
+//! * the **receiver** delivers frames strictly in offset order, parking
+//!   out-of-order arrivals and silently swallowing duplicates (so a
+//!   retransmitted or replayed frame is processed at most once).
+//!
+//! A reconnecting peer announces the next offset it expects; the sender
+//! replays from there, or reports a [`ReplayGap`] if the bounded history
+//! has already evicted the requested range (the connection can then only
+//! be rejected — state was lost).
+
+use crate::frame::{Frame, FrameKind};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Sender half of a sequenced link.
+#[derive(Debug)]
+pub struct SendLink {
+    next_offset: u64,
+    acked: u64,
+    history: VecDeque<Frame>,
+    cap: usize,
+}
+
+/// A resume request reached back past the bounded replay history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayGap {
+    /// Offset the peer asked to resume from.
+    pub requested: u64,
+    /// Oldest offset still retained.
+    pub oldest: u64,
+}
+
+impl SendLink {
+    /// Fresh sender keeping at most `cap` unacked frames for replay.
+    pub fn new(cap: usize) -> Self {
+        SendLink { next_offset: 0, acked: 0, history: VecDeque::new(), cap: cap.max(1) }
+    }
+
+    /// Stamp `payload` as the next Data frame and retain it for replay.
+    /// If the history is full the oldest retained frame is evicted — past
+    /// that point a peer needing it back can only be refused.
+    pub fn stamp(&mut self, payload: Vec<u8>) -> Frame {
+        let frame = Frame::new(FrameKind::Data, self.next_offset, payload);
+        self.next_offset += 1;
+        self.history.push_back(frame.clone());
+        while self.history.len() > self.cap {
+            self.history.pop_front();
+        }
+        frame
+    }
+
+    /// Process a cumulative ack: everything below `upto` is delivered and
+    /// can be dropped from the history. Returns `true` if the ack advanced
+    /// (i.e. new frames were confirmed).
+    pub fn on_ack(&mut self, upto: u64) -> bool {
+        if upto <= self.acked {
+            return false;
+        }
+        self.acked = upto.min(self.next_offset);
+        while self.history.front().is_some_and(|f| f.offset < self.acked) {
+            self.history.pop_front();
+        }
+        true
+    }
+
+    /// Frames sent but not yet covered by a cumulative ack, oldest first
+    /// (the go-back-N retransmit set).
+    pub fn unacked(&self) -> impl Iterator<Item = &Frame> {
+        self.history.iter().filter(move |f| f.offset >= self.acked)
+    }
+
+    /// Number of unacked frames in flight.
+    pub fn in_flight(&self) -> usize {
+        (self.next_offset - self.acked) as usize
+    }
+
+    /// Replay every retained frame from `from` (the resuming peer's next
+    /// expected offset) onward, or report the gap if the bounded history
+    /// no longer reaches back that far.
+    pub fn replay_from(&self, from: u64) -> Result<Vec<Frame>, ReplayGap> {
+        if from >= self.next_offset {
+            return Ok(Vec::new());
+        }
+        let oldest = self.next_offset - self.history.len() as u64;
+        if from < oldest {
+            return Err(ReplayGap { requested: from, oldest });
+        }
+        Ok(self.history.iter().filter(|f| f.offset >= from).cloned().collect())
+    }
+
+    /// Next sequence offset to be assigned.
+    pub fn next_offset(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Highest cumulative ack seen.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+}
+
+/// Receiver half of a sequenced link.
+#[derive(Debug, Default)]
+pub struct RecvLink {
+    next: u64,
+    pending: BTreeMap<u64, Frame>,
+}
+
+impl RecvLink {
+    /// Fresh receiver expecting offset 0.
+    pub fn new() -> Self {
+        RecvLink::default()
+    }
+
+    /// Accept one Data frame. Returns the frames now deliverable in
+    /// order (possibly none, if `frame` arrived ahead of a gap) and
+    /// whether `frame` was a duplicate of something already delivered or
+    /// parked (duplicates produce no deliveries and mutate nothing).
+    pub fn accept(&mut self, frame: Frame) -> (Vec<Frame>, bool) {
+        if frame.offset < self.next || self.pending.contains_key(&frame.offset) {
+            return (Vec::new(), true);
+        }
+        self.pending.insert(frame.offset, frame);
+        let mut ready = Vec::new();
+        while let Some(f) = self.pending.remove(&self.next) {
+            self.next += 1;
+            ready.push(f);
+        }
+        (ready, false)
+    }
+
+    /// Cumulative ack to advertise: the next offset this receiver expects.
+    pub fn cumulative_ack(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(link: &mut SendLink, byte: u8) -> Frame {
+        link.stamp(vec![byte])
+    }
+
+    #[test]
+    fn in_order_delivery_and_acks() {
+        let mut tx = SendLink::new(8);
+        let mut rx = RecvLink::new();
+        for i in 0..5u8 {
+            let f = data(&mut tx, i);
+            let (ready, dup) = rx.accept(f);
+            assert!(!dup);
+            assert_eq!(ready.len(), 1);
+            assert_eq!(ready[0].payload, vec![i]);
+        }
+        assert_eq!(rx.cumulative_ack(), 5);
+        assert!(tx.on_ack(rx.cumulative_ack()));
+        assert_eq!(tx.in_flight(), 0);
+        assert_eq!(tx.unacked().count(), 0);
+    }
+
+    #[test]
+    fn reordered_frames_deliver_in_offset_order() {
+        let mut tx = SendLink::new(8);
+        let f0 = data(&mut tx, 0);
+        let f1 = data(&mut tx, 1);
+        let f2 = data(&mut tx, 2);
+        let mut rx = RecvLink::new();
+        assert_eq!(rx.accept(f2).0.len(), 0);
+        assert_eq!(rx.accept(f0).0.len(), 1);
+        let (ready, _) = rx.accept(f1);
+        assert_eq!(
+            ready.iter().map(|f| f.offset).collect::<Vec<_>>(),
+            vec![1, 2],
+            "parked frame must flush once the gap fills"
+        );
+        assert_eq!(rx.cumulative_ack(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_swallowed_exactly_once_semantics() {
+        let mut tx = SendLink::new(8);
+        let f0 = data(&mut tx, 0);
+        let mut rx = RecvLink::new();
+        assert_eq!(rx.accept(f0.clone()), (vec![f0.clone()], false));
+        // Redelivery of an already-delivered frame: no output, flagged dup.
+        assert_eq!(rx.accept(f0.clone()), (Vec::new(), true));
+        // Duplicate of a parked (not yet deliverable) frame likewise.
+        let _f1 = data(&mut tx, 1);
+        let f2 = data(&mut tx, 2);
+        assert_eq!(rx.accept(f2.clone()), (Vec::new(), false));
+        assert_eq!(rx.accept(f2), (Vec::new(), true));
+        assert_eq!(rx.cumulative_ack(), 1);
+    }
+
+    #[test]
+    fn replay_resumes_from_requested_offset() {
+        let mut tx = SendLink::new(8);
+        for i in 0..6u8 {
+            data(&mut tx, i);
+        }
+        tx.on_ack(2);
+        let replay = tx.replay_from(4).unwrap();
+        assert_eq!(replay.iter().map(|f| f.offset).collect::<Vec<_>>(), vec![4, 5]);
+        // Peer fully caught up: nothing to replay.
+        assert_eq!(tx.replay_from(6).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bounded_history_reports_gap() {
+        let mut tx = SendLink::new(3);
+        for i in 0..10u8 {
+            data(&mut tx, i);
+        }
+        // Only offsets 7, 8, 9 retained.
+        assert_eq!(tx.replay_from(7).unwrap().len(), 3);
+        assert_eq!(tx.replay_from(5), Err(ReplayGap { requested: 5, oldest: 7 }));
+    }
+
+    #[test]
+    fn stale_ack_does_not_regress() {
+        let mut tx = SendLink::new(8);
+        for i in 0..4u8 {
+            data(&mut tx, i);
+        }
+        assert!(tx.on_ack(3));
+        assert!(!tx.on_ack(1), "stale cumulative ack must be ignored");
+        assert_eq!(tx.acked(), 3);
+        assert_eq!(tx.in_flight(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Application messages carried in frame payloads.
+//!
+//! Handshake messages (`Hello`/`Welcome`/`Reject`) ride unsequenced
+//! frames of the matching [`crate::frame::FrameKind`]; everything else is
+//! a sequenced `Data` frame, so model downloads, assignments and outcome
+//! uploads all inherit the link layer's exactly-once in-order delivery —
+//! and its resume-after-reconnect replay — with no per-message-type
+//! recovery logic.
+//!
+//! Encoding reuses the checkpoint codec ([`BinWriter`]/[`BinReader`]):
+//! little-endian, length-prefixed, NaN-exact floats, so a training outcome
+//! crosses the wire with the identical bit patterns the local pool would
+//! have produced.
+
+use seafl_core::checkpoint::{BinReader, BinWriter, CodecError};
+use seafl_core::TrainOutcome;
+use seafl_sim::rng::{rng_state, SimRngState};
+
+/// One application message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Client → server: identify and (for `worker > 0`) resume.
+    Hello {
+        /// Wire-protocol version ([`crate::frame::PROTOCOL_VERSION`]).
+        protocol: u32,
+        /// The client's config state-hash; must match the server's.
+        config_hash: u64,
+        /// 0 for a fresh worker, else the token from a prior `Welcome`.
+        worker: u64,
+        /// Next sequence offset the client expects (server replays from
+        /// here on resume).
+        recv_next: u64,
+    },
+    /// Server → client: handshake accepted.
+    Welcome {
+        /// Worker token to present on reconnect.
+        worker: u64,
+        /// Next sequence offset the server expects (the client replays
+        /// its unacked frames from here).
+        resume_from: u64,
+    },
+    /// Server → client: handshake refused (version/config mismatch,
+    /// unknown worker, or resume gap).
+    Reject {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Server → client: one chunk of the round's global model.
+    ModelChunk {
+        /// Aggregation generation this model belongs to.
+        generation: u64,
+        /// Chunk index, `0..total`.
+        index: u32,
+        /// Total chunks in this model transfer.
+        total: u32,
+        /// Raw little-endian `f32` bytes.
+        bytes: Vec<u8>,
+    },
+    /// Server → client: train one client shard.
+    Assign {
+        /// Aggregation generation of the model to train against.
+        generation: u64,
+        /// Simulated client whose shard and RNG stream to use.
+        client_id: u64,
+        /// Local epochs to run.
+        epochs: u32,
+        /// Keep per-epoch snapshots (SEAFL² partial training).
+        keep_snapshots: bool,
+        /// The client's batch-shuffle RNG state at dispatch.
+        rng: SimRngState,
+    },
+    /// Client → server: one chunk of a serialized training outcome.
+    OutcomeChunk {
+        /// Generation echoed from the `Assign`.
+        generation: u64,
+        /// Client echoed from the `Assign`.
+        client_id: u64,
+        /// Chunk index, `0..total`.
+        index: u32,
+        /// Total chunks in this outcome transfer.
+        total: u32,
+        /// Raw outcome-blob bytes (see [`encode_outcome`]).
+        bytes: Vec<u8>,
+    },
+    /// Server → client: the run is over; exit cleanly.
+    Done,
+}
+
+impl Msg {
+    /// Serialize into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BinWriter::new();
+        match self {
+            Msg::Hello { protocol, config_hash, worker, recv_next } => {
+                w.u8(0);
+                w.u32(*protocol);
+                w.u64(*config_hash);
+                w.u64(*worker);
+                w.u64(*recv_next);
+            }
+            Msg::Welcome { worker, resume_from } => {
+                w.u8(1);
+                w.u64(*worker);
+                w.u64(*resume_from);
+            }
+            Msg::Reject { reason } => {
+                w.u8(2);
+                w.section(reason.as_bytes());
+            }
+            Msg::ModelChunk { generation, index, total, bytes } => {
+                w.u8(3);
+                w.u64(*generation);
+                w.u32(*index);
+                w.u32(*total);
+                w.section(bytes);
+            }
+            Msg::Assign { generation, client_id, epochs, keep_snapshots, rng } => {
+                w.u8(4);
+                w.u64(*generation);
+                w.u64(*client_id);
+                w.u32(*epochs);
+                w.bool(*keep_snapshots);
+                write_rng_state(&mut w, *rng);
+            }
+            Msg::OutcomeChunk { generation, client_id, index, total, bytes } => {
+                w.u8(5);
+                w.u64(*generation);
+                w.u64(*client_id);
+                w.u32(*index);
+                w.u32(*total);
+                w.section(bytes);
+            }
+            Msg::Done => w.u8(6),
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize a frame payload; trailing bytes are an error.
+    pub fn decode(payload: &[u8]) -> Result<Msg, CodecError> {
+        let mut r = BinReader::new(payload);
+        let msg = match r.u8()? {
+            0 => Msg::Hello {
+                protocol: r.u32()?,
+                config_hash: r.u64()?,
+                worker: r.u64()?,
+                recv_next: r.u64()?,
+            },
+            1 => Msg::Welcome { worker: r.u64()?, resume_from: r.u64()? },
+            2 => Msg::Reject { reason: String::from_utf8_lossy(r.section()?).into_owned() },
+            3 => Msg::ModelChunk {
+                generation: r.u64()?,
+                index: r.u32()?,
+                total: r.u32()?,
+                bytes: r.section()?.to_vec(),
+            },
+            4 => Msg::Assign {
+                generation: r.u64()?,
+                client_id: r.u64()?,
+                epochs: r.u32()?,
+                keep_snapshots: r.bool()?,
+                rng: read_rng_state(&mut r)?,
+            },
+            5 => Msg::OutcomeChunk {
+                generation: r.u64()?,
+                client_id: r.u64()?,
+                index: r.u32()?,
+                total: r.u32()?,
+                bytes: r.section()?.to_vec(),
+            },
+            6 => Msg::Done,
+            t => return Err(CodecError(format!("unknown message tag {t}"))),
+        };
+        r.finish()?;
+        Ok(msg)
+    }
+}
+
+fn write_rng_state(w: &mut BinWriter, state: SimRngState) {
+    let (seed, stream, word_pos) = state;
+    w.bytes(&seed);
+    w.u64(stream);
+    w.u128(word_pos);
+}
+
+fn read_rng_state(r: &mut BinReader<'_>) -> Result<SimRngState, CodecError> {
+    // BinReader exposes RNG state only as a rebuilt SimRng; the
+    // state ↔ generator conversion is exact (checkpoint resume depends on
+    // it), so round back to the raw tuple.
+    Ok(rng_state(&r.rng()?))
+}
+
+/// Serialize a training outcome plus the advanced RNG state for the
+/// upload path. Bit-exact: floats travel as IEEE-754 bit patterns.
+pub fn encode_outcome(outcome: &TrainOutcome, rng: SimRngState) -> Vec<u8> {
+    let mut w = BinWriter::new();
+    w.usize(outcome.snapshots.len());
+    for snap in &outcome.snapshots {
+        w.vec_f32(snap);
+    }
+    w.vec_f32(&outcome.epoch_losses);
+    write_rng_state(&mut w, rng);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_outcome`].
+pub fn decode_outcome(bytes: &[u8]) -> Result<(TrainOutcome, SimRngState), CodecError> {
+    let mut r = BinReader::new(bytes);
+    let n = r.usize()?;
+    let snapshots = (0..n).map(|_| r.vec_f32()).collect::<Result<Vec<_>, _>>()?;
+    let epoch_losses = r.vec_f32()?;
+    let rng = read_rng_state(&mut r)?;
+    r.finish()?;
+    Ok((TrainOutcome { snapshots, epoch_losses }, rng))
+}
+
+/// Split a model's parameters into little-endian byte chunks of at most
+/// `chunk_bytes` each (at least one chunk, even for an empty model).
+pub fn params_to_chunks(params: &[f32], chunk_bytes: usize) -> Vec<Vec<u8>> {
+    let mut bytes = Vec::with_capacity(params.len() * 4);
+    for &p in params {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    if bytes.is_empty() {
+        return vec![Vec::new()];
+    }
+    bytes.chunks(chunk_bytes.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Reassemble parameters from concatenated chunk bytes.
+pub fn params_from_bytes(bytes: &[u8]) -> Result<Vec<f32>, CodecError> {
+    if bytes.len() % 4 != 0 {
+        return Err(CodecError(format!("model byte length {} not a multiple of 4", bytes.len())));
+    }
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_sample() -> SimRngState {
+        ([7u8; 32], 1234, 567_890)
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let msgs = vec![
+            Msg::Hello { protocol: 1, config_hash: 0xdead_beef, worker: 0, recv_next: 0 },
+            Msg::Welcome { worker: 3, resume_from: 17 },
+            Msg::Reject { reason: "config hash mismatch".into() },
+            Msg::ModelChunk { generation: 2, index: 1, total: 7, bytes: vec![1, 2, 3] },
+            Msg::Assign {
+                generation: 2,
+                client_id: 5,
+                epochs: 3,
+                keep_snapshots: true,
+                rng: rng_sample(),
+            },
+            Msg::OutcomeChunk {
+                generation: 2,
+                client_id: 5,
+                index: 0,
+                total: 1,
+                bytes: vec![9; 40],
+            },
+            Msg::Done,
+        ];
+        for m in msgs {
+            assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Msg::Done.encode();
+        bytes.push(0);
+        assert!(Msg::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let bytes = Msg::Welcome { worker: 1, resume_from: 2 }.encode();
+        assert!(Msg::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn outcome_blob_roundtrips_bit_exact() {
+        let outcome = TrainOutcome {
+            snapshots: vec![vec![1.5, -0.0, f32::MIN_POSITIVE], vec![2.5; 4]],
+            epoch_losses: vec![0.9, 0.7],
+        };
+        let blob = encode_outcome(&outcome, rng_sample());
+        let (back, rng) = decode_outcome(&blob).unwrap();
+        assert_eq!(back, outcome);
+        assert_eq!(rng, rng_sample());
+        // -0.0 must survive as -0.0 (bitwise, not numeric, identity).
+        assert_eq!(back.snapshots[0][1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn params_chunk_and_reassemble() {
+        let params: Vec<f32> = (0..1000).map(|i| i as f32 * 0.25).collect();
+        let chunks = params_to_chunks(&params, 128);
+        assert!(chunks.len() > 1);
+        assert!(chunks.iter().all(|c| c.len() <= 128));
+        let bytes: Vec<u8> = chunks.concat();
+        assert_eq!(params_from_bytes(&bytes).unwrap(), params);
+    }
+
+    #[test]
+    fn ragged_model_bytes_rejected() {
+        assert!(params_from_bytes(&[1, 2, 3]).is_err());
+    }
+}

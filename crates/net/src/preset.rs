@@ -1,0 +1,90 @@
+//! The shared loopback experiment preset.
+//!
+//! Server, clients and the in-process simulator reference must all build
+//! **the same** [`ExperimentConfig`] from `(seed, algorithm)` — the
+//! handshake's config-hash check only proves the peers agree with each
+//! other, while digest comparison against a simulated run additionally
+//! needs the test harness to construct the identical experiment. Keeping
+//! the preset in one place makes that a function call instead of a
+//! convention.
+
+use seafl_core::{Algorithm, ExperimentConfig};
+use seafl_nn::ModelKind;
+use seafl_sim::FleetConfig;
+
+/// Algorithm from its stable label (the `--algorithm` flag).
+///
+/// # Panics
+///
+/// On an unknown label — binaries surface this at argument parsing.
+pub fn algorithm_by_name(name: &str) -> Algorithm {
+    match name {
+        "seafl" => Algorithm::seafl(5, 3, Some(4)),
+        "seafl2" => Algorithm::seafl2(5, 3, 4),
+        "fedbuff" => Algorithm::fedbuff(5, 3),
+        "fedasync" => Algorithm::fedasync(5),
+        "fedavg" => Algorithm::FedAvg { clients_per_round: 6 },
+        "fedstale" => Algorithm::fedstale(5, 3),
+        other => panic!(
+            "unknown algorithm {other:?} (try seafl, seafl2, fedbuff, fedasync, fedavg, fedstale)"
+        ),
+    }
+}
+
+/// Small fixed-length experiment every loopback process agrees on:
+/// 8 clients on a Pareto fleet, a tiny MLP (≈12.7k parameters, so a model
+/// transfer spans several chunks at the test chunk size), 6 rounds, no
+/// accuracy early-stop (fixed round count keeps wall-clock bounded and
+/// digests comparable).
+pub fn loopback_config(seed: u64, algorithm_name: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick(seed, algorithm_by_name(algorithm_name));
+    cfg.num_clients = 8;
+    cfg.fleet = FleetConfig::pareto_fleet(8);
+    cfg.train_per_class = 20;
+    cfg.test_per_class = 5;
+    cfg.model = ModelKind::Mlp { in_features: 28 * 28, hidden: 16, num_classes: 10 };
+    cfg.local_epochs = 2;
+    cfg.max_rounds = 6;
+    cfg.max_sim_time = 100_000.0;
+    cfg.stop_at_accuracy = None;
+    cfg.threads = 1;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_deterministic_and_hash_stable() {
+        let a = loopback_config(11, "seafl");
+        let b = loopback_config(11, "seafl");
+        assert_eq!(a.state_hash(), b.state_hash());
+        let c = loopback_config(12, "seafl");
+        assert_ne!(a.state_hash(), c.state_hash());
+        let d = loopback_config(11, "fedbuff");
+        assert_ne!(a.state_hash(), d.state_hash());
+    }
+
+    #[test]
+    fn transport_knobs_do_not_move_the_preset_hash() {
+        let a = loopback_config(5, "seafl2");
+        let mut b = loopback_config(5, "seafl2");
+        b.transport.listen = Some("tcp://127.0.0.1:0".into());
+        b.transport.chunk_bytes = 1024;
+        b.transport.loss.drop_prob = 0.3;
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn preset_validates() {
+        loopback_config(1, "seafl").validate();
+        loopback_config(1, "fedavg").validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown algorithm")]
+    fn unknown_algorithm_panics() {
+        algorithm_by_name("sgd");
+    }
+}

@@ -1,0 +1,610 @@
+//! The fleet server: a [`CohortTrainer`] that farms training out to
+//! worker processes over the wire protocol.
+//!
+//! The engine's event loop never knows it is networked — it calls
+//! [`CohortTrainer::train_cohort`] with a cohort and gets outcomes back.
+//! Inside, the server chunks the round's global model to each worker that
+//! needs it, sends one `Assign` per job, and pumps a single-threaded poll
+//! loop: accepting (re)connections, acking uploads, retransmitting
+//! unacked frames on a capped-exponential RTO, and reassembling outcome
+//! chunks. A worker silent past the idle timeout is **quarantined** — its
+//! unserved jobs move to the remaining live workers, or come back as
+//! `None` slots for the engine's local-pool fallback — so a dead process
+//! degrades wall-clock, never correctness.
+
+use crate::frame::{Frame, FrameKind, PROTOCOL_VERSION};
+use crate::link::{RecvLink, SendLink};
+use crate::lossy::LossyTransport;
+use crate::msg::{self, Msg};
+use crate::transport::{Endpoint, NetListener, StreamTransport, Transport};
+use crate::NetError;
+use seafl_core::{
+    CohortTrainer, ExperimentConfig, NetIncident, RemoteJob, TrainOutcome, TransportConfig,
+};
+use seafl_sim::rng::SimRngState;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server-side loss injection uses link ids offset by this, keeping them
+/// disjoint from the client-side links (which use the worker's `--link`).
+pub const SERVER_LINK_BASE: u64 = 1_000;
+
+/// Wire-level counters measured by the server (ground truth the run
+/// report prefers over the engine's modeled traffic).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Bytes handed to transports, retransmits and handshakes included.
+    pub bytes_sent: u64,
+    /// Bytes received as decoded frames (header + payload).
+    pub bytes_received: u64,
+    /// Frames re-sent by the go-back-N RTO path.
+    pub retransmits: u64,
+    /// Successful resume handshakes.
+    pub reconnects: u64,
+    /// Workers quarantined by the idle timeout.
+    pub workers_quarantined: u64,
+}
+
+/// Per-(generation, client) reassembly buffer for a chunked upload.
+struct ChunkBuf {
+    parts: Vec<Option<Vec<u8>>>,
+    got: usize,
+}
+
+struct Worker {
+    id: u64,
+    /// `None` while disconnected (may resume) or after quarantine.
+    transport: Option<Box<dyn Transport>>,
+    send: SendLink,
+    recv: RecvLink,
+    last_heard: Instant,
+    rto: f64,
+    rto_deadline: Option<Instant>,
+    /// Highest model generation already shipped to this worker.
+    has_generation: u64,
+    quarantined: bool,
+    chunks: HashMap<(u64, u64), ChunkBuf>,
+}
+
+/// The networked cohort trainer (see module docs).
+pub struct NetServer {
+    listener: NetListener,
+    knobs: TransportConfig,
+    config_hash: u64,
+    seed: u64,
+    workers: Vec<Worker>,
+    next_worker: u64,
+    stats: Arc<Mutex<NetStats>>,
+    incidents: Vec<NetIncident>,
+    generation: u64,
+}
+
+type Slot = Option<(TrainOutcome, SimRngState)>;
+
+impl NetServer {
+    /// Bind `ep` and prepare to serve the experiment `cfg` describes.
+    /// `stats` is shared so the caller keeps visibility after the server
+    /// is boxed into the engine.
+    pub fn bind(
+        ep: &Endpoint,
+        cfg: &ExperimentConfig,
+        stats: Arc<Mutex<NetStats>>,
+    ) -> Result<NetServer, NetError> {
+        let listener = NetListener::bind(ep)?;
+        Ok(NetServer {
+            listener,
+            knobs: cfg.transport.clone(),
+            config_hash: cfg.state_hash(),
+            seed: cfg.seed,
+            workers: Vec::new(),
+            next_worker: 1,
+            stats,
+            incidents: Vec::new(),
+            generation: 0,
+        })
+    }
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    pub fn local_endpoint(&self) -> &Endpoint {
+        self.listener.local_endpoint()
+    }
+
+    /// Block until `n` workers have completed the handshake.
+    pub fn wait_for_workers(&mut self, n: usize, timeout: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll_accept();
+            if self.workers.len() >= n {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::RetriesExhausted {
+                    context: format!(
+                        "waiting for {n} workers on {} (have {})",
+                        self.local_endpoint(),
+                        self.workers.len()
+                    ),
+                    attempts: 0,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn note_sent(&self, frame: &Frame) {
+        self.stats.lock().unwrap().bytes_sent += frame.wire_len() as u64;
+    }
+
+    /// Accept pending connections and run their handshakes. Connections
+    /// that misbehave are dropped; the client retries.
+    fn poll_accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok(Some(t)) => self.handshake(t),
+                Ok(None) => return,
+                Err(e) => {
+                    eprintln!("seafl-server: accept failed: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    fn reject(&self, mut t: StreamTransport, reason: &str) {
+        let frame =
+            Frame::new(FrameKind::Reject, 0, Msg::Reject { reason: reason.into() }.encode());
+        self.note_sent(&frame);
+        let _ = t.send(&frame);
+    }
+
+    fn handshake(&mut self, mut t: StreamTransport) {
+        let frame = match t.recv(Duration::from_secs(2)) {
+            Ok(Some(f)) if f.kind == FrameKind::Hello => f,
+            _ => return,
+        };
+        let Ok(Msg::Hello { protocol, config_hash, worker, recv_next }) =
+            Msg::decode(&frame.payload)
+        else {
+            return;
+        };
+        self.stats.lock().unwrap().bytes_received += frame.wire_len() as u64;
+        if protocol != PROTOCOL_VERSION {
+            self.reject(
+                t,
+                &format!(
+                    "protocol version mismatch (server {PROTOCOL_VERSION}, client {protocol})"
+                ),
+            );
+            return;
+        }
+        if config_hash != self.config_hash {
+            self.reject(t, "config hash mismatch: peers built different experiments");
+            return;
+        }
+        if worker == 0 {
+            self.admit_new(t);
+        } else {
+            self.resume(t, worker, recv_next);
+        }
+    }
+
+    fn wrap_loss(&self, t: StreamTransport, link: u64) -> Box<dyn Transport> {
+        if self.knobs.loss.is_noop() {
+            Box::new(t)
+        } else {
+            Box::new(LossyTransport::new(t, self.knobs.loss, self.seed, link))
+        }
+    }
+
+    fn admit_new(&mut self, mut t: StreamTransport) {
+        let id = self.next_worker;
+        self.next_worker += 1;
+        let welcome =
+            Frame::new(FrameKind::Welcome, 0, Msg::Welcome { worker: id, resume_from: 0 }.encode());
+        self.note_sent(&welcome);
+        if t.send(&welcome).is_err() {
+            return;
+        }
+        self.workers.push(Worker {
+            id,
+            transport: Some(self.wrap_loss(t, SERVER_LINK_BASE + id)),
+            send: SendLink::new(self.knobs.replay_history),
+            recv: RecvLink::new(),
+            last_heard: Instant::now(),
+            rto: self.knobs.rto_base,
+            rto_deadline: None,
+            has_generation: 0,
+            quarantined: false,
+            chunks: HashMap::new(),
+        });
+    }
+
+    fn resume(&mut self, mut t: StreamTransport, worker: u64, recv_next: u64) {
+        let Some(widx) = self.workers.iter().position(|w| w.id == worker) else {
+            self.reject(t, &format!("unknown worker token {worker}"));
+            return;
+        };
+        if self.workers[widx].quarantined {
+            self.reject(t, "worker was quarantined; rejoin as a fresh worker");
+            return;
+        }
+        let replay = match self.workers[widx].send.replay_from(recv_next) {
+            Ok(frames) => frames,
+            Err(gap) => {
+                self.reject(
+                    t,
+                    &format!(
+                        "resume gap: wanted offset {}, replay history starts at {}",
+                        gap.requested, gap.oldest
+                    ),
+                );
+                return;
+            }
+        };
+        let resume_from = self.workers[widx].recv.cumulative_ack();
+        let welcome =
+            Frame::new(FrameKind::Welcome, 0, Msg::Welcome { worker, resume_from }.encode());
+        self.note_sent(&welcome);
+        if t.send(&welcome).is_err() {
+            return;
+        }
+        let mut bt = self.wrap_loss(t, SERVER_LINK_BASE + worker);
+        let mut alive = true;
+        for f in &replay {
+            self.note_sent(f);
+            if bt.send(f).is_err() {
+                alive = false;
+                break;
+            }
+        }
+        {
+            let w = &mut self.workers[widx];
+            w.transport = alive.then_some(bt);
+            w.last_heard = Instant::now();
+            w.rto = self.knobs.rto_base;
+            w.rto_deadline =
+                (w.send.in_flight() > 0).then(|| Instant::now() + secs(self.knobs.rto_base));
+        }
+        self.stats.lock().unwrap().reconnects += 1;
+        self.incidents.push(NetIncident::Reconnect { worker: worker as usize });
+    }
+
+    /// Stamp `msg` onto worker `widx`'s sequenced link and try to send it.
+    /// Send failures flip the worker to disconnected; the frame stays in
+    /// the replay history for the resume.
+    fn push_to_worker(&mut self, widx: usize, msg: &Msg) {
+        let frame = self.workers[widx].send.stamp(msg.encode());
+        self.note_sent(&frame);
+        let w = &mut self.workers[widx];
+        if let Some(t) = w.transport.as_mut() {
+            if t.send(&frame).is_err() {
+                w.transport = None;
+            }
+        }
+        if w.rto_deadline.is_none() {
+            w.rto_deadline = Some(Instant::now() + secs(w.rto));
+        }
+    }
+
+    /// Ship the model for `gen` (if this worker does not have it yet) and
+    /// one `Assign` for `job`.
+    fn dispatch_job(&mut self, widx: usize, gen: u64, job: &RemoteJob, chunks: &[Vec<u8>]) {
+        if self.workers[widx].has_generation < gen {
+            self.workers[widx].has_generation = gen;
+            let total = chunks.len() as u32;
+            for (ci, c) in chunks.iter().enumerate() {
+                self.push_to_worker(
+                    widx,
+                    &Msg::ModelChunk { generation: gen, index: ci as u32, total, bytes: c.clone() },
+                );
+            }
+        }
+        self.push_to_worker(
+            widx,
+            &Msg::Assign {
+                generation: gen,
+                client_id: job.client_id as u64,
+                epochs: job.epochs as u32,
+                keep_snapshots: job.keep_snapshots,
+                rng: job.rng,
+            },
+        );
+    }
+
+    /// Drain worker `widx`'s socket: ack data, apply acks, reassemble
+    /// outcome chunks into `results`.
+    fn pump_worker(&mut self, widx: usize, results: &mut [Slot], index_of: &HashMap<u64, usize>) {
+        loop {
+            let frame = {
+                let w = &mut self.workers[widx];
+                let Some(t) = w.transport.as_mut() else { return };
+                match t.recv(Duration::from_millis(1)) {
+                    Ok(Some(f)) => f,
+                    Ok(None) => return,
+                    Err(_) => {
+                        w.transport = None;
+                        return;
+                    }
+                }
+            };
+            self.stats.lock().unwrap().bytes_received += frame.wire_len() as u64;
+            let mut deliveries = Vec::new();
+            {
+                let w = &mut self.workers[widx];
+                w.last_heard = Instant::now();
+                match frame.kind {
+                    FrameKind::Ack => {
+                        if w.send.on_ack(frame.offset) {
+                            w.rto = self.knobs.rto_base;
+                            w.rto_deadline =
+                                (w.send.in_flight() > 0).then(|| Instant::now() + secs(w.rto));
+                        }
+                        continue;
+                    }
+                    FrameKind::Data => {
+                        let (ready, _dup) = w.recv.accept(frame);
+                        deliveries = ready;
+                        // Always re-advertise the cumulative ack — the one
+                        // covering a duplicate may itself have been lost.
+                        let ack = Frame::new(FrameKind::Ack, w.recv.cumulative_ack(), Vec::new());
+                        self.stats.lock().unwrap().bytes_sent += ack.wire_len() as u64;
+                        if let Some(t) = w.transport.as_mut() {
+                            if t.send(&ack).is_err() {
+                                w.transport = None;
+                            }
+                        }
+                    }
+                    // Handshake frames are meaningless mid-session.
+                    FrameKind::Hello | FrameKind::Welcome | FrameKind::Reject => continue,
+                }
+            }
+            for f in deliveries {
+                match Msg::decode(&f.payload) {
+                    Ok(Msg::OutcomeChunk { generation, client_id, index, total, bytes }) => {
+                        self.on_outcome_chunk(
+                            widx, generation, client_id, index, total, bytes, results, index_of,
+                        );
+                    }
+                    Ok(other) => {
+                        eprintln!(
+                            "seafl-server: unexpected {other:?} from worker {}",
+                            self.workers[widx].id
+                        );
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "seafl-server: undecodable message from worker {}: {e}",
+                            self.workers[widx].id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_outcome_chunk(
+        &mut self,
+        widx: usize,
+        generation: u64,
+        client_id: u64,
+        index: u32,
+        total: u32,
+        bytes: Vec<u8>,
+        results: &mut [Slot],
+        index_of: &HashMap<u64, usize>,
+    ) {
+        // Stale round, malformed header, or an implausible chunk count
+        // (a hostile `total` must not size an allocation) — ignore.
+        if generation != self.generation || total == 0 || index >= total || total > (1 << 16) {
+            return;
+        }
+        let Some(&slot) = index_of.get(&client_id) else { return };
+        if results[slot].is_some() {
+            return; // already served (reassignment race) — ignore
+        }
+        let buf = self.workers[widx]
+            .chunks
+            .entry((generation, client_id))
+            .or_insert_with(|| ChunkBuf { parts: vec![None; total as usize], got: 0 });
+        if buf.parts.len() != total as usize {
+            return;
+        }
+        if buf.parts[index as usize].is_none() {
+            buf.parts[index as usize] = Some(bytes);
+            buf.got += 1;
+        }
+        if buf.got < buf.parts.len() {
+            return;
+        }
+        let buf = self.workers[widx].chunks.remove(&(generation, client_id)).expect("buf exists");
+        let blob: Vec<u8> = buf
+            .parts
+            .into_iter()
+            .map(|p| p.expect("all parts present"))
+            .collect::<Vec<_>>()
+            .concat();
+        match msg::decode_outcome(&blob) {
+            Ok((outcome, rng)) => results[slot] = Some((outcome, rng)),
+            Err(e) => {
+                eprintln!("seafl-server: outcome for client {client_id} failed to decode: {e}")
+            }
+        }
+    }
+
+    /// Go-back-N: resend every unacked frame of any worker whose RTO
+    /// expired, doubling its RTO up to the cap.
+    fn service_retransmits(&mut self) {
+        let now = Instant::now();
+        for w in &mut self.workers {
+            if w.transport.is_none() || w.send.in_flight() == 0 {
+                continue;
+            }
+            let Some(deadline) = w.rto_deadline else {
+                w.rto_deadline = Some(now + secs(w.rto));
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            let frames: Vec<Frame> = w.send.unacked().cloned().collect();
+            let mut sent_bytes = 0u64;
+            let mut resent = 0u64;
+            if let Some(t) = w.transport.as_mut() {
+                for f in &frames {
+                    sent_bytes += f.wire_len() as u64;
+                    resent += 1;
+                    if t.send(f).is_err() {
+                        w.transport = None;
+                        break;
+                    }
+                }
+            }
+            let mut s = self.stats.lock().unwrap();
+            s.bytes_sent += sent_bytes;
+            s.retransmits += resent;
+            drop(s);
+            w.rto = (w.rto * 2.0).min(self.knobs.rto_cap);
+            w.rto_deadline = Some(now + secs(w.rto));
+        }
+    }
+
+    /// Quarantine workers silent past the idle timeout while owning
+    /// unserved jobs, moving those jobs to live workers (or to `None`,
+    /// i.e. the engine's local fallback) and recording the incident.
+    fn service_timeouts(
+        &mut self,
+        gen: u64,
+        jobs: &[RemoteJob],
+        chunks: &[Vec<u8>],
+        assigned_to: &mut [Option<u64>],
+        results: &[Slot],
+    ) {
+        let idle = secs(self.knobs.idle_timeout);
+        loop {
+            let victim = self.workers.iter().position(|w| {
+                !w.quarantined
+                    && w.last_heard.elapsed() > idle
+                    && assigned_to.iter().zip(results).any(|(a, r)| *a == Some(w.id) && r.is_none())
+            });
+            let Some(widx) = victim else { return };
+            let id = self.workers[widx].id;
+            {
+                let w = &mut self.workers[widx];
+                w.quarantined = true;
+                w.transport = None;
+            }
+            self.stats.lock().unwrap().workers_quarantined += 1;
+            self.incidents.push(NetIncident::Quarantine { worker: id as usize });
+            eprintln!(
+                "seafl-server: worker {id} idle past {:.1}s, quarantined",
+                self.knobs.idle_timeout
+            );
+            let live: Vec<usize> = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| !w.quarantined && w.transport.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            let mut rr = 0usize;
+            for (i, job) in jobs.iter().enumerate() {
+                if assigned_to[i] != Some(id) || results[i].is_some() {
+                    continue;
+                }
+                if live.is_empty() {
+                    assigned_to[i] = None; // engine's local pool takes it
+                    continue;
+                }
+                let target = live[rr % live.len()];
+                rr += 1;
+                self.dispatch_job(target, gen, job, chunks);
+                assigned_to[i] = Some(self.workers[target].id);
+            }
+        }
+    }
+}
+
+impl CohortTrainer for NetServer {
+    fn train_cohort(&mut self, global: &[f32], jobs: &[RemoteJob]) -> Vec<Slot> {
+        self.generation += 1;
+        let gen = self.generation;
+        let mut results: Vec<Slot> = jobs.iter().map(|_| None).collect();
+        if jobs.is_empty() {
+            return results;
+        }
+        for w in &mut self.workers {
+            w.chunks.clear();
+        }
+        self.poll_accept();
+        let index_of: HashMap<u64, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.client_id as u64, i)).collect();
+        let chunks = msg::params_to_chunks(global, self.knobs.chunk_bytes);
+        let live: Vec<usize> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.quarantined && w.transport.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return results; // nobody to serve: the engine trains locally
+        }
+        let mut assigned_to: Vec<Option<u64>> = vec![None; jobs.len()];
+        for (i, job) in jobs.iter().enumerate() {
+            let widx = live[i % live.len()];
+            self.dispatch_job(widx, gen, job, &chunks);
+            assigned_to[i] = Some(self.workers[widx].id);
+        }
+        loop {
+            if results.iter().all(|r| r.is_some()) {
+                return results;
+            }
+            // A job whose assignment fell back to None will never be
+            // served remotely; once that holds for every unserved job,
+            // hand the round back to the engine.
+            if results.iter().zip(&assigned_to).all(|(r, a)| r.is_some() || a.is_none()) {
+                return results;
+            }
+            self.poll_accept();
+            for widx in 0..self.workers.len() {
+                self.pump_worker(widx, &mut results, &index_of);
+            }
+            self.service_retransmits();
+            self.service_timeouts(gen, jobs, &chunks, &mut assigned_to, &results);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn drain_incidents(&mut self) -> Vec<NetIncident> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    fn shutdown(&mut self) {
+        for widx in 0..self.workers.len() {
+            if self.workers[widx].quarantined || self.workers[widx].transport.is_none() {
+                continue;
+            }
+            self.push_to_worker(widx, &Msg::Done);
+        }
+        // Short grace pump so Done frames flush, retransmit if needed,
+        // and get acked before the sockets drop.
+        let deadline = Instant::now() + Duration::from_millis(800);
+        let no_results: HashMap<u64, usize> = HashMap::new();
+        while Instant::now() < deadline {
+            if self.workers.iter().all(|w| w.transport.is_none() || w.send.in_flight() == 0) {
+                break;
+            }
+            for widx in 0..self.workers.len() {
+                self.pump_worker(widx, &mut [], &no_results);
+            }
+            self.service_retransmits();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s.max(0.001))
+}

@@ -53,7 +53,7 @@ impl std::fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// `Ok(())` when `cond` holds, else a [`ConfigError`] with `msg`'s output.
-fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), ConfigError> {
+pub(crate) fn ensure(cond: bool, msg: impl FnOnce() -> String) -> Result<(), ConfigError> {
     if cond {
         Ok(())
     } else {

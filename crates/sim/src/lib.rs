@@ -17,6 +17,7 @@ pub mod device;
 pub mod digest;
 pub mod event;
 pub mod faults;
+pub mod loss;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -27,6 +28,7 @@ pub use faults::{
     AttackConfig, AttackKind, AttackPlan, ConfigError, CorruptionKind, DeviceFaults, FaultConfig,
     FaultPlan, SpeedSpike,
 };
+pub use loss::{FrameFate, LossConfig};
 pub use rng::{SimRng, SimRngState};
 pub use time::SimTime;
 pub use trace::{RejectCause, TerminationReason, TraceEvent, TraceLog};

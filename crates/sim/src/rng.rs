@@ -92,6 +92,10 @@ pub mod streams {
     pub const IDLE_BASE: u64 = 1_000_000;
     /// Base id for per-device counter-based upload-attempt fault draws.
     pub const FAULT_ATTEMPT_BASE: u64 = 2_000_000;
+    /// Base id for per-link counter-based wire-loss draws (the
+    /// `LossyTransport` in `seafl-net`); link `l` decides the fate of its
+    /// `n`-th sent frame from `(master_seed, NET_LOSS_BASE + l, n)`.
+    pub const NET_LOSS_BASE: u64 = 3_000_000;
 }
 
 #[cfg(test)]

@@ -90,6 +90,14 @@ pub enum TraceEvent {
     /// Terminal event: why the run stopped, and how many updates were still
     /// sitting in the buffer at that point.
     Terminated { reason: TerminationReason, buffered: usize },
+    /// A remote training worker's link dropped and was resumed via the wire
+    /// protocol's replay history (real-transport runs only: the simulator
+    /// itself never emits this, so simulated trace digests are unaffected).
+    NetReconnect { worker: usize },
+    /// A remote training worker went idle past the transport timeout and
+    /// was quarantined; its outstanding jobs failed over to another worker
+    /// or to local compute (real-transport runs only).
+    NetQuarantine { worker: usize },
 }
 
 impl TraceEvent {
@@ -111,6 +119,8 @@ impl TraceEvent {
             TraceEvent::Rejected { .. } => "rejected",
             TraceEvent::Attacked { .. } => "attacked",
             TraceEvent::Terminated { .. } => "terminated",
+            TraceEvent::NetReconnect { .. } => "net_reconnect",
+            TraceEvent::NetQuarantine { .. } => "net_quarantine",
         }
     }
 }
