@@ -1,0 +1,232 @@
+//! Fleet-scale coordination-spine benchmark: 10k → 1M registered clients.
+//!
+//! Drives the engine's coordination spine alone — the hierarchical timer
+//! wheel, the struct-of-arrays [`FleetTable`], lazy device profiles and
+//! lazy per-client RNG streams — with a small active cohort over a huge
+//! registered fleet, exactly the shape of a cross-device deployment where
+//! almost every registered client is idle at any instant. Model training is
+//! deliberately absent: the point of the sweep is that *registering* a
+//! million clients costs a handful of bytes each, and that event
+//! scheduling throughput stays flat as the fleet grows.
+//!
+//! Per fleet size the binary reports table+fleet build time, one full
+//! idle-pool scan (the sharded bitset walk the engine runs at each refill),
+//! steady-state event throughput, resident (ever-touched) table rows, and
+//! the process peak RSS, then writes `target/experiments/fleet_scale_runs.json`
+//! for the `report` binary's fleet section.
+//!
+//! Flags:
+//! * `--scale smoke|std` — smoke sweeps 10k/100k, std adds 1M (default std).
+//! * `--clients n1,n2,…` — explicit sweep sizes (overrides `--scale`).
+//! * `--cohort N` — concurrently active clients (default 256).
+//! * `--events N` — events to pump per size (default 1M; smoke 200k).
+//! * `--assert-peak-rss-mb M` — exit non-zero if peak RSS exceeds `M` MB
+//!   after the sweep (the CI fleet-smoke ceiling).
+//! * `--digest-probe` — instead of the sweep, run three small full-engine
+//!   fixtures and print their model/trace digests (CI cross-checks these
+//!   against the base branch: the fleet-scale core is a pure refactor).
+
+use rand::Rng;
+use seafl_bench::report::experiments_dir;
+use seafl_bench::{arg_value, has_flag, scale_from_args, Scale};
+use seafl_core::test_support::fixture_cases;
+use seafl_core::{run_experiment, ClientPhase, FleetTable};
+use seafl_sim::rng::streams;
+use seafl_sim::{ClientId, EventQueue, Fleet, FleetConfig, LazyStreams, SimTime};
+use std::time::Instant;
+
+/// Bytes of model traffic each simulated upload carries (only feeds the
+/// per-device upload-time formula; nothing is allocated).
+const MODEL_BYTES: usize = 50_000;
+
+/// Peak resident set (`VmHWM`) of this process in MB, from
+/// `/proc/self/status`; 0.0 where the file is unavailable (non-Linux).
+fn peak_rss_mb() -> f64 {
+    proc_status_kb("VmHWM:").map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Current resident set (`VmRSS`) in MB, same source.
+fn current_rss_mb() -> f64 {
+    proc_status_kb("VmRSS:").map_or(0.0, |kb| kb / 1024.0)
+}
+
+fn proc_status_kb(key: &str) -> Option<f64> {
+    let body = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = body.lines().find(|l| l.starts_with(key))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+struct SpineStats {
+    clients: usize,
+    cohort: usize,
+    events: u64,
+    build_ms: f64,
+    idle_scan_ms: f64,
+    events_per_sec: f64,
+    resident_records: usize,
+    current_rss_mb: f64,
+    peak_rss_mb: f64,
+}
+
+/// Pump `total_events` through the spine with `cohort` concurrently active
+/// clients out of `n` registered. Steady state keeps exactly `cohort`
+/// events in the wheel; only the cohort's table rows and RNG streams are
+/// ever touched, which is what the resident-records column verifies.
+fn run_spine(n: usize, cohort: usize, total_events: u64, seed: u64) -> SpineStats {
+    let t_build = Instant::now();
+    let fleet = Fleet::lazy(FleetConfig::pareto_fleet(n), seed);
+    let mut table = FleetTable::new(n);
+    let mut streams = LazyStreams::new(seed, streams::CLIENT_BASE, n);
+    let mut queue: EventQueue<ClientId> = EventQueue::new();
+    let build_ms = t_build.elapsed().as_secs_f64() * 1e3;
+
+    // One full idle-pool scan over all n registered clients — the sharded
+    // bitset walk the engine performs at every refill.
+    let t_scan = Instant::now();
+    let idle = table.idle_clients();
+    let idle_scan_ms = t_scan.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(idle.len(), n, "fresh table must be fully idle");
+
+    let mut dispatch = |table: &mut FleetTable,
+                        streams: &mut LazyStreams,
+                        queue: &mut EventQueue<ClientId>,
+                        k: usize,
+                        now: SimTime| {
+        let cid = ClientId::new(k);
+        table.bump_generation(cid);
+        table.set_phase(cid, ClientPhase::Training);
+        let profile = fleet.profile(cid);
+        let jitter: f64 = streams.get_mut(k).gen();
+        let dt = profile.upload_time(MODEL_BYTES) + profile.speed_factor * (0.5 + jitter);
+        queue.schedule(now.after(dt), cid);
+    };
+
+    for &k in idle.iter().take(cohort) {
+        dispatch(&mut table, &mut streams, &mut queue, k, SimTime::ZERO);
+    }
+    drop(idle); // the engine drops its scan after selection; mirror that
+
+    let t_pump = Instant::now();
+    let mut processed = 0u64;
+    while processed < total_events {
+        let (now, cid) = queue.pop().expect("steady-state wheel ran dry");
+        processed += 1;
+        table.set_phase(cid, ClientPhase::Idle);
+        dispatch(&mut table, &mut streams, &mut queue, cid.index(), now);
+    }
+    let events_per_sec = processed as f64 / t_pump.elapsed().as_secs_f64();
+
+    SpineStats {
+        clients: n,
+        cohort,
+        events: processed,
+        build_ms,
+        idle_scan_ms,
+        events_per_sec,
+        resident_records: table.resident_records(),
+        current_rss_mb: current_rss_mb(),
+        peak_rss_mb: peak_rss_mb(),
+    }
+}
+
+/// Run three full-engine fixture cases and print one digest line per case —
+/// the CI fleet-smoke job diffs this output against the base branch.
+fn digest_probe() {
+    let probes = ["seafl/clean", "fedbuff/faults", "fedavg/clean"];
+    for case in fixture_cases() {
+        if !probes.contains(&case.key().as_str()) {
+            continue;
+        }
+        let r = run_experiment(&case.cfg);
+        println!("{} model={:016x} trace={:016x}", case.key(), r.model_digest, r.trace.digest());
+    }
+}
+
+fn main() {
+    if has_flag("digest-probe") {
+        digest_probe();
+        return;
+    }
+
+    let scale = scale_from_args();
+    let sizes: Vec<usize> = arg_value("clients")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad --clients value {s:?}")))
+                .collect()
+        })
+        .unwrap_or_else(|| match scale {
+            Scale::Smoke => vec![10_000, 100_000],
+            Scale::Std => vec![10_000, 100_000, 1_000_000],
+        });
+    let cohort: usize = arg_value("cohort").map_or(256, |v| v.parse().expect("bad --cohort"));
+    let events: u64 = arg_value("events").map_or(
+        match scale {
+            Scale::Smoke => 200_000,
+            Scale::Std => 1_000_000,
+        },
+        |v| v.parse().expect("bad --events"),
+    );
+
+    println!(
+        "{:>9} | {:>8} | {:>9} | {:>12} | {:>12} | {:>8} | {:>8} | {:>8}",
+        "clients", "build ms", "scan ms", "events/s", "resident", "rss MB", "peak MB", "B/client"
+    );
+    println!("{}", "-".repeat(96));
+    let mut stats = Vec::new();
+    let mut last_rss = current_rss_mb();
+    for &n in &sizes {
+        let s = run_spine(n, cohort.min(n), events, 42);
+        // Incremental RSS across ascending sizes, attributed per client —
+        // the sub-linear-memory headline (dense columns only; profiles,
+        // RNG streams and fault rows stay lazy).
+        let bytes_per_client = ((s.current_rss_mb - last_rss).max(0.0) * 1048576.0) / n as f64;
+        last_rss = s.current_rss_mb;
+        println!(
+            "{:>9} | {:>8.1} | {:>9.2} | {:>12.0} | {:>12} | {:>8.1} | {:>8.1} | {:>8.1}",
+            s.clients,
+            s.build_ms,
+            s.idle_scan_ms,
+            s.events_per_sec,
+            s.resident_records,
+            s.current_rss_mb,
+            s.peak_rss_mb,
+            bytes_per_client,
+        );
+        stats.push((s, bytes_per_client));
+    }
+
+    let records: Vec<serde_json::Value> = stats
+        .iter()
+        .map(|(s, bpc)| {
+            serde_json::json!({
+                "label": format!("fleet_{}", s.clients),
+                "clients": s.clients,
+                "cohort": s.cohort,
+                "events": s.events,
+                "build_ms": s.build_ms,
+                "idle_scan_ms": s.idle_scan_ms,
+                "events_per_sec": s.events_per_sec,
+                "resident_records": s.resident_records,
+                "current_rss_mb": s.current_rss_mb,
+                "peak_rss_mb": s.peak_rss_mb,
+                "incremental_bytes_per_client": bpc,
+            })
+        })
+        .collect();
+    let path = experiments_dir().join("fleet_scale_runs.json");
+    let body = serde_json::to_string_pretty(&records).expect("serialize fleet records");
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+
+    if let Some(ceiling) = arg_value("assert-peak-rss-mb") {
+        let ceiling: f64 = ceiling.parse().expect("bad --assert-peak-rss-mb");
+        let peak = peak_rss_mb();
+        if peak > ceiling {
+            eprintln!("FAIL: peak RSS {peak:.1} MB exceeds the {ceiling:.1} MB ceiling");
+            std::process::exit(1);
+        }
+        println!("peak RSS {peak:.1} MB within the {ceiling:.1} MB ceiling");
+    }
+}

@@ -108,11 +108,46 @@ fn print_net_outcomes(runs: &Path) {
     }
 }
 
+/// Print the fleet-scaling table for a `fleet_scale_runs.json` file (the
+/// coordination-spine sweep has no obs streams or accuracy curves, so this
+/// replaces the full report). Returns false when the records are not from
+/// the `fleet_scale` binary.
+fn print_fleet_scaling(runs: &Path) -> bool {
+    let Ok(body) = std::fs::read_to_string(runs) else { return false };
+    let Ok(records) = serde_json::from_str::<serde_json::Value>(&body) else { return false };
+    let Some(arr) = records.as_array() else { return false };
+    if !arr.iter().all(|r| r.get("events_per_sec").is_some()) || arr.is_empty() {
+        return false;
+    }
+    println!("fleet scaling (coordination spine: wheel + table + lazy profiles):");
+    println!(
+        "{:>9} | {:>8} | {:>9} | {:>12} | {:>9} | {:>8} | {:>8}",
+        "clients", "build ms", "scan ms", "events/s", "resident", "peak MB", "B/client"
+    );
+    println!("{}", "-".repeat(82));
+    for r in arr {
+        println!(
+            "{:>9} | {:>8.1} | {:>9.2} | {:>12.0} | {:>9} | {:>8.1} | {:>8.1}",
+            r["clients"].as_u64().unwrap_or(0),
+            r["build_ms"].as_f64().unwrap_or(f64::NAN),
+            r["idle_scan_ms"].as_f64().unwrap_or(f64::NAN),
+            r["events_per_sec"].as_f64().unwrap_or(f64::NAN),
+            r["resident_records"].as_u64().unwrap_or(0),
+            r["peak_rss_mb"].as_f64().unwrap_or(f64::NAN),
+            r["incremental_bytes_per_client"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    true
+}
+
 fn main() {
     let Some(runs) = arg_value("runs").map(PathBuf::from) else {
         eprintln!("usage: report --runs <X_runs.json> [--obs-dir <dir>] [--targets 0.5,0.7]");
         exit(2);
     };
+    if print_fleet_scaling(&runs) {
+        return;
+    }
     let obs_dir = arg_value("obs-dir").map(PathBuf::from).unwrap_or_else(|| {
         let name = runs.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
         let stem = name.strip_suffix("_runs.json").unwrap_or_else(|| {

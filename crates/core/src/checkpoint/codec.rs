@@ -11,7 +11,9 @@
 //! after a clean checksum a format bug, not a corruption symptom.
 
 use seafl_sim::rng::{rng_from_state, rng_state};
-use seafl_sim::{AttackKind, RejectCause, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog};
+use seafl_sim::{
+    AttackKind, ClientId, RejectCause, SimRng, SimTime, TerminationReason, TraceEvent, TraceLog,
+};
 
 /// A malformed or truncated checkpoint payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,22 +160,22 @@ impl BinWriter {
         match *e {
             TraceEvent::ClientStart { id, round } => {
                 self.u8(0);
-                self.usize(id);
+                self.usize(id.index());
                 self.u64(round);
             }
             TraceEvent::Upload { id, born_round, epochs } => {
                 self.u8(1);
-                self.usize(id);
+                self.usize(id.index());
                 self.u64(born_round);
                 self.usize(epochs);
             }
             TraceEvent::Notify { id } => {
                 self.u8(2);
-                self.usize(id);
+                self.usize(id.index());
             }
             TraceEvent::Drop { id, staleness } => {
                 self.u8(3);
-                self.usize(id);
+                self.usize(id.index());
                 self.u64(staleness);
             }
             TraceEvent::Aggregate { round, num_updates } => {
@@ -188,29 +190,29 @@ impl BinWriter {
             }
             TraceEvent::Crash { id } => {
                 self.u8(6);
-                self.usize(id);
+                self.usize(id.index());
             }
             TraceEvent::UploadFailed { id, attempt } => {
                 self.u8(7);
-                self.usize(id);
+                self.usize(id.index());
                 self.u32(attempt);
             }
             TraceEvent::Retry { id, attempt } => {
                 self.u8(8);
-                self.usize(id);
+                self.usize(id.index());
                 self.u32(attempt);
             }
             TraceEvent::Timeout { id } => {
                 self.u8(9);
-                self.usize(id);
+                self.usize(id.index());
             }
             TraceEvent::Quarantine { id } => {
                 self.u8(10);
-                self.usize(id);
+                self.usize(id.index());
             }
             TraceEvent::Rejected { id, cause } => {
                 self.u8(11);
-                self.usize(id);
+                self.usize(id.index());
                 self.u8(match cause {
                     RejectCause::NonFinite => 0,
                     RejectCause::NormExploded => 1,
@@ -219,7 +221,7 @@ impl BinWriter {
             }
             TraceEvent::Attacked { id, kind } => {
                 self.u8(13);
-                self.usize(id);
+                self.usize(id.index());
                 match kind {
                     AttackKind::SignFlip => self.u8(0),
                     AttackKind::ScaledBoost { lambda } => {
@@ -332,6 +334,16 @@ impl<'a> BinReader<'a> {
         usize::try_from(v).or_else(|_| err(format!("usize value {v} overflows this platform")))
     }
 
+    /// Read a client id (written as a widened index), erroring instead of
+    /// panicking when a corrupt value exceeds the u32 id space.
+    pub fn client_id(&mut self) -> Result<ClientId, CodecError> {
+        let v = self.usize()?;
+        if v > u32::MAX as usize {
+            return err(format!("client id {v} exceeds the u32 id space"));
+        }
+        Ok(ClientId::new(v))
+    }
+
     /// A `usize` used as an upcoming element count: additionally bounded by
     /// the bytes actually remaining, so a corrupt length can never trigger
     /// a huge allocation.
@@ -409,23 +421,23 @@ impl<'a> BinReader<'a> {
 
     fn trace_event(&mut self) -> Result<TraceEvent, CodecError> {
         Ok(match self.u8()? {
-            0 => TraceEvent::ClientStart { id: self.usize()?, round: self.u64()? },
+            0 => TraceEvent::ClientStart { id: self.client_id()?, round: self.u64()? },
             1 => TraceEvent::Upload {
-                id: self.usize()?,
+                id: self.client_id()?,
                 born_round: self.u64()?,
                 epochs: self.usize()?,
             },
-            2 => TraceEvent::Notify { id: self.usize()? },
-            3 => TraceEvent::Drop { id: self.usize()?, staleness: self.u64()? },
+            2 => TraceEvent::Notify { id: self.client_id()? },
+            3 => TraceEvent::Drop { id: self.client_id()?, staleness: self.u64()? },
             4 => TraceEvent::Aggregate { round: self.u64()?, num_updates: self.usize()? },
             5 => TraceEvent::Eval { round: self.u64()?, accuracy: self.f64()? },
-            6 => TraceEvent::Crash { id: self.usize()? },
-            7 => TraceEvent::UploadFailed { id: self.usize()?, attempt: self.u32()? },
-            8 => TraceEvent::Retry { id: self.usize()?, attempt: self.u32()? },
-            9 => TraceEvent::Timeout { id: self.usize()? },
-            10 => TraceEvent::Quarantine { id: self.usize()? },
+            6 => TraceEvent::Crash { id: self.client_id()? },
+            7 => TraceEvent::UploadFailed { id: self.client_id()?, attempt: self.u32()? },
+            8 => TraceEvent::Retry { id: self.client_id()?, attempt: self.u32()? },
+            9 => TraceEvent::Timeout { id: self.client_id()? },
+            10 => TraceEvent::Quarantine { id: self.client_id()? },
             11 => TraceEvent::Rejected {
-                id: self.usize()?,
+                id: self.client_id()?,
                 cause: match self.u8()? {
                     0 => RejectCause::NonFinite,
                     1 => RejectCause::NormExploded,
@@ -434,7 +446,7 @@ impl<'a> BinReader<'a> {
                 },
             },
             13 => TraceEvent::Attacked {
-                id: self.usize()?,
+                id: self.client_id()?,
                 kind: match self.u8()? {
                     0 => AttackKind::SignFlip,
                     1 => AttackKind::ScaledBoost { lambda: self.f32()? },
@@ -566,26 +578,27 @@ mod tests {
 
     #[test]
     fn every_trace_event_roundtrips() {
+        let cid = ClientId::new;
         let mut log = TraceLog::new();
         let t = SimTime::from_secs(2.0);
         let events = vec![
-            TraceEvent::ClientStart { id: 1, round: 2 },
-            TraceEvent::Upload { id: 3, born_round: 1, epochs: 5 },
-            TraceEvent::Notify { id: 4 },
-            TraceEvent::Drop { id: 5, staleness: 9 },
+            TraceEvent::ClientStart { id: cid(1), round: 2 },
+            TraceEvent::Upload { id: cid(3), born_round: 1, epochs: 5 },
+            TraceEvent::Notify { id: cid(4) },
+            TraceEvent::Drop { id: cid(5), staleness: 9 },
             TraceEvent::Aggregate { round: 3, num_updates: 4 },
             TraceEvent::Eval { round: 3, accuracy: 0.625 },
-            TraceEvent::Crash { id: 6 },
-            TraceEvent::UploadFailed { id: 7, attempt: 0 },
-            TraceEvent::Retry { id: 7, attempt: 1 },
-            TraceEvent::Timeout { id: 8 },
-            TraceEvent::Quarantine { id: 8 },
-            TraceEvent::Rejected { id: 9, cause: RejectCause::NormExploded },
-            TraceEvent::Rejected { id: 10, cause: RejectCause::RobustScreened },
-            TraceEvent::Attacked { id: 11, kind: AttackKind::SignFlip },
-            TraceEvent::Attacked { id: 12, kind: AttackKind::ScaledBoost { lambda: 10.0 } },
-            TraceEvent::Attacked { id: 13, kind: AttackKind::Collude },
-            TraceEvent::Attacked { id: 14, kind: AttackKind::StaleReplay },
+            TraceEvent::Crash { id: cid(6) },
+            TraceEvent::UploadFailed { id: cid(7), attempt: 0 },
+            TraceEvent::Retry { id: cid(7), attempt: 1 },
+            TraceEvent::Timeout { id: cid(8) },
+            TraceEvent::Quarantine { id: cid(8) },
+            TraceEvent::Rejected { id: cid(9), cause: RejectCause::NormExploded },
+            TraceEvent::Rejected { id: cid(10), cause: RejectCause::RobustScreened },
+            TraceEvent::Attacked { id: cid(11), kind: AttackKind::SignFlip },
+            TraceEvent::Attacked { id: cid(12), kind: AttackKind::ScaledBoost { lambda: 10.0 } },
+            TraceEvent::Attacked { id: cid(13), kind: AttackKind::Collude },
+            TraceEvent::Attacked { id: cid(14), kind: AttackKind::StaleReplay },
             TraceEvent::NetReconnect { worker: 2 },
             TraceEvent::NetQuarantine { worker: 3 },
             TraceEvent::Terminated { reason: TerminationReason::ServerCrash, buffered: 2 },

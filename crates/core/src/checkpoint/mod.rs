@@ -40,8 +40,11 @@ pub const MAGIC: [u8; 8] = *b"SEAFLCKP";
 /// Bump on any layout change; old versions are rejected, not guessed at.
 /// Version history: 1 = the split sync/semi-async engines (tags 0/1);
 /// 2 = the unified event loop (tag [`ENGINE_UNIFIED`]) whose payload ends
-/// with an opaque per-policy state section.
-pub const FORMAT_VERSION: u32 = 2;
+/// with an opaque per-policy state section; 3 = sparse fleet-scale payload
+/// (clock events keyed by raw `ClientId`, per-client state as touched
+/// fleet-table rows, in-flight sessions / stale-replay memory / RNG streams
+/// as id-keyed sparse records instead of N dense slots).
+pub const FORMAT_VERSION: u32 = 3;
 /// Engine tag for the unified event-driven engine. The legacy tags (0 =
 /// sync, 1 = semi-async) died with format version 1.
 pub const ENGINE_UNIFIED: u8 = 2;

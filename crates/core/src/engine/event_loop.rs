@@ -84,6 +84,7 @@ use crate::config::ExperimentConfig;
 use crate::config::StalenessPolicy;
 use crate::engine::setup::Environment;
 use crate::engine::RunResult;
+use crate::fleet::{ClientPhase, FleetTable, Session};
 use crate::obs::{bounds, export, names, Obs, Phase};
 use crate::policy::{
     weighted_average, Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView,
@@ -94,9 +95,10 @@ use crate::sanitize;
 use crate::update::ModelUpdate;
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::{
-    AttackPlan, EventQueue, EventQueueSnapshot, FaultPlan, RejectCause, SimRng, SimTime,
-    TerminationReason, TraceEvent, TraceLog,
+    AttackPlan, ClientId, EventQueue, EventQueueSnapshot, FaultPlan, LazyStreams, RejectCause,
+    SimRng, SimTime, TerminationReason, TraceEvent, TraceLog,
 };
+use std::collections::BTreeMap;
 
 /// Events on the virtual clock.
 #[derive(Debug, Clone, Copy)]
@@ -104,45 +106,52 @@ enum Ev {
     /// Upload arrival attempt. `generation` invalidates superseded uploads
     /// (a notification reschedules the upload; the original event is
     /// ignored when popped); `attempt` counts transit retries.
-    Upload { client: usize, generation: u64, attempt: u32 },
+    Upload { client: ClientId, generation: u64, attempt: u32 },
     /// Server-side session timeout: if the session `session_seq` is still
     /// in flight when this pops, it is reclaimed.
-    Timeout { client: usize, session_seq: u64 },
+    Timeout { client: ClientId, session_seq: u64 },
     /// A device's permanent crash instant (fault injection), materialized
     /// on the clock so the trace records it.
-    Crash { client: usize },
+    Crash { client: ClientId },
 }
 
-/// One in-flight local training session.
-struct Session {
-    born_round: u64,
-    /// Per-client monotonic session counter (timeout matching).
-    seq: u64,
-    /// Currently valid upload generation. Per-client monotonic across
-    /// sessions, so an upload event from a reclaimed session can never be
-    /// mistaken for a later session's upload.
-    generation: u64,
-    /// Absolute completion time of each local epoch (empty for lockstep
-    /// sessions — the barrier carries the timing).
-    epoch_ends: Vec<SimTime>,
-    /// Pre-computed training result (per-epoch snapshots iff partial
-    /// training can interrupt this session).
-    outcome: TrainOutcome,
-    /// Epochs included in the currently scheduled upload.
-    scheduled_epochs: usize,
-    notified: bool,
+/// Serialize only the touched streams of a lazy per-client RNG family
+/// (format v3) — an untouched stream is a pure function of the master seed
+/// and costs nothing on disk.
+fn encode_streams(w: &mut BinWriter, s: &LazyStreams) {
+    w.usize(s.resident());
+    for (k, rng) in s.touched() {
+        w.u32(k);
+        w.rng(rng);
+    }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ClientPhase {
-    /// Available for selection.
-    Idle,
-    /// Local training in progress.
-    Training,
-    /// Update uploaded, sitting in the server buffer.
-    Buffered,
-    /// Excluded from selection after repeated session timeouts.
-    Quarantined,
+/// Rebuild a lazy per-client RNG family from its sparse checkpoint record.
+fn decode_streams(
+    r: &mut BinReader<'_>,
+    master_seed: u64,
+    base: u64,
+    n: usize,
+) -> Result<LazyStreams, CheckpointError> {
+    let count = r.usize()?;
+    let mut entries = Vec::with_capacity(count);
+    let mut prev: Option<u32> = None;
+    for _ in 0..count {
+        let k = r.u32()?;
+        if k as usize >= n {
+            return Err(CheckpointError::Malformed(format!(
+                "RNG stream record for client {k}, this experiment has {n}"
+            )));
+        }
+        if prev.is_some_and(|p| p >= k) {
+            return Err(CheckpointError::Malformed(format!(
+                "RNG stream records not strictly ascending at {k}"
+            )));
+        }
+        prev = Some(k);
+        entries.push((k, r.rng()?));
+    }
+    Ok(LazyStreams::restore(master_seed, base, n, entries))
 }
 
 /// Run the engine to termination under the given policy.
@@ -336,19 +345,10 @@ struct State {
     round: u64,
     queue: EventQueue<Ev>,
     buffer: UpdateBuffer,
-    sessions: Vec<Option<Session>>,
-    phase: Vec<ClientPhase>,
-    /// Per-client monotonic upload-generation counters. Never reset, so a
-    /// dangling upload event from a consumed or reclaimed session can never
-    /// collide with a later session's generation (the double-consume bug).
-    next_generation: Vec<u64>,
-    /// Per-client monotonic session counters (timeout matching).
-    next_session_seq: Vec<u64>,
-    /// Consecutive session timeouts per client (quarantine trigger; reset
-    /// on any successful upload).
-    consecutive_timeouts: Vec<u32>,
-    /// Whether a client's crash instant has been put on the clock already.
-    crash_scheduled: Vec<bool>,
+    /// All per-client protocol state — phases, monotonic counters,
+    /// in-flight sessions — in one struct-of-arrays table (see
+    /// [`crate::fleet`]).
+    table: FleetTable,
     plan: FaultPlan,
     /// Adversarial device assignment + stale-replay memory. A noop plan
     /// (the default) never touches an upload.
@@ -399,12 +399,7 @@ impl State {
             round: 0,
             queue: EventQueue::new(),
             buffer: UpdateBuffer::new(),
-            sessions: (0..cfg.num_clients).map(|_| None).collect(),
-            phase: vec![ClientPhase::Idle; cfg.num_clients],
-            next_generation: vec![0; cfg.num_clients],
-            next_session_seq: vec![0; cfg.num_clients],
-            consecutive_timeouts: vec![0; cfg.num_clients],
-            crash_scheduled: vec![false; cfg.num_clients],
+            table: FleetTable::new(cfg.num_clients),
             plan: FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed),
             attack: AttackPlan::build(&cfg.attack, cfg.num_clients, cfg.seed),
             robust: RobustLayer::new(cfg.robust),
@@ -456,18 +451,18 @@ impl State {
             match *ev {
                 Ev::Upload { client, generation, attempt } => {
                     w.u8(0);
-                    w.usize(client);
+                    w.u32(client.raw());
                     w.u64(generation);
                     w.u32(attempt);
                 }
                 Ev::Timeout { client, session_seq } => {
                     w.u8(1);
-                    w.usize(client);
+                    w.u32(client.raw());
                     w.u64(session_seq);
                 }
                 Ev::Crash { client } => {
                     w.u8(2);
-                    w.usize(client);
+                    w.u32(client.raw());
                 }
             }
         }
@@ -482,49 +477,10 @@ impl State {
             w.f32(u.train_loss);
         }
 
-        w.usize(self.sessions.len());
-        for s in &self.sessions {
-            match s {
-                None => w.bool(false),
-                Some(s) => {
-                    w.bool(true);
-                    w.u64(s.born_round);
-                    w.u64(s.seq);
-                    w.u64(s.generation);
-                    w.usize(s.epoch_ends.len());
-                    for &t in &s.epoch_ends {
-                        w.sim_time(t);
-                    }
-                    w.usize(s.outcome.snapshots.len());
-                    for snap in &s.outcome.snapshots {
-                        w.vec_f32(snap);
-                    }
-                    w.vec_f32(&s.outcome.epoch_losses);
-                    w.usize(s.scheduled_epochs);
-                    w.bool(s.notified);
-                }
-            }
-        }
-
-        for &p in &self.phase {
-            w.u8(match p {
-                ClientPhase::Idle => 0,
-                ClientPhase::Training => 1,
-                ClientPhase::Buffered => 2,
-                ClientPhase::Quarantined => 3,
-            });
-        }
-        w.vec_u64(&self.next_generation);
-        w.vec_u64(&self.next_session_seq);
-        w.usize(self.consecutive_timeouts.len());
-        for &c in &self.consecutive_timeouts {
-            w.u32(c);
-        }
-        w.usize(self.crash_scheduled.len());
-        for &b in &self.crash_scheduled {
-            w.bool(b);
-        }
-        w.vec_u64(self.plan.attempt_counters());
+        // The whole per-client table — phases, counters, in-flight sessions
+        // — in one sparse record: only rows that ever left their default
+        // state are written (format v3).
+        self.table.encode(&mut w);
         w.rng(&self.sel_rng);
         w.trace(&self.trace);
         w.f64_pairs(&self.accuracy);
@@ -552,18 +508,13 @@ impl State {
         ] {
             w.usize(c);
         }
-        // Attack-plan mutable state: the stale-replay memory (the assignment
-        // itself is a pure function of config + seed and is rebuilt on
-        // resume, like the fault plan).
+        // Attack-plan mutable state: the stale-replay memory, sparse by
+        // device (the assignment itself is a pure function of config + seed
+        // and is rebuilt on resume, like the fault plan).
         w.usize(self.attack.replay_state().len());
-        for slot in self.attack.replay_state() {
-            match slot {
-                None => w.bool(false),
-                Some(prev) => {
-                    w.bool(true);
-                    w.vec_f32(prev);
-                }
-            }
+        for (&k, prev) in self.attack.replay_state() {
+            w.u32(k);
+            w.vec_f32(prev);
         }
         // The robust layer's counters ride in an opaque section, framed the
         // same way as policy state, so the rule can grow state without
@@ -571,8 +522,8 @@ impl State {
         let mut rw = BinWriter::new();
         self.robust.encode_state(&mut rw);
         w.section(&rw.into_bytes());
-        w.rngs(&env.client_rngs);
-        w.rngs(&env.idle_rngs);
+        encode_streams(&mut w, &env.client_rngs);
+        encode_streams(&mut w, &env.idle_rngs);
 
         // The per-policy section, last and length-prefixed: stateless
         // policies contribute an empty section.
@@ -614,10 +565,21 @@ impl State {
         for _ in 0..n_events {
             let t = r.sim_time()?;
             let seq = r.u64()?;
+            let client = |r: &mut BinReader<'_>| -> Result<ClientId, CheckpointError> {
+                let raw = r.u32()?;
+                if raw as usize >= n {
+                    return Err(CheckpointError::Malformed(format!(
+                        "clock event for client {raw}, this experiment has {n}"
+                    )));
+                }
+                Ok(ClientId::from_raw(raw))
+            };
             let ev = match r.u8()? {
-                0 => Ev::Upload { client: r.usize()?, generation: r.u64()?, attempt: r.u32()? },
-                1 => Ev::Timeout { client: r.usize()?, session_seq: r.u64()? },
-                2 => Ev::Crash { client: r.usize()? },
+                0 => {
+                    Ev::Upload { client: client(&mut r)?, generation: r.u64()?, attempt: r.u32()? }
+                }
+                1 => Ev::Timeout { client: client(&mut r)?, session_seq: r.u64()? },
+                2 => Ev::Crash { client: client(&mut r)? },
                 b => return Err(bad(format!("invalid clock event tag {b}"))),
             };
             entries.push((t, seq, ev));
@@ -638,71 +600,13 @@ impl State {
             });
         }
 
-        let n_sessions = r.usize()?;
-        if n_sessions != n {
-            return Err(bad(format!("{n_sessions} session slots for {n} clients")));
-        }
-        let mut sessions = Vec::with_capacity(n);
-        for _ in 0..n {
-            sessions.push(if r.bool()? {
-                let born_round = r.u64()?;
-                let seq = r.u64()?;
-                let generation = r.u64()?;
-                let n_ends = r.usize()?;
-                let epoch_ends =
-                    (0..n_ends).map(|_| r.sim_time()).collect::<Result<Vec<_>, _>>()?;
-                let n_snaps = r.usize()?;
-                let snapshots = (0..n_snaps).map(|_| r.vec_f32()).collect::<Result<Vec<_>, _>>()?;
-                let epoch_losses = r.vec_f32()?;
-                Some(Session {
-                    born_round,
-                    seq,
-                    generation,
-                    epoch_ends,
-                    outcome: TrainOutcome { snapshots, epoch_losses },
-                    scheduled_epochs: r.usize()?,
-                    notified: r.bool()?,
-                })
-            } else {
-                None
-            });
-        }
-
-        let mut phase = Vec::with_capacity(n);
-        for _ in 0..n {
-            phase.push(match r.u8()? {
-                0 => ClientPhase::Idle,
-                1 => ClientPhase::Training,
-                2 => ClientPhase::Buffered,
-                3 => ClientPhase::Quarantined,
-                b => return Err(bad(format!("invalid client phase {b}"))),
-            });
-        }
-        let next_generation = r.vec_u64()?;
-        let next_session_seq = r.vec_u64()?;
-        let n_ct = r.usize()?;
-        let consecutive_timeouts = (0..n_ct).map(|_| r.u32()).collect::<Result<Vec<_>, _>>()?;
-        let n_cs = r.usize()?;
-        let crash_scheduled = (0..n_cs).map(|_| r.bool()).collect::<Result<Vec<_>, _>>()?;
-        let attempt_counters = r.vec_u64()?;
-        for (what, len) in [
-            ("next_generation", next_generation.len()),
-            ("next_session_seq", next_session_seq.len()),
-            ("consecutive_timeouts", consecutive_timeouts.len()),
-            ("crash_scheduled", crash_scheduled.len()),
-            ("attempt_counters", attempt_counters.len()),
-        ] {
-            if len != n {
-                return Err(bad(format!("{what} has {len} entries for {n} clients")));
-            }
-        }
-        // Rebuild the deterministic fault plan from the config, then overlay
-        // the dynamic parts: the restarted server never re-crashes, and the
-        // per-device upload-loss streams continue where the original
-        // process left off.
+        let table = FleetTable::decode(&mut r, n)?;
+        // Rebuild the deterministic fault plan from the config; the
+        // restarted server never re-crashes, and the per-device upload-loss
+        // attempt counters live in the fleet table (the plan's attempt
+        // decisions are pure functions of seed, device and attempt index).
         let mut plan = FaultPlan::build(&cfg.faults, cfg.num_clients, cfg.seed);
         plan.clear_server_crash();
-        plan.restore_attempt_counters(attempt_counters);
 
         let sel_rng = r.rng()?;
         let trace = r.trace()?;
@@ -724,12 +628,18 @@ impl State {
         let clipped_updates = r.usize()?;
         let attacked_updates = r.usize()?;
         let n_replay = r.usize()?;
-        if n_replay != n {
-            return Err(bad(format!("{n_replay} replay slots for {n} clients")));
-        }
-        let mut replay = Vec::with_capacity(n_replay);
+        let mut replay = BTreeMap::new();
+        let mut prev: Option<u32> = None;
         for _ in 0..n_replay {
-            replay.push(if r.bool()? { Some(r.vec_f32()?) } else { None });
+            let k = r.u32()?;
+            if k as usize >= n {
+                return Err(bad(format!("replay record for client {k}, experiment has {n}")));
+            }
+            if prev.is_some_and(|p| p >= k) {
+                return Err(bad(format!("replay records not strictly ascending at {k}")));
+            }
+            prev = Some(k);
+            replay.insert(k, r.vec_f32()?);
         }
         let mut attack = AttackPlan::build(&cfg.attack, cfg.num_clients, cfg.seed);
         attack.restore_replay_state(replay);
@@ -740,15 +650,8 @@ impl State {
             robust.decode_state(&mut rr).map_err(|e| bad(format!("robust section: {}", e.0)))?;
             rr.finish().map_err(|e| bad(format!("robust section: {}", e.0)))?;
         }
-        let client_rngs = r.rngs()?;
-        let idle_rngs = r.rngs()?;
-        if client_rngs.len() != n || idle_rngs.len() != n {
-            return Err(bad(format!(
-                "{}/{} client/idle RNG streams for {n} clients",
-                client_rngs.len(),
-                idle_rngs.len()
-            )));
-        }
+        let client_rngs = decode_streams(&mut r, cfg.seed, streams::CLIENT_BASE, n)?;
+        let idle_rngs = decode_streams(&mut r, cfg.seed, streams::IDLE_BASE, n)?;
 
         // The policy's opaque section: hand it a sub-reader and require it
         // to consume the section exactly.
@@ -768,12 +671,7 @@ impl State {
             round,
             queue,
             buffer,
-            sessions,
-            phase,
-            next_generation,
-            next_session_seq,
-            consecutive_timeouts,
-            crash_scheduled,
+            table,
             plan,
             attack,
             robust,
@@ -805,22 +703,31 @@ impl State {
 
     /// Number of clients currently training.
     fn active(&self) -> usize {
-        self.phase.iter().filter(|&&p| p == ClientPhase::Training).count()
+        self.table.active()
     }
 
     /// In-flight sessions in client order, as the policy hooks see them.
     fn in_flight(&self) -> Vec<InFlight> {
-        self.sessions
-            .iter()
-            .enumerate()
-            .filter_map(|(k, s)| {
-                s.as_ref().map(|s| InFlight {
-                    client: k,
-                    born_round: s.born_round,
-                    notified: s.notified,
-                })
+        self.table
+            .sessions()
+            .map(|(id, s)| InFlight {
+                client: id.index(),
+                born_round: s.born_round,
+                notified: s.notified,
             })
             .collect()
+    }
+
+    /// Transit-loss verdict for one upload arrival. Mirrors the old
+    /// stateful per-device counter exactly: no attempt index is consumed
+    /// while the client's drop channel is disarmed, so fault-free runs
+    /// never touch a fleet-table row here.
+    fn upload_attempt_fails(&mut self, client: ClientId) -> bool {
+        if self.plan.device(client.index()).drop_prob <= 0.0 {
+            return false;
+        }
+        let attempt = self.table.take_fault_attempt(client);
+        self.plan.upload_attempt_fails(client.index(), attempt)
     }
 
     /// Put an upload arrival on the clock — unless the device crashes
@@ -829,15 +736,15 @@ impl State {
     fn schedule_upload(
         &mut self,
         now: SimTime,
-        client: usize,
+        client: ClientId,
         arrival: SimTime,
         generation: u64,
         attempt: u32,
     ) {
-        if let Some(crash_at) = self.plan.crash_time(client) {
+        if let Some(crash_at) = self.plan.crash_time(client.index()) {
             if crash_at <= arrival.as_secs() {
-                if !self.crash_scheduled[client] {
-                    self.crash_scheduled[client] = true;
+                if !self.table.crash_scheduled(client) {
+                    self.table.mark_crash_scheduled(client);
                     let at = SimTime::from_secs(crash_at.max(0.0)).max(now);
                     self.queue.schedule(at, Ev::Crash { client });
                 }
@@ -861,8 +768,9 @@ impl State {
         now: SimTime,
         outcome: TrainOutcome,
     ) {
-        debug_assert_eq!(self.phase[k], ClientPhase::Idle);
-        let device = &env.fleet[k];
+        let cid = ClientId::new(k);
+        debug_assert_eq!(self.table.phase(cid), ClientPhase::Idle);
+        let device = env.fleet.profile(cid);
         let batches = env.pool.batches_per_epoch(env.client_data[k].len());
         let mut t = now.after(device.download_time(env.model_bytes));
         let mut epoch_ends = Vec::with_capacity(cfg.local_epochs);
@@ -870,14 +778,16 @@ impl State {
             // Straggler spikes stretch compute while active (×1 otherwise).
             let spike = self.plan.speed_multiplier(k, t.as_secs());
             t = t.after(device.epoch_compute_time(batches, cfg.fleet.base_batch_time) * spike);
-            t = t.after(device.idle_time(&mut env.idle_rngs[k]));
+            if device.idle.is_some() {
+                // Gated on the idle model so fleets without one never
+                // materialize idle RNG streams (a draw-free call would).
+                t = t.after(device.idle_time(env.idle_rngs.get_mut(k)));
+            }
             epoch_ends.push(t);
         }
 
-        let generation = self.next_generation[k];
-        self.next_generation[k] += 1;
-        let seq = self.next_session_seq[k];
-        self.next_session_seq[k] += 1;
+        let generation = self.table.bump_generation(cid);
+        let seq = self.table.bump_session_seq(cid);
 
         let upload_at = epoch_ends[cfg.local_epochs - 1].after(device.upload_time(env.model_bytes));
         self.obs.observe(
@@ -885,22 +795,25 @@ impl State {
             bounds::SIM_SECS,
             upload_at.as_secs() - now.as_secs(),
         );
-        self.schedule_upload(now, k, upload_at, generation, 0);
+        self.schedule_upload(now, cid, upload_at, generation, 0);
         if let Some(timeout) = cfg.resilience.session_timeout {
-            self.queue.schedule(now.after(timeout), Ev::Timeout { client: k, session_seq: seq });
+            self.queue.schedule(now.after(timeout), Ev::Timeout { client: cid, session_seq: seq });
         }
 
-        self.sessions[k] = Some(Session {
-            born_round: self.round,
-            seq,
-            generation,
-            epoch_ends,
-            outcome,
-            scheduled_epochs: cfg.local_epochs,
-            notified: false,
-        });
-        self.phase[k] = ClientPhase::Training;
-        self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
+        self.table.insert_session(
+            cid,
+            Session {
+                born_round: self.round,
+                seq,
+                generation,
+                epoch_ends,
+                outcome,
+                scheduled_epochs: cfg.local_epochs,
+                notified: false,
+            },
+        );
+        self.table.set_phase(cid, ClientPhase::Training);
+        self.trace.push(now, TraceEvent::ClientStart { id: cid, round: self.round });
     }
 
     /// Lockstep dispatch: train the whole cohort, advance the clock by the
@@ -918,16 +831,18 @@ impl State {
     ) {
         let mut round_duration = 0.0f64;
         for &k in picked {
-            debug_assert_eq!(self.phase[k], ClientPhase::Idle);
-            self.trace.push(now, TraceEvent::ClientStart { id: k, round: self.round });
-            let device = &env.fleet[k];
-            let data = &env.client_data[k];
-            let batches = env.pool.batches_per_epoch(data.len());
+            let cid = ClientId::new(k);
+            debug_assert_eq!(self.table.phase(cid), ClientPhase::Idle);
+            self.trace.push(now, TraceEvent::ClientStart { id: cid, round: self.round });
+            let device = env.fleet.profile(cid);
+            let batches = env.pool.batches_per_epoch(env.client_data[k].len());
 
             let mut elapsed = device.download_time(env.model_bytes);
             for _ in 0..cfg.local_epochs {
                 elapsed += device.epoch_compute_time(batches, cfg.fleet.base_batch_time);
-                elapsed += device.idle_time(&mut env.idle_rngs[k]);
+                if device.idle.is_some() {
+                    elapsed += device.idle_time(env.idle_rngs.get_mut(k));
+                }
             }
             elapsed += device.upload_time(env.model_bytes);
             self.obs.observe(names::SESSION_SIM_SECS, bounds::SIM_SECS, elapsed);
@@ -939,22 +854,24 @@ impl State {
         self.record_incidents(now, incidents);
         let barrier = now.after(round_duration);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
-            env.client_rngs[k] = rng;
-            let generation = self.next_generation[k];
-            self.next_generation[k] += 1;
-            let seq = self.next_session_seq[k];
-            self.next_session_seq[k] += 1;
-            self.queue.schedule(barrier, Ev::Upload { client: k, generation, attempt: 0 });
-            self.sessions[k] = Some(Session {
-                born_round: self.round,
-                seq,
-                generation,
-                epoch_ends: Vec::new(),
-                outcome,
-                scheduled_epochs: cfg.local_epochs,
-                notified: false,
-            });
-            self.phase[k] = ClientPhase::Training;
+            let cid = ClientId::new(k);
+            env.client_rngs.set(k, rng);
+            let generation = self.table.bump_generation(cid);
+            let seq = self.table.bump_session_seq(cid);
+            self.queue.schedule(barrier, Ev::Upload { client: cid, generation, attempt: 0 });
+            self.table.insert_session(
+                cid,
+                Session {
+                    born_round: self.round,
+                    seq,
+                    generation,
+                    epoch_ends: Vec::new(),
+                    outcome,
+                    scheduled_epochs: cfg.local_epochs,
+                    notified: false,
+                },
+            );
+            self.table.set_phase(cid, ClientPhase::Training);
         }
     }
 
@@ -966,11 +883,12 @@ impl State {
         cfg: &ExperimentConfig,
         env: &mut Environment,
         now: SimTime,
-        client: usize,
+        client: ClientId,
         generation: u64,
         attempt: u32,
     ) {
-        let Some(session) = self.sessions[client].as_ref() else {
+        let k = client.index();
+        let Some(session) = self.table.session(client) else {
             // Session already consumed or reclaimed.
             self.superseded_uploads += 1;
             self.obs.count(names::UPDATES_SUPERSEDED);
@@ -987,14 +905,15 @@ impl State {
         // Transient transit loss: the client notices the failed upload and
         // retries with capped exponential backoff, then gives up. Lockstep
         // rounds skip the channel entirely (see module docs).
-        if !lockstep && self.plan.upload_attempt_fails(client) {
+        if !lockstep && self.upload_attempt_fails(client) {
             self.upload_failures += 1;
             self.obs.count(names::UPLOAD_FAILURES);
             self.trace.push(now, TraceEvent::UploadFailed { id: client, attempt });
             if attempt < cfg.resilience.max_upload_retries {
                 let backoff = (cfg.resilience.retry_backoff_base * 2f64.powi(attempt as i32))
                     .min(cfg.resilience.retry_backoff_cap);
-                let arrival = now.after(backoff + env.fleet[client].upload_time(env.model_bytes));
+                let arrival =
+                    now.after(backoff + env.fleet.profile(client).upload_time(env.model_bytes));
                 self.retries += 1;
                 self.obs.count(names::UPLOAD_RETRIES);
                 self.trace.push(now, TraceEvent::Retry { id: client, attempt: attempt + 1 });
@@ -1002,19 +921,19 @@ impl State {
             } else {
                 // Retries exhausted: the session's training effort is lost
                 // and the client returns to the idle pool.
-                self.sessions[client] = None;
-                self.phase[client] = ClientPhase::Idle;
+                self.table.remove_session(client);
+                self.table.set_phase(client, ClientPhase::Idle);
                 self.refill(cfg, env, now);
             }
             return;
         }
 
-        let session = self.sessions[client].as_ref().expect("session checked above");
+        let session = self.table.session(client).expect("session checked above");
         let epochs = session.scheduled_epochs;
         let mut params = session.outcome.state_after(epochs).to_vec();
         // Byzantine/buggy devices corrupt what they send.
         if !lockstep {
-            self.plan.corrupt(client, &mut params);
+            self.plan.corrupt(k, &mut params);
         }
         // Adversarial devices tamper deliberately (after accidental
         // corruption, mirroring a malicious client that controls its final
@@ -1022,24 +941,25 @@ impl State {
         // per-device fault channels.
         let mut attacked = false;
         if !lockstep {
-            if let Some(kind) = self.attack.apply(client, &mut params, &self.global) {
+            if let Some(kind) = self.attack.apply(k, &mut params, &self.global) {
                 attacked = true;
                 self.attacked_updates += 1;
                 self.obs.count(names::UPDATES_ATTACKED);
                 self.trace.push(now, TraceEvent::Attacked { id: client, kind });
             }
         }
+        let session = self.table.session(client).expect("session checked above");
         let update = ModelUpdate {
-            client_id: client,
+            client_id: k,
             params,
-            num_samples: env.client_data[client].len(),
+            num_samples: env.client_data[k].len(),
             born_round: session.born_round,
             epochs_completed: epochs,
             train_loss: session.outcome.epoch_losses[..epochs].iter().sum::<f32>() / epochs as f32,
         };
         let born = session.born_round;
-        self.sessions[client] = None;
-        self.consecutive_timeouts[client] = 0;
+        self.table.remove_session(client);
+        self.table.reset_timeouts(client);
         self.total_updates += 1;
         self.obs.count(names::UPDATES_RECEIVED);
         self.obs.count_n(names::NET_BYTES_RECEIVED, env.model_bytes as u64);
@@ -1055,7 +975,7 @@ impl State {
             let admitted = verdict == Admission::Admit;
             let (t, round, staleness) = (now.as_secs(), self.round, update.staleness(self.round));
             self.obs.emit(move || {
-                export::update_record(t, client, round, born, staleness, epochs, admitted, attacked)
+                export::update_record(t, k, round, born, staleness, epochs, admitted, attacked)
             });
             self.obs.count(if admitted {
                 names::UPDATES_ADMITTED
@@ -1065,7 +985,7 @@ impl State {
         }
         match verdict {
             Admission::Admit => {
-                self.phase[client] = ClientPhase::Buffered;
+                self.table.set_phase(client, ClientPhase::Buffered);
                 self.buffer.push(update);
             }
             Admission::Drop => {
@@ -1077,7 +997,7 @@ impl State {
                     now,
                     TraceEvent::Drop { id: client, staleness: update.staleness(self.round) },
                 );
-                self.phase[client] = ClientPhase::Idle;
+                self.table.set_phase(client, ClientPhase::Idle);
                 self.refill(cfg, env, now);
             }
         }
@@ -1090,10 +1010,10 @@ impl State {
         cfg: &ExperimentConfig,
         env: &mut Environment,
         now: SimTime,
-        client: usize,
+        client: ClientId,
         session_seq: u64,
     ) {
-        let Some(session) = self.sessions[client].as_ref() else {
+        let Some(session) = self.table.session(client) else {
             return; // session reported (or was reclaimed) in time
         };
         if session.seq != session_seq {
@@ -1102,18 +1022,17 @@ impl State {
         // Reclaim: the client stops blocking staleness scans and its slot
         // is refilled. A late upload from this session is ignored (its
         // generation can never match a later session).
-        self.sessions[client] = None;
+        self.table.remove_session(client);
         self.timeouts += 1;
         self.obs.count(names::SESSION_TIMEOUTS);
         self.trace.push(now, TraceEvent::Timeout { id: client });
-        self.consecutive_timeouts[client] += 1;
-        if self.consecutive_timeouts[client] >= cfg.resilience.quarantine_after {
-            self.phase[client] = ClientPhase::Quarantined;
+        if self.table.record_timeout(client) >= cfg.resilience.quarantine_after {
+            self.table.set_phase(client, ClientPhase::Quarantined);
             self.quarantined += 1;
             self.obs.count(names::CLIENTS_QUARANTINED);
             self.trace.push(now, TraceEvent::Quarantine { id: client });
         } else {
-            self.phase[client] = ClientPhase::Idle;
+            self.table.set_phase(client, ClientPhase::Idle);
         }
         self.refill(cfg, env, now);
     }
@@ -1131,8 +1050,9 @@ impl State {
         let in_flight_n = in_flight.len();
         let updates = self.buffer.drain();
         for u in &updates {
-            debug_assert_eq!(self.phase[u.client_id], ClientPhase::Buffered);
-            self.phase[u.client_id] = ClientPhase::Idle;
+            let cid = ClientId::new(u.client_id);
+            debug_assert_eq!(self.table.phase(cid), ClientPhase::Buffered);
+            self.table.set_phase(cid, ClientPhase::Idle);
         }
 
         // Sanitize in front of the aggregation: non-finite or norm-exploded
@@ -1156,7 +1076,7 @@ impl State {
                 // robust layer below.
                 RejectCause::RobustScreened => unreachable!("sanitizer emitted RobustScreened"),
             }
-            self.trace.push(now, TraceEvent::Rejected { id, cause });
+            self.trace.push(now, TraceEvent::Rejected { id: ClientId::new(id), cause });
         }
         if clean.is_empty() {
             // Everything in the buffer was garbage; the rejected clients
@@ -1176,7 +1096,13 @@ impl State {
             for &id in &outcome.screened {
                 self.screened_updates += 1;
                 self.obs.count(names::UPDATES_SCREENED_ROBUST);
-                self.trace.push(now, TraceEvent::Rejected { id, cause: RejectCause::RobustScreened });
+                self.trace.push(
+                    now,
+                    TraceEvent::Rejected {
+                        id: ClientId::new(id),
+                        cause: RejectCause::RobustScreened,
+                    },
+                );
             }
             if outcome.clipped > 0 {
                 self.clipped_updates += outcome.clipped;
@@ -1201,7 +1127,10 @@ impl State {
             self.obs.count(names::UPDATES_DROPPED_STALE);
             self.trace.push(
                 now,
-                TraceEvent::Drop { id: u.client_id, staleness: u.staleness(self.round) },
+                TraceEvent::Drop {
+                    id: ClientId::new(u.client_id),
+                    staleness: u.staleness(self.round),
+                },
             );
         }
         if updates.is_empty() {
@@ -1264,6 +1193,8 @@ impl State {
         }
         self.obs.observe(names::BUFFER_OCCUPANCY, bounds::COHORT, occupancy as f64);
         self.obs.gauge(names::IN_FLIGHT, in_flight_n as f64);
+        self.obs.gauge(names::QUEUE_DEPTH, self.queue.len() as f64);
+        self.obs.gauge(names::RESIDENT_RECORDS, self.table.resident_records() as f64);
         self.obs.round_interval(now.as_secs());
         {
             let (t, round, num_updates) = (now.as_secs(), self.round, updates.len());
@@ -1318,24 +1249,25 @@ impl State {
     /// original full upload is superseded).
     fn send_notifications(&mut self, env: &Environment, now: SimTime, to_notify: Vec<usize>) {
         for k in to_notify {
-            let device = &env.fleet[k];
+            let cid = ClientId::new(k);
+            let device = env.fleet.profile(cid);
             let arrival = now.after(device.latency);
-            let session = self.sessions[k].as_mut().expect("notified client has a session");
+            let session = self.table.session(cid).expect("notified client has a session");
             // First epoch boundary after the notification arrives.
             let Some(epoch_idx) = session.epoch_ends.iter().position(|&e| e > arrival) else {
                 // All epochs already finished; the full upload is in flight.
                 continue;
             };
-            session.notified = true;
-            session.generation = self.next_generation[k];
-            self.next_generation[k] += 1;
-            session.scheduled_epochs = epoch_idx + 1;
             let upload_at =
                 session.epoch_ends[epoch_idx].after(device.upload_time(env.model_bytes));
-            let generation = session.generation;
-            self.schedule_upload(now, k, upload_at, generation, 0);
+            let generation = self.table.bump_generation(cid);
+            let session = self.table.session_mut(cid).expect("notified client has a session");
+            session.notified = true;
+            session.generation = generation;
+            session.scheduled_epochs = epoch_idx + 1;
+            self.schedule_upload(now, cid, upload_at, generation, 0);
             self.obs.count(names::NOTIFICATIONS_SENT);
-            self.trace.push(now, TraceEvent::Notify { id: k });
+            self.trace.push(now, TraceEvent::Notify { id: cid });
         }
     }
 
@@ -1343,8 +1275,13 @@ impl State {
     /// sessions for whatever it picks.
     fn refill(&mut self, cfg: &ExperimentConfig, env: &mut Environment, now: SimTime) {
         let dispatch_span = self.obs.span_start();
-        let idle: Vec<usize> =
-            (0..cfg.num_clients).filter(|&k| self.phase[k] == ClientPhase::Idle).collect();
+        // The idle scan walks the table's bitset; large fleets shard it
+        // over the experiment's rayon pool in deterministic block order.
+        let idle: Vec<usize> = if env.pool.is_sequential() {
+            self.table.idle_clients()
+        } else {
+            env.pool.run(|| self.table.idle_clients())
+        };
         let ctx = DispatchCtx {
             round: self.round,
             now_secs: now.as_secs(),
@@ -1386,7 +1323,7 @@ impl State {
         self.obs.span_end(Phase::Train, span);
         self.record_incidents(now, incidents);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
-            env.client_rngs[k] = rng;
+            env.client_rngs.set(k, rng);
             self.begin_session(cfg, env, k, now, outcome);
         }
     }

@@ -10,7 +10,7 @@ use seafl_data::{
     dirichlet_partition, iid_partition, quantity_skew_partition, shard_partition, ImageDataset,
 };
 use seafl_sim::rng::{rng_from_state, rng_state, stream_rng, streams};
-use seafl_sim::{DeviceProfile, SimRng};
+use seafl_sim::{Fleet, LazyStreams, SimRng};
 
 /// Largest evaluation minibatch (bounds peak activation memory).
 const EVAL_CHUNK: usize = 256;
@@ -24,17 +24,22 @@ pub struct Environment {
     pub client_data: Vec<ImageDataset>,
     /// Server-side test set.
     pub test: ImageDataset,
-    /// Device timing profiles, index-aligned with `client_data`.
-    pub fleet: Vec<DeviceProfile>,
+    /// Lazily materialized device timing profiles, index-aligned with
+    /// `client_data` (profiles derive on demand from the master seed; see
+    /// [`Fleet`]).
+    pub fleet: Fleet,
     /// Initial global model state.
     pub initial_global: Vec<f32>,
     /// Serialized model size in bytes (network transfer model).
     pub model_bytes: usize,
-    /// Per-client batch-shuffle RNGs. Checkpointed: the engines snapshot and
-    /// restore these streams so resumed runs replay bit-identically.
-    pub client_rngs: Vec<SimRng>,
-    /// Per-client idle-period RNGs. Checkpointed alongside `client_rngs`.
-    pub idle_rngs: Vec<SimRng>,
+    /// Per-client batch-shuffle RNG streams, materialized on first use
+    /// (an untouched client's stream is a pure function of the master
+    /// seed). Checkpointed sparsely: the engines snapshot and restore only
+    /// the touched streams so resumed runs replay bit-identically.
+    pub client_rngs: LazyStreams,
+    /// Per-client idle-period RNG streams. Checkpointed alongside
+    /// `client_rngs`.
+    pub idle_rngs: LazyStreams,
     /// Probe size for gradient-norm measurements: the first `probe_len`
     /// test samples, materialized on demand via `batch_range` instead of
     /// keeping (and cloning) a resident tensor.
@@ -83,7 +88,7 @@ impl Environment {
             })
             .collect();
 
-        let fleet = cfg.fleet.build(cfg.seed);
+        let fleet = Fleet::lazy(cfg.fleet.clone(), cfg.seed);
 
         let init_seed = stream_rng(cfg.seed, streams::INIT).next_u64();
         let model = cfg.model.build(init_seed);
@@ -93,12 +98,8 @@ impl Environment {
             LocalTrainer::new(model, cfg.lr, cfg.momentum, cfg.batch_size).with_prox(cfg.prox_mu);
         let pool = TrainerPool::new(trainer, cfg.threads);
 
-        let client_rngs = (0..cfg.num_clients)
-            .map(|k| stream_rng(cfg.seed, streams::CLIENT_BASE + k as u64))
-            .collect();
-        let idle_rngs = (0..cfg.num_clients)
-            .map(|k| stream_rng(cfg.seed, streams::IDLE_BASE + k as u64))
-            .collect();
+        let client_rngs = LazyStreams::new(cfg.seed, streams::CLIENT_BASE, cfg.num_clients);
+        let idle_rngs = LazyStreams::new(cfg.seed, streams::IDLE_BASE, cfg.num_clients);
 
         let probe_len = cfg.grad_norm_probe.then(|| task.test.len().min(EVAL_CHUNK));
 
@@ -141,7 +142,7 @@ impl Environment {
                     client_id: k,
                     epochs,
                     keep_snapshots,
-                    rng: rng_state(&self.client_rngs[k]),
+                    rng: rng_state(&self.client_rngs.peek(k)),
                 })
                 .collect();
             let remote = tr.train_cohort(global, &jobs);
@@ -161,7 +162,7 @@ impl Environment {
                 client_id: k,
                 data: &self.client_data[k],
                 epochs,
-                rng: self.client_rngs[k].clone(),
+                rng: self.client_rngs.peek(k),
                 keep_snapshots,
             })
             .collect();

@@ -33,6 +33,7 @@ pub mod checkpoint;
 pub mod client;
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod metrics;
 pub mod obs;
 pub mod policy;
@@ -53,6 +54,7 @@ pub use config::{
     StalenessPolicy, TransportConfig,
 };
 pub use engine::{resume_experiment, run_experiment, run_with_policy, RunResult};
+pub use fleet::{ClientPhase, FleetTable};
 pub use obs::{MetricsRegistry, ObsConfig, ObsMode, ObsSummary};
 pub use policy::{
     build_policy, mix, weighted_average, Admission, DispatchCtx, DrainCtx, FedAsyncPolicy,

@@ -172,6 +172,15 @@ pub mod names {
     /// Gauge: sessions in flight, sampled at each aggregation.
     pub const IN_FLIGHT: &str = "in_flight";
 
+    /// Gauge: pending events on the virtual clock, sampled at each
+    /// aggregation.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+
+    /// Gauge: fleet-table rows that ever left their default state (the
+    /// sparse working set a checkpoint serializes), sampled at each
+    /// aggregation.
+    pub const RESIDENT_RECORDS: &str = "resident_records";
+
     /// Histogram: staleness (rounds) of each *aggregated* update, measured
     /// at aggregation time.
     pub const STALENESS_ROUNDS: &str = "staleness_rounds";

@@ -4,7 +4,7 @@ use crate::policy::{Admission, DispatchCtx, DrainCtx, ServerPolicy, ServerView};
 use crate::update::ModelUpdate;
 use crate::SelectionPolicy;
 use rand::seq::SliceRandom;
-use seafl_sim::{DeviceProfile, SimRng, TerminationReason};
+use seafl_sim::{Fleet, SimRng, TerminationReason};
 
 /// FedAvg: dispatch a full cohort at a synchronous barrier, aggregate when
 /// every member has reported, replace the global model with the data-size
@@ -43,7 +43,7 @@ impl ServerPolicy for FedAvgPolicy {
         &mut self,
         ctx: &DispatchCtx,
         idle: &[usize],
-        fleet: &[DeviceProfile],
+        fleet: &Fleet,
         rng: &mut SimRng,
     ) -> Vec<usize> {
         // The synchronous round loop's continuation condition: stop

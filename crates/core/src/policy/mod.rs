@@ -28,7 +28,8 @@ pub use seafl::SeaflPolicy;
 use crate::checkpoint::{BinReader, BinWriter, CodecError};
 use crate::config::{Algorithm, ExperimentConfig, SelectionPolicy};
 use crate::update::ModelUpdate;
-use seafl_sim::{DeviceProfile, SimRng, TerminationReason};
+use rayon::prelude::*;
+use seafl_sim::{Fleet, SimRng, TerminationReason};
 
 /// What the engine is about to do when it asks a policy for a cohort.
 pub struct DispatchCtx {
@@ -144,7 +145,7 @@ pub trait ServerPolicy: Send {
         &mut self,
         ctx: &DispatchCtx,
         idle: &[usize],
-        fleet: &[DeviceProfile],
+        fleet: &Fleet,
         rng: &mut SimRng,
     ) -> Vec<usize> {
         crate::selection::select_clients(
@@ -245,15 +246,35 @@ pub trait ServerPolicy: Send {
     }
 }
 
+/// Model size (elements) above which [`weighted_average`] shards over the
+/// ambient rayon pool. Each output element is the same j-ordered sum of
+/// `w[j] * params[j][i]` regardless of which worker computes it, so the
+/// sharded path is bit-identical to the sequential one at any thread count.
+const PAR_AVG_CHUNK: usize = 16_384;
+
 /// Weighted average of `updates` with weights `w` (Σw = 1) — Eq. 7's
 /// buffer combination, shared by every weight-based policy.
 pub fn weighted_average(updates: &[ModelUpdate], weights: &[f32]) -> Vec<f32> {
     let dim = updates[0].params.len();
-    let mut out = vec![0.0f32; dim];
-    for (u, &w) in updates.iter().zip(weights.iter()) {
+    for u in updates {
         assert_eq!(u.params.len(), dim, "weighted_average: mixed model sizes");
-        for (o, &p) in out.iter_mut().zip(u.params.iter()) {
-            *o += w * p;
+    }
+    let mut out = vec![0.0f32; dim];
+    if dim >= 2 * PAR_AVG_CHUNK {
+        out.par_chunks_mut(PAR_AVG_CHUNK).enumerate().for_each(|(b, chunk)| {
+            let base = b * PAR_AVG_CHUNK;
+            for (u, &w) in updates.iter().zip(weights.iter()) {
+                let src = &u.params[base..base + chunk.len()];
+                for (o, &p) in chunk.iter_mut().zip(src.iter()) {
+                    *o += w * p;
+                }
+            }
+        });
+    } else {
+        for (u, &w) in updates.iter().zip(weights.iter()) {
+            for (o, &p) in out.iter_mut().zip(u.params.iter()) {
+                *o += w * p;
+            }
         }
     }
     out

@@ -3,7 +3,14 @@
 use crate::config::SelectionPolicy;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use seafl_sim::DeviceProfile;
+use rayon::prelude::*;
+use seafl_sim::{ClientId, Fleet};
+
+/// Candidate-pool size above which the `SpeedBiased` weighting scan shards
+/// across rayon workers. Each weight is an independent pure function of the
+/// device id, and an indexed parallel collect preserves slice order, so the
+/// sharded scan is bit-identical to the sequential one at any thread count.
+const PAR_WEIGHT_THRESHOLD: usize = 4096;
 
 /// Pick up to `n` distinct clients from `candidates` under `policy`.
 ///
@@ -14,7 +21,7 @@ use seafl_sim::DeviceProfile;
 pub fn select_clients(
     policy: SelectionPolicy,
     candidates: &[usize],
-    fleet: &[DeviceProfile],
+    fleet: &Fleet,
     n: usize,
     rng: &mut impl Rng,
 ) -> Vec<usize> {
@@ -27,8 +34,12 @@ pub fn select_clients(
         }
         SelectionPolicy::SpeedBiased { exponent } => {
             let mut pool: Vec<usize> = candidates.to_vec();
-            let mut weights: Vec<f64> =
-                pool.iter().map(|&k| fleet[k].speed_factor.max(1e-9).powf(-exponent)).collect();
+            let weight = |k: usize| fleet.speed_factor(ClientId::new(k)).max(1e-9).powf(-exponent);
+            let mut weights: Vec<f64> = if pool.len() >= PAR_WEIGHT_THRESHOLD {
+                pool.par_iter().map(|&k| weight(k)).collect()
+            } else {
+                pool.iter().map(|&k| weight(k)).collect()
+            };
             let mut picked = Vec::with_capacity(n.min(pool.len()));
             while picked.len() < n && !pool.is_empty() {
                 let total: f64 = weights.iter().sum();
@@ -54,25 +65,19 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use seafl_sim::FleetConfig;
 
-    fn fleet(speeds: &[f64]) -> Vec<DeviceProfile> {
-        speeds
-            .iter()
-            .enumerate()
-            .map(|(id, &s)| DeviceProfile {
-                id,
-                speed_factor: s,
-                idle: None,
-                up_bandwidth: 1e6,
-                down_bandwidth: 1e6,
-                latency: 0.0,
-            })
-            .collect()
+    fn pareto(n: usize) -> Fleet {
+        Fleet::lazy(FleetConfig::pareto_fleet(n), 7)
+    }
+
+    fn mean_speed(fleet: &Fleet, ids: &[usize]) -> f64 {
+        ids.iter().map(|&k| fleet.speed_factor(ClientId::new(k))).sum::<f64>() / ids.len() as f64
     }
 
     #[test]
     fn uniform_returns_distinct_prefix() {
-        let f = fleet(&[1.0; 10]);
+        let f = pareto(10);
         let cands: Vec<usize> = (0..10).collect();
         let mut rng = StdRng::seed_from_u64(0);
         let picked = select_clients(SelectionPolicy::Uniform, &cands, &f, 4, &mut rng);
@@ -85,58 +90,72 @@ mod tests {
 
     #[test]
     fn biased_selection_prefers_fast_devices() {
-        // Devices 0..5 fast (speed 1), 5..10 slow (speed 10). Positive
-        // exponent must pick fast devices far more often.
-        let f = fleet(&[1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0, 10.0]);
-        let cands: Vec<usize> = (0..10).collect();
+        // Positive exponent weights by speed_factor^-2: over many draws the
+        // picked devices' mean slowdown must sit well below the pool's.
+        let f = pareto(40);
+        let cands: Vec<usize> = (0..40).collect();
+        let pool_mean = mean_speed(&f, &cands);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut fast_picks = 0usize;
-        let mut total = 0usize;
+        let mut picks = Vec::new();
         for _ in 0..400 {
-            for k in select_clients(
+            picks.extend(select_clients(
                 SelectionPolicy::SpeedBiased { exponent: 2.0 },
                 &cands,
                 &f,
                 2,
                 &mut rng,
-            ) {
-                total += 1;
-                if k < 5 {
-                    fast_picks += 1;
-                }
-            }
+            ));
         }
-        let frac = fast_picks as f64 / total as f64;
-        assert!(frac > 0.85, "fast fraction only {frac}");
+        let picked_mean = mean_speed(&f, &picks);
+        assert!(
+            picked_mean < 0.8 * pool_mean,
+            "picked mean {picked_mean} not below pool mean {pool_mean}"
+        );
     }
 
     #[test]
     fn negative_exponent_boosts_stragglers() {
-        let f = fleet(&[1.0, 1.0, 1.0, 1.0, 1.0, 10.0, 10.0, 10.0, 10.0, 10.0]);
-        let cands: Vec<usize> = (0..10).collect();
+        let f = pareto(40);
+        let cands: Vec<usize> = (0..40).collect();
+        let pool_mean = mean_speed(&f, &cands);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut slow_picks = 0usize;
-        let mut total = 0usize;
+        let mut picks = Vec::new();
         for _ in 0..400 {
-            for k in select_clients(
+            picks.extend(select_clients(
                 SelectionPolicy::SpeedBiased { exponent: -2.0 },
                 &cands,
                 &f,
                 2,
                 &mut rng,
-            ) {
-                total += 1;
-                if k >= 5 {
-                    slow_picks += 1;
-                }
-            }
+            ));
         }
-        assert!(slow_picks as f64 / total as f64 > 0.85);
+        let picked_mean = mean_speed(&f, &picks);
+        assert!(
+            picked_mean > 1.2 * pool_mean,
+            "picked mean {picked_mean} not above pool mean {pool_mean}"
+        );
+    }
+
+    #[test]
+    fn sharded_weighting_matches_sequential_draws() {
+        // A pool past PAR_WEIGHT_THRESHOLD exercises the rayon scan; the
+        // same seed over a truncated (sequential) pool must agree on the
+        // shared prefix of weights, i.e. the draw sequence only depends on
+        // the weights, not on how they were computed. Cheapest check:
+        // selection from the big pool is reproducible run to run.
+        let n = PAR_WEIGHT_THRESHOLD + 37;
+        let f = pareto(n);
+        let cands: Vec<usize> = (0..n).collect();
+        let policy = SelectionPolicy::SpeedBiased { exponent: 1.5 };
+        let a = select_clients(policy, &cands, &f, 8, &mut StdRng::seed_from_u64(3));
+        let b = select_clients(policy, &cands, &f, 8, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
     }
 
     #[test]
     fn requesting_more_than_available_returns_all() {
-        let f = fleet(&[1.0, 2.0, 3.0]);
+        let f = pareto(3);
         let cands = vec![0, 1, 2];
         let mut rng = StdRng::seed_from_u64(3);
         for policy in [SelectionPolicy::Uniform, SelectionPolicy::SpeedBiased { exponent: 1.0 }] {
@@ -149,7 +168,7 @@ mod tests {
 
     #[test]
     fn empty_candidates_empty_result() {
-        let f = fleet(&[]);
+        let f = pareto(3);
         let mut rng = StdRng::seed_from_u64(4);
         assert!(select_clients(SelectionPolicy::Uniform, &[], &f, 3, &mut rng).is_empty());
     }

@@ -1,5 +1,6 @@
 //! Per-device compute, idle, and network models, and fleet construction.
 
+use crate::id::ClientId;
 use crate::rng::{stream_rng, streams};
 use rand::Rng;
 use seafl_data::sampling::{ParetoSpeed, ZipfIdle};
@@ -98,6 +99,11 @@ impl FleetConfig {
     }
 
     /// Materialize the fleet deterministically from `master_seed`.
+    ///
+    /// Eager reference construction: allocates all `num_devices` profiles up
+    /// front. Million-client fleets should use [`Fleet::lazy`], which derives
+    /// the identical profiles on demand — the equivalence is pinned by
+    /// `lazy_profiles_match_eager_build`.
     pub fn build(&self, master_seed: u64) -> Vec<DeviceProfile> {
         assert!(self.num_devices > 0, "FleetConfig: zero devices");
         let mut rng = stream_rng(master_seed, streams::FLEET);
@@ -111,6 +117,95 @@ impl FleetConfig {
                 latency: self.latency,
             })
             .collect()
+    }
+}
+
+/// A fleet of devices materialized lazily from the master seed.
+///
+/// [`FleetConfig::build`] draws each device's speed factor sequentially from
+/// the `FLEET` RNG stream, so an eager fleet costs O(N) memory even though a
+/// semi-async server only ever touches the cohort-sized subset that actually
+/// trains. `Fleet` stores just the config plus the measured RNG stride of
+/// one speed draw: device `k`'s draw starts at word position `k · stride`,
+/// so [`profile`](Fleet::profile) can seek the counter-based ChaCha stream
+/// straight to it and reproduce the eager profile bit for bit — never-touched
+/// clients cost zero bytes.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    master_seed: u64,
+    /// ChaCha word-position stride of one speed draw (0 when the config has
+    /// no speed distribution). Measured once at construction: a Pareto
+    /// sample consumes a fixed number of words, and
+    /// [`profile`](Fleet::profile) debug-asserts the stride on every draw.
+    words_per_draw: u128,
+}
+
+impl Fleet {
+    /// Wrap `cfg` for on-demand derivation; cost is one probe draw,
+    /// regardless of `num_devices`.
+    pub fn lazy(cfg: FleetConfig, master_seed: u64) -> Self {
+        assert!(cfg.num_devices > 0, "FleetConfig: zero devices");
+        let words_per_draw = cfg.pareto_speed.map_or(0, |p| {
+            let mut rng = stream_rng(master_seed, streams::FLEET);
+            let before = rng.get_word_pos();
+            let _ = p.sample(&mut rng);
+            rng.get_word_pos() - before
+        });
+        Fleet { cfg, master_seed, words_per_draw }
+    }
+
+    /// Registered devices N.
+    pub fn len(&self) -> usize {
+        self.cfg.num_devices
+    }
+
+    /// Never true: construction rejects empty fleets.
+    pub fn is_empty(&self) -> bool {
+        self.cfg.num_devices == 0
+    }
+
+    /// The fleet-level timing config.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Derive device `id`'s profile, bit-identical to the eager
+    /// [`FleetConfig::build`] entry at the same index.
+    pub fn profile(&self, id: ClientId) -> DeviceProfile {
+        let k = id.index();
+        assert!(k < self.cfg.num_devices, "client {k} outside fleet of {}", self.cfg.num_devices);
+        let speed_factor = match self.cfg.pareto_speed {
+            None => 1.0,
+            Some(p) => {
+                let start = self.words_per_draw * k as u128;
+                let mut rng = stream_rng(self.master_seed, streams::FLEET);
+                rng.set_word_pos(start);
+                let v = p.sample(&mut rng);
+                debug_assert_eq!(
+                    rng.get_word_pos() - start,
+                    self.words_per_draw,
+                    "speed draw consumed a variable number of RNG words"
+                );
+                v
+            }
+        };
+        DeviceProfile {
+            id: k,
+            speed_factor,
+            idle: self.cfg.zipf_idle,
+            up_bandwidth: self.cfg.up_bandwidth,
+            down_bandwidth: self.cfg.down_bandwidth,
+            latency: self.cfg.latency,
+        }
+    }
+
+    /// Device `id`'s speed factor (what selection weighting reads).
+    pub fn speed_factor(&self, id: ClientId) -> f64 {
+        match self.cfg.pareto_speed {
+            None => 1.0,
+            Some(_) => self.profile(id).speed_factor,
+        }
     }
 }
 
@@ -188,5 +283,37 @@ mod tests {
         let a = cfg.build(1);
         let b = cfg.build(2);
         assert!(a.iter().zip(b.iter()).any(|(x, y)| x.speed_factor != y.speed_factor));
+    }
+
+    #[test]
+    fn lazy_profiles_match_eager_build() {
+        for cfg in [FleetConfig::pareto_fleet(64), FleetConfig::zipf_idle_fleet(64)] {
+            for seed in [0u64, 7, 42] {
+                let eager = cfg.build(seed);
+                let lazy = Fleet::lazy(cfg.clone(), seed);
+                assert_eq!(lazy.len(), eager.len());
+                // Out-of-order access must still be bit-identical: laziness
+                // may never depend on visit order.
+                for k in [63usize, 0, 17, 5, 63, 31] {
+                    let p = lazy.profile(ClientId::new(k));
+                    assert_eq!(p.id, eager[k].id);
+                    assert_eq!(
+                        p.speed_factor.to_bits(),
+                        eager[k].speed_factor.to_bits(),
+                        "speed factor diverged at device {k} seed {seed}"
+                    );
+                    assert_eq!(p.idle.is_some(), eager[k].idle.is_some());
+                    assert_eq!(p.up_bandwidth, eager[k].up_bandwidth);
+                    assert_eq!(lazy.speed_factor(ClientId::new(k)), eager[k].speed_factor);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fleet")]
+    fn lazy_profile_out_of_range_panics() {
+        let fleet = Fleet::lazy(FleetConfig::pareto_fleet(4), 0);
+        fleet.profile(ClientId::new(4));
     }
 }

@@ -198,18 +198,29 @@ pub struct DeviceFaults {
 }
 
 impl DeviceFaults {
-    fn healthy() -> Self {
+    const fn healthy() -> Self {
         DeviceFaults { crash_at: None, drop_prob: 0.0, spike: None, corruption: None }
     }
 }
 
+/// The shared healthy schedule every device of a fault-free plan reads.
+static HEALTHY: DeviceFaults = DeviceFaults::healthy();
+
 /// The materialized, deterministic fault schedule of a whole fleet.
+///
+/// Storage is sparse in the common case: a plan built from a no-op config
+/// keeps `devices` empty and answers every query with the shared healthy
+/// schedule, so a million-client fleet with faults disabled costs nothing.
+/// Upload-attempt decisions are counter-based *pure functions* — the caller
+/// (the engine's `FleetTable`) owns the per-device attempt counters, so the
+/// plan itself carries no mutable per-device state.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     master_seed: u64,
+    num_devices: usize,
+    /// Per-device schedules; empty when no fault channel is armed,
+    /// regardless of fleet size.
     devices: Vec<DeviceFaults>,
-    /// Upload attempts drawn so far per device (counter-based RNG state).
-    attempt_counters: Vec<u64>,
     /// Round at which the *server* dies, if ever. Drawn after all device
     /// schedules, so enabling it never moves a device fault.
     server_crash_round: Option<u64>,
@@ -221,6 +232,11 @@ impl FaultPlan {
     /// faults depend only on `(cfg, master_seed, k)`.
     pub fn build(cfg: &FaultConfig, num_devices: usize, master_seed: u64) -> Self {
         cfg.validate().unwrap_or_else(|e| panic!("{e}"));
+        if cfg.is_noop() {
+            // Nothing to sample — stay sparse. The FAULTS stream is consumed
+            // by nothing else, so skipping the draws perturbs no other state.
+            return Self::none(num_devices);
+        }
         let mut rng = stream_rng(master_seed, streams::FAULTS);
         let devices = (0..num_devices)
             .map(|_| {
@@ -253,30 +269,26 @@ impl FaultPlan {
             let span = hi - lo + 1; // inclusive window
             lo + ((t_server * span as f64) as u64).min(span - 1)
         });
-        FaultPlan {
-            master_seed,
-            devices,
-            attempt_counters: vec![0; num_devices],
-            server_crash_round,
-        }
+        FaultPlan { master_seed, num_devices, devices, server_crash_round }
     }
 
     /// A plan that injects nothing (what every experiment gets by default).
+    /// O(1) storage — no per-device allocation.
     pub fn none(num_devices: usize) -> Self {
-        FaultPlan {
-            master_seed: 0,
-            devices: vec![DeviceFaults::healthy(); num_devices],
-            attempt_counters: vec![0; num_devices],
-            server_crash_round: None,
-        }
+        FaultPlan { master_seed: 0, num_devices, devices: Vec::new(), server_crash_round: None }
     }
 
     pub fn num_devices(&self) -> usize {
-        self.devices.len()
+        self.num_devices
     }
 
     pub fn device(&self, k: usize) -> &DeviceFaults {
-        &self.devices[k]
+        assert!(k < self.num_devices, "device {k} outside fleet of {}", self.num_devices);
+        if self.devices.is_empty() {
+            &HEALTHY
+        } else {
+            &self.devices[k]
+        }
     }
 
     /// True when no device (and not the server) has any fault scheduled.
@@ -302,66 +314,47 @@ impl FaultPlan {
         self.server_crash_round = None;
     }
 
-    /// The per-device upload-attempt counters — the plan's only mutable
-    /// state, exposed for checkpointing. Everything else is a pure function
-    /// of `(FaultConfig, num_devices, master_seed)` and is rebuilt on
-    /// resume rather than stored.
-    pub fn attempt_counters(&self) -> &[u64] {
-        &self.attempt_counters
-    }
-
-    /// Restore checkpointed attempt counters into a freshly rebuilt plan.
-    pub fn restore_attempt_counters(&mut self, counters: Vec<u64>) {
-        assert_eq!(
-            counters.len(),
-            self.devices.len(),
-            "attempt-counter count does not match device count"
-        );
-        self.attempt_counters = counters;
-    }
-
     /// Sim time at which device `k` permanently crashes, if ever.
     pub fn crash_time(&self, k: usize) -> Option<f64> {
-        self.devices[k].crash_at
+        self.device(k).crash_at
     }
 
     /// True iff device `k` is dead at sim time `t`.
     pub fn crashed_by(&self, k: usize, t: f64) -> bool {
-        self.devices[k].crash_at.is_some_and(|c| c <= t)
+        self.device(k).crash_at.is_some_and(|c| c <= t)
     }
 
     /// Compute-time multiplier for device `k` at sim time `t` (1.0 =
     /// nominal speed).
     pub fn speed_multiplier(&self, k: usize, t: f64) -> f64 {
-        match self.devices[k].spike {
+        match self.device(k).spike {
             Some(s) if t >= s.start && t < s.end => s.factor,
             _ => 1.0,
         }
     }
 
-    /// Decide whether device `k`'s next upload attempt is lost in transit.
-    /// Counter-based: attempt `i` of device `k` is a pure function of
-    /// `(master_seed, k, i)`, so one device's decisions never depend on
-    /// another device's attempt count.
-    pub fn upload_attempt_fails(&mut self, k: usize) -> bool {
-        let p = self.devices[k].drop_prob;
+    /// Decide whether upload attempt `attempt` of device `k` is lost in
+    /// transit. Counter-based pure function of `(master_seed, k, attempt)`:
+    /// one device's decisions never depend on another device's attempt
+    /// count, and the caller owns the attempt counter (the engine keeps it
+    /// in the fleet table and checkpoints it there).
+    pub fn upload_attempt_fails(&self, k: usize, attempt: u64) -> bool {
+        let p = self.device(k).drop_prob;
         if p <= 0.0 {
             return false;
         }
-        let i = self.attempt_counters[k];
-        self.attempt_counters[k] += 1;
-        unit_from_counter(self.master_seed, streams::FAULT_ATTEMPT_BASE + k as u64, i) < p
+        unit_from_counter(self.master_seed, streams::FAULT_ATTEMPT_BASE + k as u64, attempt) < p
     }
 
     /// Corruption model of device `k` (None = honest device).
     pub fn corruption(&self, k: usize) -> Option<CorruptionKind> {
-        self.devices[k].corruption
+        self.device(k).corruption
     }
 
     /// Apply device `k`'s corruption to an outgoing update in place.
     /// Returns true when the update was modified.
     pub fn corrupt(&self, k: usize, params: &mut [f32]) -> bool {
-        match self.devices[k].corruption {
+        match self.device(k).corruption {
             None => false,
             Some(CorruptionKind::NanBurst { count }) => {
                 if params.is_empty() {
@@ -504,10 +497,15 @@ impl Default for AttackConfig {
 pub struct AttackPlan {
     master_seed: u64,
     collude_radius: f32,
+    num_devices: usize,
+    /// Per-device assignment; empty when the channel is disarmed (the
+    /// common case), so an attack-free plan is O(1) regardless of fleet
+    /// size.
     assignments: Vec<Option<AttackKind>>,
-    /// Attacker's previous upload (StaleReplay memory). Mutable state —
-    /// checkpointed.
-    replay: Vec<Option<Vec<f32>>>,
+    /// Attacker's previous upload (StaleReplay memory), keyed by device id.
+    /// Sparse — only attackers that have uploaded occupy an entry. Mutable
+    /// state — checkpointed.
+    replay: std::collections::BTreeMap<u32, Vec<f32>>,
     /// Shared collusion target, generated deterministically on first use
     /// once the model dimension is known. Never serialized: a rebuilt plan
     /// regenerates the identical vector.
@@ -537,19 +535,22 @@ impl AttackPlan {
         AttackPlan {
             master_seed,
             collude_radius: cfg.collude_radius,
+            num_devices,
             assignments,
-            replay: vec![None; num_devices],
+            replay: std::collections::BTreeMap::new(),
             collusion_target: None,
         }
     }
 
     /// A plan with no attackers (what every experiment gets by default).
+    /// O(1) storage — no per-device allocation.
     pub fn none(num_devices: usize) -> Self {
         AttackPlan {
             master_seed: 0,
             collude_radius: 0.0,
-            assignments: vec![None; num_devices],
-            replay: vec![None; num_devices],
+            num_devices,
+            assignments: Vec::new(),
+            replay: std::collections::BTreeMap::new(),
             collusion_target: None,
         }
     }
@@ -561,7 +562,12 @@ impl AttackPlan {
 
     /// Attack assigned to device `k` (`None` = honest device).
     pub fn kind(&self, k: usize) -> Option<AttackKind> {
-        self.assignments[k]
+        assert!(k < self.num_devices, "device {k} outside fleet of {}", self.num_devices);
+        if self.assignments.is_empty() {
+            None
+        } else {
+            self.assignments[k]
+        }
     }
 
     /// The ground-truth attacker set, sorted — what detection
@@ -574,7 +580,7 @@ impl AttackPlan {
     /// is the server model the reflection/boost attacks aim against.
     /// Returns the kind applied when the update was modified.
     pub fn apply(&mut self, k: usize, params: &mut [f32], global: &[f32]) -> Option<AttackKind> {
-        let kind = self.assignments[k]?;
+        let kind = self.kind(k)?;
         match kind {
             AttackKind::SignFlip => {
                 assert_eq!(params.len(), global.len(), "attack: model size mismatch");
@@ -595,7 +601,7 @@ impl AttackPlan {
             AttackKind::StaleReplay => {
                 // Record this (honest) upload, send the previous one. The
                 // first upload has nothing to replay and goes out unchanged.
-                let prev = self.replay[k].replace(params.to_vec());
+                let prev = self.replay.insert(k as u32, params.to_vec());
                 match prev {
                     Some(p) => {
                         assert_eq!(params.len(), p.len(), "attack: model size changed");
@@ -621,17 +627,20 @@ impl AttackPlan {
     }
 
     /// The per-attacker replay memory — the plan's only checkpointed state.
-    pub fn replay_state(&self) -> &[Option<Vec<f32>>] {
+    /// Sparse: only attackers that have uploaded appear, in id order.
+    pub fn replay_state(&self) -> &std::collections::BTreeMap<u32, Vec<f32>> {
         &self.replay
     }
 
     /// Restore checkpointed replay memory into a freshly rebuilt plan.
-    pub fn restore_replay_state(&mut self, replay: Vec<Option<Vec<f32>>>) {
-        assert_eq!(
-            replay.len(),
-            self.assignments.len(),
-            "replay-state count does not match device count"
-        );
+    pub fn restore_replay_state(&mut self, replay: std::collections::BTreeMap<u32, Vec<f32>>) {
+        if let Some((&k, _)) = replay.last_key_value() {
+            assert!(
+                (k as usize) < self.num_devices,
+                "replay-state device {k} outside fleet of {}",
+                self.num_devices
+            );
+        }
         self.replay = replay;
     }
 }
@@ -661,13 +670,24 @@ mod tests {
         let plan = FaultPlan::none(10);
         assert!(plan.is_noop());
         assert!(FaultConfig::none().is_noop());
-        let mut plan = plan;
+        assert_eq!(plan.num_devices(), 10);
         for k in 0..10 {
-            assert!(!plan.upload_attempt_fails(k));
+            assert!(!plan.upload_attempt_fails(k, 0));
             assert_eq!(plan.crash_time(k), None);
             assert_eq!(plan.speed_multiplier(k, 123.0), 1.0);
             assert!(!plan.corrupt(k, &mut [1.0, 2.0]));
         }
+        // A no-op *config* builds the same sparse plan without touching RNG.
+        let built = FaultPlan::build(&FaultConfig::none(), 10, 42);
+        assert!(built.is_noop());
+        assert_eq!(built.num_devices(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside fleet")]
+    fn out_of_range_device_panics_even_when_sparse() {
+        let plan = FaultPlan::none(3);
+        plan.crash_time(3);
     }
 
     #[test]
@@ -683,24 +703,27 @@ mod tests {
     #[test]
     fn attempt_decisions_deterministic_and_per_device() {
         let cfg = chaotic();
-        let mut a = FaultPlan::build(&cfg, 4, 7);
-        let mut b = FaultPlan::build(&cfg, 4, 7);
-        // Interleave device draws differently; per-device sequences match.
-        let seq_a: Vec<bool> = (0..20).map(|_| a.upload_attempt_fails(1)).collect();
-        for _ in 0..5 {
-            b.upload_attempt_fails(0);
-            b.upload_attempt_fails(3);
+        let a = FaultPlan::build(&cfg, 4, 7);
+        let b = FaultPlan::build(&cfg, 4, 7);
+        // Pure function of (seed, device, attempt): querying other devices
+        // in between cannot perturb device 1's sequence.
+        let seq_a: Vec<bool> = (0..20).map(|i| a.upload_attempt_fails(1, i)).collect();
+        for i in 0..5 {
+            b.upload_attempt_fails(0, i);
+            b.upload_attempt_fails(3, i);
         }
-        let seq_b: Vec<bool> = (0..20).map(|_| b.upload_attempt_fails(1)).collect();
+        let seq_b: Vec<bool> = (0..20).map(|i| b.upload_attempt_fails(1, i)).collect();
         assert_eq!(seq_a, seq_b, "device 1's decisions depend on other devices");
+        // And re-querying the same attempt index replays the same decision.
+        assert_eq!(a.upload_attempt_fails(2, 9), a.upload_attempt_fails(2, 9));
     }
 
     #[test]
     fn drop_rate_roughly_matches_probability() {
         let mut cfg = FaultConfig::none();
         cfg.upload_drop_prob = 0.3;
-        let mut plan = FaultPlan::build(&cfg, 1, 0);
-        let fails = (0..2000).filter(|_| plan.upload_attempt_fails(0)).count();
+        let plan = FaultPlan::build(&cfg, 1, 0);
+        let fails = (0..2000).filter(|&i| plan.upload_attempt_fails(0, i)).count();
         let rate = fails as f64 / 2000.0;
         assert!((0.25..0.35).contains(&rate), "drop rate {rate} far from 0.3");
     }
@@ -718,6 +741,7 @@ mod tests {
     #[test]
     fn crashed_by_is_a_step_function() {
         let mut plan = FaultPlan::none(2);
+        plan.devices = vec![DeviceFaults::healthy(); 2];
         plan.devices[0].crash_at = Some(100.0);
         assert!(!plan.crashed_by(0, 99.9));
         assert!(plan.crashed_by(0, 100.0));
@@ -728,6 +752,7 @@ mod tests {
     #[test]
     fn spike_multiplier_applies_only_inside_window() {
         let mut plan = FaultPlan::none(1);
+        plan.devices = vec![DeviceFaults::healthy()];
         plan.devices[0].spike = Some(SpeedSpike { start: 50.0, end: 150.0, factor: 4.0 });
         assert_eq!(plan.speed_multiplier(0, 49.0), 1.0);
         assert_eq!(plan.speed_multiplier(0, 50.0), 4.0);
@@ -738,6 +763,7 @@ mod tests {
     #[test]
     fn nan_burst_injects_nans() {
         let mut plan = FaultPlan::none(1);
+        plan.devices = vec![DeviceFaults::healthy()];
         plan.devices[0].corruption = Some(CorruptionKind::NanBurst { count: 4 });
         let mut params = vec![1.0f32; 100];
         assert!(plan.corrupt(0, &mut params));
@@ -747,6 +773,7 @@ mod tests {
     #[test]
     fn gradient_scale_scales() {
         let mut plan = FaultPlan::none(1);
+        plan.devices = vec![DeviceFaults::healthy()];
         plan.devices[0].corruption = Some(CorruptionKind::GradientScale { factor: 100.0 });
         let mut params = vec![0.5f32; 10];
         assert!(plan.corrupt(0, &mut params));
@@ -788,35 +815,23 @@ mod tests {
     }
 
     #[test]
-    fn clear_and_counter_restore_support_resume() {
+    fn clear_and_rebuild_support_resume() {
         let mut cfg = chaotic();
         cfg.server_crash_prob = 1.0;
         cfg.server_crash_window = (2, 4);
-        let mut plan = FaultPlan::build(&cfg, 4, 11);
-        for _ in 0..7 {
-            plan.upload_attempt_fails(2);
-        }
-        let saved: Vec<u64> = plan.attempt_counters().to_vec();
-        assert_eq!(saved, vec![0, 0, 7, 0]);
-
-        // A resumed run rebuilds the plan, disarms the crash, restores the
-        // counters — and then continues the per-device decision sequences
-        // exactly where the crashed run left off.
+        let plan = FaultPlan::build(&cfg, 4, 11);
+        // The crashed run made 7 attempt draws for device 2; the engine
+        // checkpoints that counter. A resumed run rebuilds the plan, disarms
+        // the crash — and because attempt decisions are pure functions of
+        // (seed, device, attempt index), continuing from the restored
+        // counter replays the exact sequence the crashed run would have.
         let mut rebuilt = FaultPlan::build(&cfg, 4, 11);
         rebuilt.clear_server_crash();
-        rebuilt.restore_attempt_counters(saved);
         assert_eq!(rebuilt.server_crash_round(), None);
         assert!(!rebuilt.is_noop(), "device faults must survive the disarm");
-        let cont_a: Vec<bool> = (0..10).map(|_| plan.upload_attempt_fails(2)).collect();
-        let cont_b: Vec<bool> = (0..10).map(|_| rebuilt.upload_attempt_fails(2)).collect();
+        let cont_a: Vec<bool> = (7..17).map(|i| plan.upload_attempt_fails(2, i)).collect();
+        let cont_b: Vec<bool> = (7..17).map(|i| rebuilt.upload_attempt_fails(2, i)).collect();
         assert_eq!(cont_a, cont_b);
-    }
-
-    #[test]
-    #[should_panic(expected = "attempt-counter count")]
-    fn counter_restore_rejects_wrong_length() {
-        let mut plan = FaultPlan::none(3);
-        plan.restore_attempt_counters(vec![0; 5]);
     }
 
     #[test]
@@ -901,7 +916,7 @@ mod tests {
     #[test]
     fn sign_flip_reflects_about_global() {
         let mut plan = AttackPlan::none(1);
-        plan.assignments[0] = Some(AttackKind::SignFlip);
+        plan.assignments = vec![Some(AttackKind::SignFlip)];
         let mut p = vec![3.0f32, -1.0];
         assert_eq!(plan.apply(0, &mut p, &[1.0, 1.0]), Some(AttackKind::SignFlip));
         assert_eq!(p, vec![-1.0, 3.0]);
@@ -910,7 +925,7 @@ mod tests {
     #[test]
     fn scaled_boost_amplifies_drift() {
         let mut plan = AttackPlan::none(1);
-        plan.assignments[0] = Some(AttackKind::ScaledBoost { lambda: 10.0 });
+        plan.assignments = vec![Some(AttackKind::ScaledBoost { lambda: 10.0 })];
         let mut p = vec![1.5f32];
         plan.apply(0, &mut p, &[1.0]);
         assert_eq!(p, vec![6.0]);
@@ -938,7 +953,7 @@ mod tests {
     #[test]
     fn stale_replay_lags_one_upload_and_restores() {
         let mut plan = AttackPlan::none(2);
-        plan.assignments[1] = Some(AttackKind::StaleReplay);
+        plan.assignments = vec![None, Some(AttackKind::StaleReplay)];
         let g = vec![0.0f32; 2];
         let mut first = vec![1.0f32, 2.0];
         assert_eq!(plan.apply(1, &mut first, &g), None, "first upload goes out honest");
@@ -948,9 +963,10 @@ mod tests {
         assert_eq!(second, vec![1.0, 2.0], "second upload replays the first");
 
         // Resume: rebuild + restore replay memory continues the sequence.
-        let saved: Vec<Option<Vec<f32>>> = plan.replay_state().to_vec();
+        let saved = plan.replay_state().clone();
+        assert_eq!(saved.len(), 1, "only the attacker that uploaded holds replay memory");
         let mut rebuilt = AttackPlan::none(2);
-        rebuilt.assignments[1] = Some(AttackKind::StaleReplay);
+        rebuilt.assignments = vec![None, Some(AttackKind::StaleReplay)];
         rebuilt.restore_replay_state(saved);
         let mut third_a = vec![5.0f32, 6.0];
         let mut third_b = third_a.clone();
@@ -961,10 +977,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "replay-state count")]
-    fn replay_restore_rejects_wrong_length() {
+    #[should_panic(expected = "replay-state device")]
+    fn replay_restore_rejects_out_of_range_device() {
         let mut plan = AttackPlan::none(3);
-        plan.restore_replay_state(vec![None; 5]);
+        let mut replay = std::collections::BTreeMap::new();
+        replay.insert(5u32, vec![1.0f32]);
+        plan.restore_replay_state(replay);
     }
 
     #[test]

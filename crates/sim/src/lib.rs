@@ -17,18 +17,20 @@ pub mod device;
 pub mod digest;
 pub mod event;
 pub mod faults;
+pub mod id;
 pub mod loss;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use device::{DeviceProfile, FleetConfig};
-pub use event::{EventQueue, EventQueueSnapshot};
+pub use device::{DeviceProfile, Fleet, FleetConfig};
+pub use event::{EventQueue, EventQueueSnapshot, ScheduleError};
 pub use faults::{
     AttackConfig, AttackKind, AttackPlan, ConfigError, CorruptionKind, DeviceFaults, FaultConfig,
     FaultPlan, SpeedSpike,
 };
+pub use id::ClientId;
 pub use loss::{FrameFate, LossConfig};
-pub use rng::{SimRng, SimRngState};
+pub use rng::{LazyStreams, SimRng, SimRngState};
 pub use time::SimTime;
 pub use trace::{RejectCause, TerminationReason, TraceEvent, TraceLog};

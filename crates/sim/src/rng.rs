@@ -65,6 +65,94 @@ pub fn unit_from_counter(master_seed: u64, stream_id: u64, counter: u64) -> f64 
     (mixed >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// A dense family of per-client RNG streams (`base + k` for `k < len`),
+/// materialized on first touch.
+///
+/// [`stream_rng`] is a pure function of `(master_seed, stream_id)`, so a
+/// client's stream needs no storage until someone draws from it (or writes a
+/// trained-ahead state back). The table keeps only the touched streams in a
+/// sorted map — at million-client scale that is the active cohort, not the
+/// fleet — and checkpointing walks [`touched`](LazyStreams::touched)
+/// instead of serializing N states. An untouched client's stream is always
+/// exactly `stream_rng(master_seed, base + k)`, bit-identical to the eager
+/// `Vec<SimRng>` table this replaces.
+#[derive(Clone, Debug)]
+pub struct LazyStreams {
+    master_seed: u64,
+    base: u64,
+    len: usize,
+    touched: std::collections::BTreeMap<u32, SimRng>,
+}
+
+impl LazyStreams {
+    /// A table of `len` streams `base + 0 .. base + len`, all untouched.
+    pub fn new(master_seed: u64, base: u64, len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "stream table of {len} exceeds the u32 id space");
+        LazyStreams { master_seed, base, len, touched: std::collections::BTreeMap::new() }
+    }
+
+    /// Number of streams in the family (touched or not).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Streams currently materialized (the sparse-checkpoint record count).
+    pub fn resident(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Mutable access to client `k`'s stream, materializing it on first
+    /// touch.
+    pub fn get_mut(&mut self, k: usize) -> &mut SimRng {
+        assert!(k < self.len, "stream index {k} out of {}", self.len);
+        let (seed, base) = (self.master_seed, self.base);
+        self.touched.entry(k as u32).or_insert_with(|| stream_rng(seed, base + k as u64))
+    }
+
+    /// A clone of client `k`'s current stream state *without* materializing
+    /// it (what the trainer hands to a cloned/remote job).
+    pub fn peek(&self, k: usize) -> SimRng {
+        assert!(k < self.len, "stream index {k} out of {}", self.len);
+        match self.touched.get(&(k as u32)) {
+            Some(rng) => rng.clone(),
+            None => stream_rng(self.master_seed, self.base + k as u64),
+        }
+    }
+
+    /// Store an advanced stream state back for client `k` (after a cloned
+    /// job consumed draws).
+    pub fn set(&mut self, k: usize, rng: SimRng) {
+        assert!(k < self.len, "stream index {k} out of {}", self.len);
+        self.touched.insert(k as u32, rng);
+    }
+
+    /// The touched streams in ascending client order — the sparse
+    /// checkpoint payload.
+    pub fn touched(&self) -> impl Iterator<Item = (u32, &SimRng)> {
+        self.touched.iter().map(|(&k, rng)| (k, rng))
+    }
+
+    /// Rebuild from a sparse checkpoint record; every id must be in range.
+    pub fn restore(
+        master_seed: u64,
+        base: u64,
+        len: usize,
+        entries: impl IntoIterator<Item = (u32, SimRng)>,
+    ) -> Self {
+        let mut t = LazyStreams::new(master_seed, base, len);
+        for (k, rng) in entries {
+            assert!((k as usize) < len, "restored stream index {k} out of {len}");
+            t.touched.insert(k, rng);
+        }
+        t
+    }
+}
+
 /// Well-known stream ids, so call sites stay readable and collision-free.
 pub mod streams {
     /// Dataset synthesis.
@@ -169,6 +257,48 @@ mod tests {
         let mut restored = rng_from_state(state);
         let tail2: Vec<u64> = (0..16).map(|_| restored.gen()).collect();
         assert_eq!(tail, tail2, "restored RNG diverged from original");
+    }
+
+    #[test]
+    fn lazy_streams_match_eager_derivation() {
+        let mut lazy = LazyStreams::new(42, streams::CLIENT_BASE, 16);
+        assert_eq!(lazy.resident(), 0);
+        // First touch must be bit-identical to the eager table entry.
+        let mut eager = stream_rng(42, streams::CLIENT_BASE + 7);
+        assert_eq!(lazy.get_mut(7).gen::<u64>(), eager.gen::<u64>());
+        assert_eq!(lazy.resident(), 1);
+        // Subsequent touches continue the same stream.
+        assert_eq!(lazy.get_mut(7).gen::<u64>(), eager.gen::<u64>());
+        assert_eq!(lazy.resident(), 1);
+        // Peek of an untouched stream is fresh and does not materialize.
+        let mut peeked = lazy.peek(3);
+        assert_eq!(peeked.gen::<u64>(), stream_rng(42, streams::CLIENT_BASE + 3).gen::<u64>());
+        assert_eq!(lazy.resident(), 1);
+        // Set stores an advanced state back.
+        lazy.set(3, peeked);
+        assert_eq!(lazy.resident(), 2);
+        let mut expect = stream_rng(42, streams::CLIENT_BASE + 3);
+        let _ = expect.gen::<u64>();
+        assert_eq!(lazy.get_mut(3).gen::<u64>(), expect.gen::<u64>());
+        // Touched iteration is ascending by client id.
+        let ids: Vec<u32> = lazy.touched().map(|(k, _)| k).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // Restore round-trips the sparse form.
+        let entries: Vec<(u32, SimRng)> = lazy.touched().map(|(k, r)| (k, r.clone())).collect();
+        let mut restored = LazyStreams::restore(42, streams::CLIENT_BASE, 16, entries);
+        assert_eq!(restored.resident(), 2);
+        assert_eq!(restored.get_mut(7).gen::<u64>(), lazy.get_mut(7).gen::<u64>());
+        // Untouched entries in the restored table are fresh streams.
+        assert_eq!(
+            restored.peek(0).gen::<u64>(),
+            stream_rng(42, streams::CLIENT_BASE).gen::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 4")]
+    fn lazy_streams_reject_out_of_range() {
+        LazyStreams::new(0, 0, 4).get_mut(4);
     }
 
     #[test]

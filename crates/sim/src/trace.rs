@@ -1,5 +1,6 @@
 //! Structured event trace of a simulation run.
 
+use crate::id::ClientId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -52,41 +53,41 @@ pub enum RejectCause {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// Client `id` started local training on global round `round`.
-    ClientStart { id: usize, round: u64 },
+    ClientStart { id: ClientId, round: u64 },
     /// Client `id` uploaded an update born at round `born_round`, having
     /// completed `epochs` local epochs (may be < E under partial training).
-    Upload { id: usize, born_round: u64, epochs: usize },
+    Upload { id: ClientId, born_round: u64, epochs: usize },
     /// Server notified client `id` that it exceeded the staleness limit
     /// (SEAFL² partial-training path).
-    Notify { id: usize },
+    Notify { id: ClientId },
     /// Server discarded client `id`'s buffered update because its staleness
     /// exceeded the limit (SAFA-style drop policy).
-    Drop { id: usize, staleness: u64 },
+    Drop { id: ClientId, staleness: u64 },
     /// Server aggregated `num_updates` updates into global round `round`.
     Aggregate { round: u64, num_updates: usize },
     /// Global model evaluated: test accuracy at this instant.
     Eval { round: u64, accuracy: f64 },
     /// Device `id` permanently crashed (fault injection): nothing it had in
     /// flight will ever arrive.
-    Crash { id: usize },
+    Crash { id: ClientId },
     /// Client `id`'s upload attempt `attempt` (0-based) was lost in
     /// transit (fault injection).
-    UploadFailed { id: usize, attempt: u32 },
+    UploadFailed { id: ClientId, attempt: u32 },
     /// Client `id` rescheduled its lost upload; `attempt` is the upcoming
     /// attempt number (retry with capped exponential backoff).
-    Retry { id: usize, attempt: u32 },
+    Retry { id: ClientId, attempt: u32 },
     /// The server's session timeout fired for client `id`: its in-flight
     /// session was reclaimed and the client excluded from staleness scans.
-    Timeout { id: usize },
+    Timeout { id: ClientId },
     /// Client `id` was quarantined after repeated session timeouts and will
     /// no longer be selected.
-    Quarantine { id: usize },
+    Quarantine { id: ClientId },
     /// The update sanitizer (or the robust aggregation layer) rejected
     /// client `id`'s update before aggregation.
-    Rejected { id: usize, cause: RejectCause },
+    Rejected { id: ClientId, cause: RejectCause },
     /// Adversarial device `id` tampered with the update it uploaded (fault
     /// injection; `kind` is the attack applied).
-    Attacked { id: usize, kind: crate::faults::AttackKind },
+    Attacked { id: ClientId, kind: crate::faults::AttackKind },
     /// Terminal event: why the run stopped, and how many updates were still
     /// sitting in the buffer at that point.
     Terminated { reason: TerminationReason, buffered: usize },
@@ -213,7 +214,7 @@ impl TraceLog {
             .entries
             .iter()
             .filter_map(|(_, e)| match e {
-                TraceEvent::Rejected { id, cause: c } if *c == cause => Some(*id),
+                TraceEvent::Rejected { id, cause: c } if *c == cause => Some(id.index()),
                 _ => None,
             })
             .collect();
@@ -271,11 +272,18 @@ impl TraceLog {
 mod tests {
     use super::*;
 
+    fn cid(k: usize) -> ClientId {
+        ClientId::new(k)
+    }
+
     #[test]
     fn push_and_count() {
         let mut log = TraceLog::new();
-        log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: 0, round: 0 });
-        log.push(SimTime::from_secs(2.0), TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 });
+        log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: cid(0), round: 0 });
+        log.push(
+            SimTime::from_secs(2.0),
+            TraceEvent::Upload { id: cid(0), born_round: 0, epochs: 5 },
+        );
         log.push(SimTime::from_secs(2.0), TraceEvent::Aggregate { round: 1, num_updates: 1 });
         log.push(SimTime::from_secs(2.5), TraceEvent::Eval { round: 1, accuracy: 0.5 });
         assert_eq!(log.len(), 4);
@@ -288,11 +296,11 @@ mod tests {
     fn fault_counters_and_termination() {
         let mut log = TraceLog::new();
         let t = SimTime::from_secs(1.0);
-        log.push(t, TraceEvent::Crash { id: 3 });
-        log.push(t, TraceEvent::UploadFailed { id: 1, attempt: 0 });
-        log.push(t, TraceEvent::Retry { id: 1, attempt: 1 });
-        log.push(t, TraceEvent::Timeout { id: 3 });
-        log.push(t, TraceEvent::Rejected { id: 2, cause: RejectCause::NonFinite });
+        log.push(t, TraceEvent::Crash { id: cid(3) });
+        log.push(t, TraceEvent::UploadFailed { id: cid(1), attempt: 0 });
+        log.push(t, TraceEvent::Retry { id: cid(1), attempt: 1 });
+        log.push(t, TraceEvent::Timeout { id: cid(3) });
+        log.push(t, TraceEvent::Rejected { id: cid(2), cause: RejectCause::NonFinite });
         assert_eq!(log.termination(), None);
         log.push(t, TraceEvent::Terminated { reason: TerminationReason::Starved, buffered: 2 });
         assert_eq!(log.num_crashes(), 1);
@@ -307,7 +315,7 @@ mod tests {
     fn digest_is_stable_and_order_sensitive() {
         let mk = |swap: bool| {
             let mut log = TraceLog::new();
-            let (a, b) = if swap { (1, 0) } else { (0, 1) };
+            let (a, b) = if swap { (cid(1), cid(0)) } else { (cid(0), cid(1)) };
             log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: a, round: 0 });
             log.push(SimTime::from_secs(1.0), TraceEvent::ClientStart { id: b, round: 0 });
             log
@@ -322,11 +330,11 @@ mod tests {
     fn kind_counts_tally_every_event() {
         let mut log = TraceLog::new();
         let t = SimTime::from_secs(1.0);
-        log.push(t, TraceEvent::ClientStart { id: 0, round: 0 });
-        log.push(t, TraceEvent::ClientStart { id: 1, round: 0 });
-        log.push(t, TraceEvent::Upload { id: 0, born_round: 0, epochs: 5 });
+        log.push(t, TraceEvent::ClientStart { id: cid(0), round: 0 });
+        log.push(t, TraceEvent::ClientStart { id: cid(1), round: 0 });
+        log.push(t, TraceEvent::Upload { id: cid(0), born_round: 0, epochs: 5 });
         log.push(t, TraceEvent::Aggregate { round: 1, num_updates: 1 });
-        log.push(t, TraceEvent::Quarantine { id: 1 });
+        log.push(t, TraceEvent::Quarantine { id: cid(1) });
         let counts = log.kind_counts();
         assert_eq!(counts["client_start"], 2);
         assert_eq!(counts["upload"], 1);

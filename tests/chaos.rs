@@ -94,10 +94,10 @@ fn nan_corrupters_are_rejected_and_run_still_improves() {
     let mut pending: Vec<usize> = Vec::new();
     for (_, ev) in r.trace.entries() {
         match ev {
-            TraceEvent::Upload { id, .. } => pending.push(*id),
+            TraceEvent::Upload { id, .. } => pending.push(id.index()),
             TraceEvent::Rejected { id, .. } => {
-                assert!(plan.corruption(*id).is_some(), "honest client {id} rejected");
-                pending.retain(|&p| p != *id);
+                assert!(plan.corruption(id.index()).is_some(), "honest client {id} rejected");
+                pending.retain(|&p| p != id.index());
             }
             TraceEvent::Aggregate { .. } => {
                 for id in pending.drain(..) {

@@ -66,7 +66,7 @@ fn seafl_wait_bounds_aggregated_staleness() {
     for (_, ev) in r.trace.entries() {
         match ev {
             TraceEvent::Upload { id, born_round, .. } => {
-                pending.insert(*id, *born_round);
+                pending.insert(id.index(), *born_round);
             }
             TraceEvent::Aggregate { round, .. } => {
                 let at = round - 1; // round counter before increment
@@ -93,10 +93,10 @@ fn drop_policy_discards_stale_and_still_learns() {
     for (_, ev) in r.trace.entries() {
         match ev {
             TraceEvent::Upload { id, born_round, .. } => {
-                pending.insert(*id, *born_round);
+                pending.insert(id.index(), *born_round);
             }
             TraceEvent::Drop { id, .. } => {
-                pending.remove(id);
+                pending.remove(&id.index());
             }
             TraceEvent::Aggregate { round, .. } => {
                 let at = round - 1;
@@ -268,12 +268,12 @@ fn superseded_uploads_never_double_consume() {
     for (_, ev) in r.trace.entries() {
         match ev {
             TraceEvent::ClientStart { id, .. } => {
-                outstanding[*id] += 1;
-                assert_eq!(outstanding[*id], 1, "client {id} restarted mid-session");
+                outstanding[id.index()] += 1;
+                assert_eq!(outstanding[id.index()], 1, "client {id} restarted mid-session");
             }
             TraceEvent::Upload { id, .. } => {
-                outstanding[*id] -= 1;
-                assert_eq!(outstanding[*id], 0, "client {id} session consumed twice");
+                outstanding[id.index()] -= 1;
+                assert_eq!(outstanding[id.index()], 0, "client {id} session consumed twice");
             }
             _ => {}
         }
@@ -332,7 +332,7 @@ impl ServerPolicy for DropEveryOther {
     }
 
     fn weights_for_buffer(
-        &mut self,
+        &self,
         updates: &[ModelUpdate],
         _global: &[f32],
         _round: u64,
@@ -365,8 +365,8 @@ fn custom_policy_admission_drops_are_counted_and_traced() {
     let mut outstanding = vec![0i64; cfg.num_clients];
     for (_, ev) in r.trace.entries() {
         match ev {
-            TraceEvent::ClientStart { id, .. } => outstanding[*id] += 1,
-            TraceEvent::Upload { id, .. } => outstanding[*id] -= 1,
+            TraceEvent::ClientStart { id, .. } => outstanding[id.index()] += 1,
+            TraceEvent::Upload { id, .. } => outstanding[id.index()] -= 1,
             _ => {}
         }
         assert!(outstanding.iter().all(|&n| (0..=1).contains(&n)));

@@ -24,7 +24,7 @@ fn mean_started_speed(r: &seafl::core::RunResult, fleet: &[f64]) -> f64 {
     let mut n = 0usize;
     for (_, ev) in r.trace.entries() {
         if let TraceEvent::ClientStart { id, .. } = ev {
-            total += fleet[*id];
+            total += fleet[id.index()];
             n += 1;
         }
     }

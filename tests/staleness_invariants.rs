@@ -27,7 +27,7 @@ fn max_aggregated_staleness(r: &seafl::core::RunResult) -> u64 {
     for (_, ev) in r.trace.entries() {
         match ev {
             TraceEvent::Upload { id, born_round, .. } => {
-                pending.insert(*id, *born_round);
+                pending.insert(id.index(), *born_round);
             }
             TraceEvent::Aggregate { round, .. } => {
                 let at = round - 1;
@@ -68,12 +68,12 @@ fn partial_updates_have_fewer_epochs_and_follow_notifications() {
     let mut notified: Vec<usize> = Vec::new();
     for (_, ev) in r.trace.entries() {
         match ev {
-            TraceEvent::Notify { id } => notified.push(*id),
+            TraceEvent::Notify { id } => notified.push(id.index()),
             TraceEvent::Upload { id, epochs, .. } => {
                 assert!(*epochs >= 1 && *epochs <= c.local_epochs);
                 if *epochs < c.local_epochs {
                     assert!(
-                        notified.contains(id),
+                        notified.contains(&id.index()),
                         "partial upload from {id} without a notification"
                     );
                 }
