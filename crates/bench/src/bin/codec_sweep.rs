@@ -1,0 +1,72 @@
+//! Codec sweep — the Fig. 5 SEAFL configuration run under each update
+//! codec (identity, top-k, int8, generation delta, top-k + error
+//! feedback): accuracy-vs-time and **bytes-to-accuracy**, the axis the
+//! paper never measured.
+//!
+//! The identity arm is the raw baseline (encoded == raw by construction);
+//! every other arm should reach each accuracy target on fewer encoded
+//! bytes, at an accuracy cost the time-to-target table makes visible.
+//!
+//! Run: `cargo run --release -p seafl-bench --bin codec_sweep
+//!       [-- --workload emnist|cifar|cinic] [--scale smoke|std] [--obs]
+//!       [--verify]`
+//!
+//! `--verify` asserts the structural guarantees CI relies on: the
+//! identity arm's encoded bytes equal its raw bytes, and the top-k arm's
+//! compression ratio is strictly below 1.
+
+use seafl_bench::profiles::{codec_arms, Workload};
+use seafl_bench::{apply_obs, arg_value, has_flag, report, run_arms, scale_from_args, Arm};
+
+fn main() {
+    let scale = scale_from_args();
+    let seed = 42;
+    let workload = match arg_value("workload").as_deref() {
+        None | Some("emnist") => Workload::Emnist,
+        Some("cifar") => Workload::Cifar,
+        Some("cinic") => Workload::Cinic,
+        Some(other) => panic!("unknown --workload {other}"),
+    };
+    let stem = format!("codec_sweep_{}", workload.name().replace('-', "_"));
+    println!("=== Codec sweep ({}): bytes-to-accuracy per update codec ===", workload.name());
+    let arms: Vec<Arm> = codec_arms(seed, workload, scale)
+        .into_iter()
+        .map(|(label, mut config)| {
+            apply_obs(&stem, &label, &mut config);
+            Arm { label, config }
+        })
+        .collect();
+    let results = run_arms(arms);
+    report::print_time_to_target(&results, workload.targets());
+    println!();
+    report::print_bytes_to_target(&results, workload.targets());
+    report::write_accuracy_csv(&stem, &results);
+    report::write_run_json(&format!("{stem}_runs"), &results);
+
+    if has_flag("verify") {
+        let by_label = |l: &str| {
+            &results
+                .iter()
+                .find(|a| a.label == l)
+                .unwrap_or_else(|| panic!("missing arm {l}"))
+                .result
+        };
+        let identity = by_label("identity");
+        assert_eq!(
+            identity.codec_bytes_raw, identity.codec_bytes_encoded,
+            "identity codec must be byte-neutral"
+        );
+        assert!(identity.codec_bytes_raw > 0, "identity arm moved no update bytes");
+        let topk = by_label("topk");
+        assert!(
+            topk.codec_bytes_encoded < topk.codec_bytes_raw,
+            "top-k compression ratio must be < 1 ({} vs {})",
+            topk.codec_bytes_encoded,
+            topk.codec_bytes_raw
+        );
+        println!(
+            "verify ok: identity neutral, topk ratio {:.3}",
+            topk.codec_bytes_encoded as f64 / topk.codec_bytes_raw as f64
+        );
+    }
+}

@@ -108,6 +108,39 @@ fn print_net_outcomes(runs: &Path) {
     }
 }
 
+/// Print the update-compression table for any arm whose run moved the
+/// codec byte counters: total raw vs encoded update bytes and the
+/// compression ratio. Records written before the codec layer existed
+/// carry no `codec_bytes_*` fields, and identity-codec byte counts only
+/// confirm raw == encoded — the section prints whatever subset has data
+/// and stays silent when none does, so mixed codec-on/off `*_runs.json`
+/// files keep reporting without a panic.
+fn print_codec_outcomes(runs: &Path) {
+    let Ok(body) = std::fs::read_to_string(runs) else { return };
+    let Ok(records) = serde_json::from_str::<serde_json::Value>(&body) else { return };
+    let Some(arr) = records.as_array() else { return };
+    let count = |r: &serde_json::Value, k: &str| r[k].as_u64().unwrap_or(0);
+    let active: Vec<&serde_json::Value> =
+        arr.iter().filter(|r| count(r, "codec_bytes_raw") > 0).collect();
+    if active.is_empty() {
+        return;
+    }
+    println!("\nupdate compression (codec seam byte accounting):");
+    println!("{:<22} | raw bytes | encoded bytes | ratio", "arm");
+    println!("{}", "-".repeat(62));
+    for r in active {
+        let raw = count(r, "codec_bytes_raw");
+        let enc = count(r, "codec_bytes_encoded");
+        println!(
+            "{:<22} | {:>9} | {:>13} | {:>5.3}",
+            r["label"].as_str().unwrap_or("?"),
+            raw,
+            enc,
+            enc as f64 / raw as f64,
+        );
+    }
+}
+
 /// Print the fleet-scaling table for a `fleet_scale_runs.json` file (the
 /// coordination-spine sweep has no obs streams or accuracy curves, so this
 /// replaces the full report). Returns false when the records are not from
@@ -183,4 +216,5 @@ fn main() {
     obs_report::print_report(&obs_runs, &phases, &targets);
     print_attack_outcomes(&runs);
     print_net_outcomes(&runs);
+    print_codec_outcomes(&runs);
 }

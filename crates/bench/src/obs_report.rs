@@ -64,6 +64,12 @@ pub struct ObsRun {
     pub histograms: BTreeMap<String, HistStats>,
     /// The run's registry digest (hex string) from the summary record.
     pub registry_digest: String,
+    /// Cumulative raw update bytes as of the last round record. Zero for
+    /// streams written before the codec layer existed — the fields are
+    /// read leniently so mixed old/new directories still report.
+    pub codec_bytes_raw: u64,
+    /// Cumulative encoded update bytes as of the last round record.
+    pub codec_bytes_encoded: u64,
 }
 
 impl ObsRun {
@@ -79,8 +85,7 @@ impl ObsRun {
 }
 
 fn field<'a>(v: &'a Value, key: &str, path: &Path, line: usize) -> Result<&'a Value, String> {
-    v.get(key)
-        .ok_or_else(|| format!("{}:{line}: missing field {key:?}", path.display()))
+    v.get(key).ok_or_else(|| format!("{}:{line}: missing field {key:?}", path.display()))
 }
 
 fn f64_field(v: &Value, key: &str, path: &Path, line: usize) -> Result<f64, String> {
@@ -106,8 +111,8 @@ fn str_field(v: &Value, key: &str, path: &Path, line: usize) -> Result<String, S
 /// of a known `kind` carrying the supported schema version; the stream must
 /// contain exactly one meta record (first) and one summary record (last).
 pub fn parse_jsonl(path: &Path) -> Result<ObsRun, String> {
-    let body = fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let body =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut run = ObsRun {
         label: path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
         ..ObsRun::default()
@@ -140,7 +145,17 @@ pub fn parse_jsonl(path: &Path) -> Result<ObsRun, String> {
                 run.seed = u64_field(&v, "seed", path, line)?;
             }
             "update" => run.updates += 1,
-            "round" => run.round_records += 1,
+            "round" => {
+                run.round_records += 1;
+                // Codec byte counters are cumulative; last record wins.
+                // Absent in pre-codec streams — lenient by design.
+                if let Some(b) = v.get("codec_bytes_raw").and_then(Value::as_u64) {
+                    run.codec_bytes_raw = b;
+                }
+                if let Some(b) = v.get("codec_bytes_encoded").and_then(Value::as_u64) {
+                    run.codec_bytes_encoded = b;
+                }
+            }
             "eval" => {
                 let t = f64_field(&v, "t", path, line)?;
                 let acc = f64_field(&v, "accuracy", path, line)?;
@@ -217,12 +232,7 @@ pub fn phase_breakdown(runs_json: &Path) -> Result<BTreeMap<String, Vec<(String,
         };
         let list: Vec<(String, f64)> = phases
             .iter()
-            .filter_map(|p| {
-                Some((
-                    p.get("name")?.as_str()?.to_string(),
-                    p.get("secs")?.as_f64()?,
-                ))
-            })
+            .filter_map(|p| Some((p.get("name")?.as_str()?.to_string(), p.get("secs")?.as_f64()?)))
             .collect();
         // Thread-sweep reruns share a label; the first record wins.
         out.entry(crate::report::sanitize_label(label)).or_insert(list);
@@ -297,17 +307,13 @@ mod tests {
     fn jsonl_schema_roundtrip() {
         let mut reg = MetricsRegistry::default();
         reg.inc(names::AGGREGATIONS);
-        reg.observe(
-            names::STALENESS_ROUNDS,
-            seafl_core::obs::bounds::STALENESS_ROUNDS,
-            3.0,
-        );
+        reg.observe(names::STALENESS_ROUNDS, seafl_core::obs::bounds::STALENESS_ROUNDS, 3.0);
         let mut counts = std::collections::BTreeMap::new();
         counts.insert("upload", 5u64);
         let lines = [
             export::meta_record("seafl", 42, 0xdead_beef, 12, false),
             export::update_record(10.5, 3, 2, 1, 1, 5, true, false),
-            export::round_record(11.0, 3, 4, 4, 6, &[0, 1, 3], Some(1.25)),
+            export::round_record(11.0, 3, 4, 4, 6, &[0, 1, 3], Some(1.25), 4096, 1024),
             export::eval_record(11.0, 3, 0.625),
             export::summary_record(99.0, 7, &counts, &reg),
         ];
@@ -327,13 +333,12 @@ mod tests {
         let round: Value = serde_json::from_str(&lines[2]).unwrap();
         assert_eq!(round["staleness"].as_array().unwrap().len(), 3);
         assert_eq!(round["weight_entropy"].as_f64(), Some(1.25));
+        assert_eq!(round["codec_bytes_raw"].as_u64(), Some(4096));
+        assert_eq!(round["codec_bytes_encoded"].as_u64(), Some(1024));
         let summary: Value = serde_json::from_str(&lines[4]).unwrap();
         assert_eq!(summary["counters"]["aggregations"].as_u64(), Some(1));
         assert_eq!(summary["trace_events"]["upload"].as_u64(), Some(5));
-        assert_eq!(
-            summary["histograms"]["staleness_rounds"]["count"].as_u64(),
-            Some(1)
-        );
+        assert_eq!(summary["histograms"]["staleness_rounds"]["count"].as_u64(), Some(1));
     }
 
     /// Golden end-to-end test: run the tiny engine config with a full JSONL

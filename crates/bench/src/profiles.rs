@@ -12,10 +12,10 @@
 //! | 50 % / 70 % targets (CIFAR-10) | same targets |
 
 use crate::Scale;
-use seafl_core::{Algorithm, ExperimentConfig, ResilienceConfig};
+use seafl_core::robust::RobustConfig;
+use seafl_core::{Algorithm, CodecConfig, CodecStage, ExperimentConfig, ResilienceConfig};
 use seafl_data::SyntheticSpec;
 use seafl_nn::ModelKind;
-use seafl_core::robust::RobustConfig;
 use seafl_sim::{AttackConfig, AttackKind, CorruptionKind, FaultConfig, FleetConfig};
 
 /// Concurrency M: the paper samples up to 20 % of 100 devices.
@@ -74,6 +74,8 @@ pub fn insights_config(seed: u64, algorithm: Algorithm, scale: Scale) -> Experim
         checkpoint_dir: None,
         keep_last: 2,
         obs: seafl_core::ObsConfig::default(),
+        transport: seafl_core::TransportConfig::default(),
+        codec: CodecConfig::default(),
     }
 }
 
@@ -196,6 +198,8 @@ pub fn evaluation_config(
         checkpoint_dir: None,
         keep_last: 2,
         obs: seafl_core::ObsConfig::default(),
+        transport: seafl_core::TransportConfig::default(),
+        codec: CodecConfig::default(),
     }
 }
 
@@ -283,6 +287,38 @@ pub fn fig5_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, Ex
     arms
 }
 
+/// The codec-sweep arms: the Fig. 5 SEAFL configuration run under each
+/// update codec — identity (the raw baseline), top-k, int8 quantization,
+/// the lossless generation delta, and top-k with error feedback. Same
+/// seed and science everywhere; only the codec differs, so the sweep
+/// isolates bytes-to-accuracy against accuracy cost.
+pub fn codec_arms(seed: u64, workload: Workload, scale: Scale) -> Vec<(String, ExperimentConfig)> {
+    let m = CONCURRENCY.min(match scale {
+        Scale::Smoke => 6,
+        Scale::Std => CONCURRENCY,
+    });
+    let k = BUFFER_K.min(m / 2);
+    let codecs: Vec<(&str, CodecConfig)> = vec![
+        ("identity", CodecConfig::default()),
+        ("topk", CodecConfig { stages: vec![CodecStage::TopK { k: 2048 }], error_feedback: false }),
+        ("int8", CodecConfig { stages: vec![CodecStage::QuantInt8], error_feedback: false }),
+        ("gendelta", CodecConfig { stages: vec![CodecStage::GenDelta], error_feedback: false }),
+        (
+            "topk+ef",
+            CodecConfig { stages: vec![CodecStage::TopK { k: 2048 }], error_feedback: true },
+        ),
+    ];
+    codecs
+        .into_iter()
+        .map(|(label, codec)| {
+            let mut cfg =
+                evaluation_config(seed, workload, Algorithm::seafl(m, k, Some(BETA)), scale);
+            cfg.codec = codec;
+            (label.to_string(), cfg)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +344,24 @@ mod tests {
         assert_eq!(arms.len(), 6);
         let names: Vec<&str> = arms.iter().map(|(_, c)| c.algorithm.name()).collect();
         assert_eq!(names, vec!["seafl", "seafl", "fedbuff", "fedasync", "fedavg", "fedstale"]);
+    }
+
+    #[test]
+    fn codec_arms_sweep_distinct_codecs() {
+        let arms = codec_arms(0, Workload::Emnist, Scale::Smoke);
+        assert_eq!(arms.len(), 5);
+        assert_eq!(arms[0].0, "identity");
+        assert!(arms[0].1.codec.is_identity());
+        for (label, cfg) in &arms {
+            cfg.validate();
+            assert_eq!(&cfg.codec.label(), label, "arm label must be the codec's own label");
+        }
+        // Same science, different codec: every non-identity arm moves the
+        // state hash away from the identity arm's.
+        let base = arms[0].1.state_hash();
+        for (_, cfg) in &arms[1..] {
+            assert_ne!(cfg.state_hash(), base);
+        }
     }
 
     #[test]

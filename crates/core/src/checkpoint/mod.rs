@@ -43,8 +43,10 @@ pub const MAGIC: [u8; 8] = *b"SEAFLCKP";
 /// with an opaque per-policy state section; 3 = sparse fleet-scale payload
 /// (clock events keyed by raw `ClientId`, per-client state as touched
 /// fleet-table rows, in-flight sessions / stale-replay memory / RNG streams
-/// as id-keyed sparse records instead of N dense slots).
-pub const FORMAT_VERSION: u32 = 3;
+/// as id-keyed sparse records instead of N dense slots); 4 = trailing codec
+/// section (update-compression byte counters, the bytes-to-accuracy curve
+/// and the error-feedback residual store) after the policy section.
+pub const FORMAT_VERSION: u32 = 4;
 /// Engine tag for the unified event-driven engine. The legacy tags (0 =
 /// sync, 1 = semi-async) died with format version 1.
 pub const ENGINE_UNIFIED: u8 = 2;

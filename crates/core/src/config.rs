@@ -1,5 +1,6 @@
 //! Experiment configuration.
 
+use crate::codec::CodecConfig;
 use crate::obs::ObsConfig;
 use crate::robust::RobustConfig;
 use crate::weighting::ImportanceMode;
@@ -434,6 +435,12 @@ pub struct ExperimentConfig {
     /// simulation; excluded from [`state_hash`](ExperimentConfig::state_hash)
     /// (the loss-tolerant protocol makes results transport-independent).
     pub transport: TransportConfig,
+    /// Update-compression pipeline (empty = identity passthrough). Unlike
+    /// `transport`, a lossy codec *changes what the run computes*, so
+    /// every codec knob stays inside
+    /// [`state_hash`](ExperimentConfig::state_hash) — which also makes the
+    /// wire handshake's config-hash check prove codec agreement.
+    pub codec: CodecConfig,
 }
 
 impl ExperimentConfig {
@@ -479,6 +486,7 @@ impl ExperimentConfig {
             keep_last: 2,
             obs: ObsConfig::default(),
             transport: TransportConfig::default(),
+            codec: CodecConfig::default(),
         }
     }
 
@@ -539,6 +547,7 @@ impl ExperimentConfig {
         self.resilience.validate();
         self.obs.validate();
         self.transport.validate().unwrap_or_else(|e| panic!("{e}"));
+        self.codec.validate().unwrap_or_else(|e| panic!("{e}"));
         assert!(
             self.train_per_class * self.spec.num_classes >= self.num_clients,
             "config: not enough training samples for the client count"
@@ -722,6 +731,13 @@ mod tests {
         let mut c = base.clone();
         c.robust.rule = crate::robust::RobustAggregator::CoordMedian;
         assert_ne!(c.state_hash(), h, "robust-rule drift not detected");
+        // The codec changes what the run computes, so it must move the hash.
+        let mut c = base.clone();
+        c.codec.stages = vec![crate::codec::CodecStage::TopK { k: 64 }];
+        assert_ne!(c.state_hash(), h, "codec stage drift not detected");
+        let with_stage = c.state_hash();
+        c.codec.error_feedback = true;
+        assert_ne!(c.state_hash(), with_stage, "error-feedback drift not detected");
     }
 
     #[test]
@@ -777,6 +793,23 @@ mod tests {
     fn malformed_endpoint_rejected() {
         let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
         cfg.transport.listen = Some("http://127.0.0.1:80".into());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "codec TopK k must be >= 1")]
+    fn zero_topk_rejected() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.codec.stages = vec![crate::codec::CodecStage::TopK { k: 0 }];
+        cfg.validate();
+    }
+
+    #[test]
+    fn codec_pipeline_accepted() {
+        let mut cfg = ExperimentConfig::quick(0, Algorithm::fedbuff(10, 5));
+        cfg.codec.stages =
+            vec![crate::codec::CodecStage::TopK { k: 64 }, crate::codec::CodecStage::QuantInt8];
+        cfg.codec.error_feedback = true;
         cfg.validate();
     }
 

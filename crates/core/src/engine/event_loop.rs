@@ -75,10 +75,9 @@
 //! idle pool (documented in DESIGN.md §2).
 
 use crate::buffer::UpdateBuffer;
-use crate::checkpoint::{
-    BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_UNIFIED,
-};
+use crate::checkpoint::{BinReader, BinWriter, CheckpointError, CheckpointStore, ENGINE_UNIFIED};
 use crate::client::TrainOutcome;
+use crate::codec::{build_codec, FeedbackStore, UpdateCodec};
 use crate::config::ExperimentConfig;
 #[allow(unused_imports)] // doc links
 use crate::config::StalenessPolicy;
@@ -90,8 +89,8 @@ use crate::policy::{
     weighted_average, Admission, DispatchCtx, DrainCtx, InFlight, ServerPolicy, ServerView,
 };
 use crate::robust::RobustLayer;
-use crate::trainer::NetIncident;
 use crate::sanitize;
+use crate::trainer::{CodecTransferStats, NetIncident};
 use crate::update::ModelUpdate;
 use seafl_sim::rng::{stream_rng, streams};
 use seafl_sim::{
@@ -209,6 +208,7 @@ pub(crate) fn drive(
         st.obs.count(names::EVALS);
         st.obs.emit(move || export::eval_record(0.0, 0, acc0));
         st.accuracy.push((0.0, acc0));
+        st.bytes_curve.push((st.codec_bytes_raw, st.codec_bytes_encoded));
         st.trace.push(SimTime::ZERO, TraceEvent::Eval { round: 0, accuracy: acc0 });
 
         // Kick off the initial cohort.
@@ -333,6 +333,9 @@ pub(crate) fn drive(
         attackers: st.attack.attackers(),
         screened_clients: st.trace.rejected_clients(RejectCause::RobustScreened),
         superseded_uploads: st.superseded_uploads,
+        codec_bytes_raw: st.codec_bytes_raw,
+        codec_bytes_encoded: st.codec_bytes_encoded,
+        bytes_curve: st.bytes_curve,
         model_digest: seafl_sim::digest::digest_f32(&st.global),
         sim_time_end: end.as_secs(),
         obs: obs_summary,
@@ -384,6 +387,29 @@ struct State {
     /// Latched when `stop_at_accuracy` was reached. Not checkpointed:
     /// snapshots are never taken in this state.
     reached_target: bool,
+    /// The configured update codec, rebuilt from the config on fresh and
+    /// resume alike (codecs are stateless pure functions; only the
+    /// error-feedback residuals below are state).
+    codec: Box<dyn UpdateCodec>,
+    /// Fast-path flag: an empty stage list means the seam does no work
+    /// beyond byte accounting, keeping the default bit-identical (and
+    /// allocation-identical) to a build without the codec layer.
+    codec_identity: bool,
+    /// Error-feedback residual store (`None` unless enabled *and* the
+    /// pipeline is lossy — a lossless codec's residual is identically
+    /// zero, and even adding `0.0` can flip `-0.0` bits). Checkpointed in
+    /// the codec section.
+    feedback: Option<FeedbackStore>,
+    /// Cumulative raw f32 bytes of every update snapshot that passed the
+    /// codec seam (local or wire). Checkpointed.
+    codec_bytes_raw: u64,
+    /// Cumulative bytes after encoding. Equal to `codec_bytes_raw` under
+    /// the identity codec. Checkpointed.
+    codec_bytes_encoded: u64,
+    /// `(codec_bytes_raw, codec_bytes_encoded)` sampled at every
+    /// evaluation, index-aligned with `accuracy` — the bytes-to-accuracy
+    /// curve. Checkpointed.
+    bytes_curve: Vec<(u64, u64)>,
     /// Observability front. Never checkpointed — pure measurement; a
     /// resumed run installs a fresh one in `drive` (constructors leave a
     /// disabled placeholder).
@@ -424,6 +450,13 @@ impl State {
             superseded_uploads: 0,
             crash_round: None,
             reached_target: false,
+            codec: build_codec(&cfg.codec),
+            codec_identity: cfg.codec.is_identity(),
+            feedback: (cfg.codec.error_feedback && !cfg.codec.is_lossless())
+                .then(FeedbackStore::new),
+            codec_bytes_raw: 0,
+            codec_bytes_encoded: 0,
+            bytes_curve: Vec::new(),
             obs: Obs::off(),
             policy,
         }
@@ -525,11 +558,31 @@ impl State {
         encode_streams(&mut w, &env.client_rngs);
         encode_streams(&mut w, &env.idle_rngs);
 
-        // The per-policy section, last and length-prefixed: stateless
-        // policies contribute an empty section.
+        // The per-policy section, length-prefixed: stateless policies
+        // contribute an empty section.
         let mut pw = BinWriter::new();
         self.policy.encode_state(&mut pw);
         w.section(&pw.into_bytes());
+
+        // The codec section (format v4): byte accounting, the
+        // bytes-to-accuracy curve, and the error-feedback residuals — the
+        // only codec state that is not a pure function of the config.
+        let mut cw = BinWriter::new();
+        cw.u64(self.codec_bytes_raw);
+        cw.u64(self.codec_bytes_encoded);
+        cw.usize(self.bytes_curve.len());
+        for &(raw, encoded) in &self.bytes_curve {
+            cw.u64(raw);
+            cw.u64(encoded);
+        }
+        match &self.feedback {
+            None => cw.bool(false),
+            Some(fb) => {
+                cw.bool(true);
+                fb.encode(&mut cw);
+            }
+        }
+        w.section(&cw.into_bytes());
         w.into_bytes()
     }
 
@@ -656,13 +709,40 @@ impl State {
         // The policy's opaque section: hand it a sub-reader and require it
         // to consume the section exactly.
         let policy_bytes = r.section()?;
+        let codec_bytes_section = r.section()?;
         r.finish()?;
         let mut pr = BinReader::new(policy_bytes);
         policy
             .decode_state(&mut pr)
             .map_err(|e| bad(format!("{} policy section: {}", policy.name(), e.0)))?;
-        pr.finish()
-            .map_err(|e| bad(format!("{} policy section: {}", policy.name(), e.0)))?;
+        pr.finish().map_err(|e| bad(format!("{} policy section: {}", policy.name(), e.0)))?;
+
+        // The codec section (format v4): byte counters, bytes-to-accuracy
+        // curve, error-feedback residuals.
+        let mut cr = BinReader::new(codec_bytes_section);
+        let codec_err = |e: crate::checkpoint::CodecError| bad(format!("codec section: {}", e.0));
+        let codec_bytes_raw = cr.u64().map_err(codec_err)?;
+        let codec_bytes_encoded = cr.u64().map_err(codec_err)?;
+        let n_curve = cr.usize().map_err(codec_err)?;
+        let mut bytes_curve = Vec::with_capacity(n_curve.min(1 << 20));
+        for _ in 0..n_curve {
+            bytes_curve.push((cr.u64().map_err(codec_err)?, cr.u64().map_err(codec_err)?));
+        }
+        let has_feedback = cr.bool().map_err(codec_err)?;
+        let feedback_enabled = cfg.codec.error_feedback && !cfg.codec.is_lossless();
+        if has_feedback != feedback_enabled {
+            return Err(bad(format!(
+                "checkpoint {} an error-feedback store but the config {} one",
+                if has_feedback { "carries" } else { "lacks" },
+                if feedback_enabled { "expects" } else { "forbids" },
+            )));
+        }
+        let feedback = if has_feedback {
+            Some(FeedbackStore::decode(&mut cr, n).map_err(codec_err)?)
+        } else {
+            None
+        };
+        cr.finish().map_err(codec_err)?;
 
         env.client_rngs = client_rngs;
         env.idle_rngs = idle_rngs;
@@ -696,6 +776,12 @@ impl State {
             superseded_uploads,
             crash_round: None,
             reached_target: false,
+            codec: build_codec(&cfg.codec),
+            codec_identity: cfg.codec.is_identity(),
+            feedback,
+            codec_bytes_raw,
+            codec_bytes_encoded,
+            bytes_curve,
             obs: Obs::off(),
             policy,
         })
@@ -849,9 +935,10 @@ impl State {
             round_duration = round_duration.max(elapsed);
         }
 
-        let (outcomes, incidents) =
+        let (mut outcomes, incidents, codec_stats) =
             env.train_cohort(&self.global, picked, cfg.local_epochs, false);
         self.record_incidents(now, incidents);
+        self.apply_codec(picked, &mut outcomes, &codec_stats);
         let barrier = now.after(round_duration);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
             let cid = ClientId::new(k);
@@ -1198,6 +1285,7 @@ impl State {
         self.obs.round_interval(now.as_secs());
         {
             let (t, round, num_updates) = (now.as_secs(), self.round, updates.len());
+            let (codec_raw, codec_encoded) = (self.codec_bytes_raw, self.codec_bytes_encoded);
             self.obs.emit(move || {
                 export::round_record(
                     t,
@@ -1207,6 +1295,8 @@ impl State {
                     in_flight_n,
                     &stalenesses,
                     entropy,
+                    codec_raw,
+                    codec_encoded,
                 )
             });
         }
@@ -1221,6 +1311,7 @@ impl State {
                 self.obs.emit(move || export::eval_record(t, round, acc));
             }
             self.accuracy.push((now.as_secs(), acc));
+            self.bytes_curve.push((self.codec_bytes_raw, self.codec_bytes_encoded));
             self.trace.push(now, TraceEvent::Eval { round: self.round, accuracy: acc });
             if cfg.grad_norm_probe {
                 // The single gradient-probe path every algorithm shares.
@@ -1318,14 +1409,83 @@ impl State {
         // engine produced.
         let keep_snapshots = self.policy.keep_epoch_snapshots();
         let span = self.obs.span_start();
-        let (outcomes, incidents) =
+        let (mut outcomes, incidents, codec_stats) =
             env.train_cohort(&self.global, &picked, cfg.local_epochs, keep_snapshots);
         self.obs.span_end(Phase::Train, span);
         self.record_incidents(now, incidents);
+        self.apply_codec(&picked, &mut outcomes, &codec_stats);
         for (&k, (outcome, rng)) in picked.iter().zip(outcomes) {
             env.client_rngs.set(k, rng);
             self.begin_session(cfg, env, k, now, outcome);
         }
+    }
+
+    /// The compression seam: project every freshly trained outcome through
+    /// the configured codec — training → **codec** → (later, at upload)
+    /// sanitize → robust → admission — so weighting and screening always
+    /// see exactly the update the bytes on the wire describe.
+    ///
+    /// The reference for every snapshot is `self.global` as dispatched to
+    /// this cohort. Each outcome is projected **exactly once**: slots whose
+    /// `wire.coded` flag is set arrived already projected (the wire decode
+    /// *was* the projection, against the bit-identical reference on the
+    /// worker) and are only counted, never re-projected — lossy projection
+    /// is not idempotent in f32. Error feedback compensates the final
+    /// snapshot only (the full-epoch update); SEAFL² partial snapshots ride
+    /// projection-only (DESIGN.md §14).
+    fn apply_codec(
+        &mut self,
+        picked: &[usize],
+        outcomes: &mut [(TrainOutcome, SimRng)],
+        wire: &CodecTransferStats,
+    ) {
+        let before = (self.codec_bytes_raw, self.codec_bytes_encoded);
+        self.codec_bytes_raw += wire.bytes_raw;
+        self.codec_bytes_encoded += wire.bytes_encoded;
+        if self.codec_identity {
+            // Identity fast path: no transform, no allocation — raw and
+            // encoded coincide for the slots that stayed local.
+            let mut local = 0u64;
+            for (i, (outcome, _)) in outcomes.iter().enumerate() {
+                if wire.coded.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                local += outcome.snapshots.iter().map(|s| 4 * s.len() as u64).sum::<u64>();
+            }
+            self.codec_bytes_raw += local;
+            self.codec_bytes_encoded += local;
+        } else {
+            let span = self.obs.span_start();
+            for (i, (&k, (outcome, _rng))) in picked.iter().zip(outcomes.iter_mut()).enumerate() {
+                if wire.coded.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                let last = outcome.snapshots.len().saturating_sub(1);
+                for (si, snap) in outcome.snapshots.iter_mut().enumerate() {
+                    let is_final = si == last;
+                    if is_final {
+                        if let Some(fb) = self.feedback.as_mut() {
+                            fb.compensate(k, snap);
+                        }
+                    }
+                    self.codec_bytes_raw += 4 * snap.len() as u64;
+                    let blob = self.codec.encode(&self.global, snap);
+                    self.codec_bytes_encoded += blob.len() as u64;
+                    let decoded = self.codec.decode(&self.global, &blob).unwrap_or_else(|e| {
+                        panic!("codec {}: own encoding failed to decode: {e}", self.codec.name())
+                    });
+                    if is_final {
+                        if let Some(fb) = self.feedback.as_mut() {
+                            fb.record(k, snap, &decoded);
+                        }
+                    }
+                    *snap = decoded;
+                }
+            }
+            self.obs.span_end(Phase::Codec, span);
+        }
+        self.obs.count_n(names::CODEC_BYTES_RAW, self.codec_bytes_raw - before.0);
+        self.obs.count_n(names::CODEC_BYTES_ENCODED, self.codec_bytes_encoded - before.1);
     }
 
     /// Fold transport-layer incidents (never present in pure simulation)

@@ -70,6 +70,17 @@ pub struct RunResult {
     /// Upload events ignored because a newer generation superseded them
     /// (notification reschedules and retries).
     pub superseded_uploads: usize,
+    /// Cumulative raw f32 bytes of every update snapshot that passed the
+    /// codec seam (4 bytes per coordinate per snapshot).
+    pub codec_bytes_raw: u64,
+    /// Cumulative bytes those snapshots occupy after encoding. Equals
+    /// `codec_bytes_raw` under the default identity codec; the
+    /// compression ratio is `codec_bytes_encoded / codec_bytes_raw`.
+    pub codec_bytes_encoded: u64,
+    /// `(codec_bytes_raw, codec_bytes_encoded)` sampled at every
+    /// evaluation, index-aligned with `accuracy` — the axis the paper
+    /// never measured (see [`RunResult::bytes_to_accuracy`]).
+    pub bytes_curve: Vec<(u64, u64)>,
     /// FNV-1a 64 digest over the final global model's weight bits. Two runs
     /// with equal digests ended on the bit-identical model — the compact
     /// fingerprint the resume guarantee and the CI kill-and-resume job
@@ -101,6 +112,18 @@ impl RunResult {
     /// Accuracy at the final evaluation.
     pub fn final_accuracy(&self) -> f64 {
         metrics::final_accuracy(&self.accuracy)
+    }
+
+    /// Encoded update bytes uploaded by the first evaluation at which test
+    /// accuracy reached `target` — the bytes-to-accuracy analogue of
+    /// [`RunResult::time_to_accuracy`]. `None` when the run never got
+    /// there.
+    pub fn bytes_to_accuracy(&self, target: f64) -> Option<u64> {
+        self.accuracy
+            .iter()
+            .zip(&self.bytes_curve)
+            .find(|((_, acc), _)| *acc >= target)
+            .map(|(_, &(_, encoded))| encoded)
     }
 
     /// Precision/recall of the robust layer's screening decisions against

@@ -3,7 +3,7 @@
 use crate::client::{LocalTrainer, TrainOutcome};
 use crate::config::{ExperimentConfig, PartitionStrategy};
 use crate::pool::{TrainJob, TrainerPool};
-use crate::trainer::{CohortTrainer, NetIncident, RemoteJob};
+use crate::trainer::{CodecTransferStats, CohortTrainer, NetIncident, RemoteJob};
 use rayon::prelude::*;
 use seafl_data::synthetic::{apply_feature_shift, sample_feature_shift};
 use seafl_data::{
@@ -124,17 +124,20 @@ impl Environment {
     /// pool — so a run always completes with the exact outcomes the pool
     /// alone would have produced. Returns the `(outcome, advanced RNG)`
     /// pairs index-aligned with `picked` (the caller writes the RNGs back),
-    /// plus any link incidents the remote path recorded.
+    /// plus any link incidents the remote path recorded and the wire-codec
+    /// transfer accounting (which slots arrived already projected, and how
+    /// many raw vs encoded bytes they moved).
     pub fn train_cohort(
         &mut self,
         global: &[f32],
         picked: &[usize],
         epochs: usize,
         keep_snapshots: bool,
-    ) -> (Vec<(TrainOutcome, SimRng)>, Vec<NetIncident>) {
+    ) -> (Vec<(TrainOutcome, SimRng)>, Vec<NetIncident>, CodecTransferStats) {
         let mut slots: Vec<Option<(TrainOutcome, SimRng)>> =
             (0..picked.len()).map(|_| None).collect();
         let mut incidents = Vec::new();
+        let mut codec_stats = CodecTransferStats::default();
         if let Some(tr) = self.trainer.as_mut() {
             let jobs: Vec<RemoteJob> = picked
                 .iter()
@@ -147,6 +150,7 @@ impl Environment {
                 .collect();
             let remote = tr.train_cohort(global, &jobs);
             incidents = tr.drain_incidents();
+            codec_stats = tr.drain_codec_stats();
             debug_assert_eq!(remote.len(), jobs.len(), "trainer must answer every job");
             for (slot, served) in slots.iter_mut().zip(remote) {
                 if let Some((outcome, rng)) = served {
@@ -172,9 +176,8 @@ impl Environment {
                 *slot = local.next();
             }
         }
-        let outcomes =
-            slots.into_iter().map(|slot| slot.expect("cohort slot unserved")).collect();
-        (outcomes, incidents)
+        let outcomes = slots.into_iter().map(|slot| slot.expect("cohort slot unserved")).collect();
+        (outcomes, incidents, codec_stats)
     }
 
     /// Test-set accuracy of the given global state (chunked evaluation).

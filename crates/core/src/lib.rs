@@ -31,6 +31,7 @@
 pub mod buffer;
 pub mod checkpoint;
 pub mod client;
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod fleet;
@@ -49,6 +50,10 @@ pub mod weighting;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, LoadedCheckpoint};
 pub use client::{LocalTrainer, TrainOutcome};
+pub use codec::{
+    build_codec, CodecConfig, CodecStage, FeedbackStore, GenDelta, Identity, ModelRing, Pipeline,
+    QuantInt8, TopK, UpdateCodec,
+};
 pub use config::{
     Algorithm, ExperimentConfig, PartitionStrategy, ResilienceConfig, SelectionPolicy,
     StalenessPolicy, TransportConfig,
@@ -62,7 +67,7 @@ pub use policy::{
     ServerView,
 };
 pub use pool::{TrainJob, TrainerPool};
-pub use trainer::{CohortTrainer, NetIncident, RemoteJob};
+pub use trainer::{CodecTransferStats, CohortTrainer, NetIncident, RemoteJob};
 pub use robust::{
     detection_stats, DetectionStats, DistanceMetric, RobustAggregator, RobustConfig, RobustLayer,
 };

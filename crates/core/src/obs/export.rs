@@ -206,7 +206,10 @@ pub fn update_record(
 /// One aggregation: `round` is the round counter *after* the aggregation,
 /// `staleness` lists each aggregated update's staleness (aggregation-time),
 /// `weight_entropy` is `null` for policies that do not aggregate by
-/// weights (FedAsync).
+/// weights (FedAsync). `codec_bytes_raw`/`codec_bytes_encoded` are the
+/// run-cumulative update bytes before/after codec encoding as of this
+/// round (equal under the identity codec).
+#[allow(clippy::too_many_arguments)]
 pub fn round_record(
     t: f64,
     round: u64,
@@ -215,6 +218,8 @@ pub fn round_record(
     in_flight: usize,
     staleness: &[u64],
     weight_entropy: Option<f64>,
+    codec_bytes_raw: u64,
+    codec_bytes_encoded: u64,
 ) -> String {
     JsonObject::new()
         .str("kind", "round")
@@ -226,6 +231,8 @@ pub fn round_record(
         .u64("in_flight", in_flight as u64)
         .raw("staleness", &u64_array(staleness))
         .opt_f64("weight_entropy", weight_entropy)
+        .u64("codec_bytes_raw", codec_bytes_raw)
+        .u64("codec_bytes_encoded", codec_bytes_encoded)
         .finish()
 }
 
@@ -332,7 +339,7 @@ mod tests {
         let recs = [
             meta_record("seafl", 42, 0xdead_beef, 40, false),
             update_record(10.5, 3, 2, 1, 1, 5, true, false),
-            round_record(11.0, 3, 2, 2, 8, &[0, 1], Some(0.69)),
+            round_record(11.0, 3, 2, 2, 8, &[0, 1], Some(0.69), 4096, 1024),
             eval_record(11.0, 3, 0.81),
             summary_record(99.0, 7, &BTreeMap::new(), &MetricsRegistry::new()),
         ];

@@ -168,6 +168,13 @@ pub mod names {
     /// simulation; distinct from `clients_quarantined`, which counts
     /// simulated devices).
     pub const NET_WORKERS_QUARANTINED: &str = "net_workers_quarantined";
+    /// Raw f32 bytes of every update snapshot passing the codec seam
+    /// (4 bytes per coordinate; counted whether or not a codec is armed).
+    pub const CODEC_BYTES_RAW: &str = "codec_bytes_raw";
+    /// Bytes those snapshots occupy after codec encoding. Equal to
+    /// `codec_bytes_raw` under the default identity codec; the run's
+    /// compression ratio is `codec_bytes_encoded / codec_bytes_raw`.
+    pub const CODEC_BYTES_ENCODED: &str = "codec_bytes_encoded";
 
     /// Gauge: sessions in flight, sampled at each aggregation.
     pub const IN_FLIGHT: &str = "in_flight";
@@ -277,9 +284,8 @@ impl Obs {
         let writer = cfg.jsonl_path.as_ref().map(|path| {
             if let Some(parent) = path.parent() {
                 if !parent.as_os_str().is_empty() {
-                    std::fs::create_dir_all(parent).unwrap_or_else(|e| {
-                        panic!("obs: cannot create {}: {e}", parent.display())
-                    });
+                    std::fs::create_dir_all(parent)
+                        .unwrap_or_else(|e| panic!("obs: cannot create {}: {e}", parent.display()));
                 }
             }
             BufWriter::new(

@@ -19,8 +19,9 @@ use std::time::Duration;
 /// combination ([`Robust`](Phase::Robust)), aggregation-weight computation
 /// ([`Weighting`](Phase::Weighting)), the whole aggregation
 /// ([`Aggregate`](Phase::Aggregate), which contains Weighting and
-/// [`Mix`](Phase::Mix)), model evaluation ([`Eval`](Phase::Eval)) and
-/// checkpoint writes ([`Checkpoint`](Phase::Checkpoint)).
+/// [`Mix`](Phase::Mix)), model evaluation ([`Eval`](Phase::Eval)),
+/// checkpoint writes ([`Checkpoint`](Phase::Checkpoint)) and update
+/// compression at the codec seam ([`Codec`](Phase::Codec)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Cohort selection and dispatch bookkeeping (`refill`).
@@ -48,11 +49,16 @@ pub enum Phase {
     Eval,
     /// Durable checkpoint writes.
     Checkpoint,
+    /// Update compression at the codec seam (encode + projection decode).
+    /// Never entered under the default identity codec — the fast path adds
+    /// no work to measure. Appended last so existing phase indices stay
+    /// stable.
+    Codec,
 }
 
 impl Phase {
     /// Every phase, in reporting order.
-    pub const ALL: [Phase; 10] = [
+    pub const ALL: [Phase; 11] = [
         Phase::Dispatch,
         Phase::Train,
         Phase::Admission,
@@ -63,6 +69,7 @@ impl Phase {
         Phase::Mix,
         Phase::Eval,
         Phase::Checkpoint,
+        Phase::Codec,
     ];
 
     /// Stable snake_case label used in `ObsSummary`, `*_runs.json` and the
@@ -79,6 +86,7 @@ impl Phase {
             Phase::Mix => "mix",
             Phase::Eval => "eval",
             Phase::Checkpoint => "checkpoint",
+            Phase::Codec => "codec",
         }
     }
 

@@ -349,10 +349,8 @@ mod tests {
         let p95 = h.quantile(0.95);
         assert!((5.0..=10.0).contains(&p95), "p95 = {p95}");
         // Quantiles are monotone in q.
-        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
-            .iter()
-            .map(|&q| h.quantile(q))
-            .collect();
+        let qs: Vec<f64> =
+            [0.0, 0.25, 0.5, 0.75, 0.95, 1.0].iter().map(|&q| h.quantile(q)).collect();
         assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
     }
 

@@ -58,6 +58,27 @@ pub enum NetIncident {
     },
 }
 
+/// Per-cohort accounting of compressed update transfer, surfaced from a
+/// [`CohortTrainer`] whose wire carries codec-encoded outcome blobs.
+///
+/// `coded` tells the engine's codec seam which slots it must *not*
+/// project again: when an outcome crossed the wire compressed, the
+/// server-side decode *was* the projection (applying a lossy codec twice
+/// is not idempotent in f32, so exactly-once application is what keeps
+/// digests transport-invariant — DESIGN.md §14).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CodecTransferStats {
+    /// Index-aligned with the cohort's jobs: `true` when that slot's
+    /// outcome arrived codec-compressed (already projected). Empty when no
+    /// wire codec is active.
+    pub coded: Vec<bool>,
+    /// Raw f32 payload bytes of the compressed outcomes (4 bytes per
+    /// coordinate per snapshot).
+    pub bytes_raw: u64,
+    /// Bytes those outcomes actually occupied on the wire.
+    pub bytes_encoded: u64,
+}
+
 /// Executes a cohort of training jobs somewhere other than the local pool.
 ///
 /// Implementations must be deterministic in the *value* sense: for a given
@@ -79,6 +100,13 @@ pub trait CohortTrainer: Send {
     /// the last call, for the engine's trace and counters.
     fn drain_incidents(&mut self) -> Vec<NetIncident> {
         Vec::new()
+    }
+
+    /// Drain codec transfer accounting for the cohort just trained. The
+    /// default (no wire codec) reports nothing; the engine then applies
+    /// the configured codec itself.
+    fn drain_codec_stats(&mut self) -> CodecTransferStats {
+        CodecTransferStats::default()
     }
 
     /// Tear down gracefully (e.g. broadcast a `Done` message). Called once

@@ -5,7 +5,7 @@
 //!     --link 0 --loss-drop 0.05 --disconnect-after 40
 //! ```
 //!
-//! `--seed`/`--algorithm` must match the server's — the handshake
+//! `--seed`/`--algorithm`/`--codec` must match the server's — the handshake
 //! verifies it via the config state-hash, so a mismatched worker is
 //! rejected instead of silently corrupting the run. `--link` gives each
 //! worker its own deterministic loss stream; `--disconnect-after N`
@@ -22,6 +22,7 @@ struct Args {
     addr_file: Option<String>,
     seed: u64,
     algorithm: String,
+    codec: String,
     link: u64,
     chunk_bytes: Option<usize>,
     replay_history: Option<usize>,
@@ -38,7 +39,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: seafl-client (--connect <tcp://host:port|uds://path> | --addr-file PATH) \
-         [--seed N] [--algorithm NAME] [--link N] [--chunk-bytes N] [--replay-history N] \
+         [--seed N] [--algorithm NAME] [--codec LABEL] [--link N] [--chunk-bytes N] [--replay-history N] \
          [--rto-base SECS] [--loss-drop P] [--loss-dup P] [--loss-reorder P] [--loss-delay P] \
          [--delay-ms MS] [--disconnect-after N] [--die-after-assigns N]"
     );
@@ -51,6 +52,7 @@ fn parse_args() -> Args {
         addr_file: None,
         seed: 11,
         algorithm: "seafl".into(),
+        codec: "identity".into(),
         link: 0,
         chunk_bytes: None,
         replay_history: None,
@@ -71,6 +73,7 @@ fn parse_args() -> Args {
             "--addr-file" => args.addr_file = Some(val()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--algorithm" => args.algorithm = val(),
+            "--codec" => args.codec = val(),
             "--link" => args.link = val().parse().unwrap_or_else(|_| usage()),
             "--chunk-bytes" => args.chunk_bytes = Some(val().parse().unwrap_or_else(|_| usage())),
             "--replay-history" => {
@@ -120,6 +123,10 @@ fn main() {
     let args = parse_args();
     let endpoint = resolve_endpoint(&args);
     let mut cfg = preset::loopback_config(args.seed, &args.algorithm);
+    cfg.codec = preset::codec_by_name(&args.codec).unwrap_or_else(|e| {
+        eprintln!("seafl-client[{}]: {e}", args.link);
+        std::process::exit(2);
+    });
     cfg.transport.connect = Some(endpoint);
     if let Some(v) = args.chunk_bytes {
         cfg.transport.chunk_bytes = v;

@@ -29,6 +29,7 @@ struct Args {
     workers: usize,
     seed: u64,
     algorithm: String,
+    codec: String,
     addr_file: Option<String>,
     report_file: Option<String>,
     chunk_bytes: Option<usize>,
@@ -43,7 +44,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: seafl-server --listen <tcp://host:port|uds://path> [--workers N] \
-         [--seed N] [--algorithm NAME] [--addr-file PATH] [--report-file PATH] \
+         [--seed N] [--algorithm NAME] [--codec LABEL] [--addr-file PATH] [--report-file PATH] \
          [--chunk-bytes N] [--replay-history N] [--idle-timeout SECS] [--rto-base SECS] \
          [--loss-drop P] [--loss-dup P] [--loss-reorder P]"
     );
@@ -56,6 +57,7 @@ fn parse_args() -> Args {
         workers: 1,
         seed: 11,
         algorithm: "seafl".into(),
+        codec: "identity".into(),
         addr_file: None,
         report_file: None,
         chunk_bytes: None,
@@ -74,6 +76,7 @@ fn parse_args() -> Args {
             "--workers" => args.workers = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--algorithm" => args.algorithm = val(),
+            "--codec" => args.codec = val(),
             "--addr-file" => args.addr_file = Some(val()),
             "--report-file" => args.report_file = Some(val()),
             "--chunk-bytes" => args.chunk_bytes = Some(val().parse().unwrap_or_else(|_| usage())),
@@ -93,6 +96,10 @@ fn parse_args() -> Args {
 
 fn build_config(args: &Args) -> ExperimentConfig {
     let mut cfg = preset::loopback_config(args.seed, &args.algorithm);
+    cfg.codec = preset::codec_by_name(&args.codec).unwrap_or_else(|e| {
+        eprintln!("seafl-server: {e}");
+        std::process::exit(2);
+    });
     cfg.transport.listen = Some(args.listen.clone());
     if let Some(v) = args.chunk_bytes {
         cfg.transport.chunk_bytes = v;
@@ -175,14 +182,18 @@ fn main() {
     counters.insert("net_workers_quarantined".into(), s.workers_quarantined);
 
     let report = format!(
-        "algorithm={}\nmodel_digest={:016x}\ntrace_digest={:016x}\nrounds={}\n\
-         total_updates={}\nnet_bytes_sent={}\nnet_bytes_received={}\nnet_retransmits={}\n\
+        "algorithm={}\ncodec={}\nmodel_digest={:016x}\ntrace_digest={:016x}\nrounds={}\n\
+         total_updates={}\ncodec_bytes_raw={}\ncodec_bytes_encoded={}\nnet_bytes_sent={}\n\
+         net_bytes_received={}\nnet_retransmits={}\n\
          net_reconnects={}\nnet_workers_quarantined={}\n",
         result.algorithm,
+        cfg.codec.label(),
         result.model_digest,
         result.trace.digest(),
         result.rounds,
         result.total_updates,
+        result.codec_bytes_raw,
+        result.codec_bytes_encoded,
         s.bytes_sent,
         s.bytes_received,
         s.retransmits,

@@ -23,7 +23,7 @@ use crate::msg::{self, Msg};
 use crate::transport::{Endpoint, StreamTransport, Transport};
 use crate::NetError;
 use seafl_core::engine::setup::Environment;
-use seafl_core::{ExperimentConfig, TrainJob};
+use seafl_core::{build_codec, ExperimentConfig, TrainJob, UpdateCodec};
 use seafl_sim::rng::{rng_from_state, rng_state};
 use std::time::{Duration, Instant};
 
@@ -58,6 +58,12 @@ pub struct NetClient {
     /// The last fully received global model.
     global: Vec<f32>,
     global_gen: u64,
+    /// Wire codec, armed exactly when the server's is
+    /// ([`seafl_core::CodecConfig::wire_active`] on the shared config —
+    /// the config-hash handshake proves agreement). Outcomes are encoded
+    /// against `global`, the same reference the server's model ring
+    /// holds for `global_gen`.
+    codec: Option<Box<dyn UpdateCodec>>,
 }
 
 impl NetClient {
@@ -83,6 +89,7 @@ impl NetClient {
         let env = Environment::build(&cfg);
         let rto = cfg.transport.rto_base;
         let replay = cfg.transport.replay_history;
+        let codec = cfg.codec.wire_active().then(|| build_codec(&cfg.codec));
         Ok(NetClient {
             cfg,
             endpoint,
@@ -101,6 +108,7 @@ impl NetClient {
             model_got: 0,
             global: Vec::new(),
             global_gen: 0,
+            codec,
         })
     }
 
@@ -406,7 +414,12 @@ impl NetClient {
         };
         let mut out = self.env.pool.train_cohort(&self.global, vec![job]);
         let (outcome, rng_after) = out.pop().expect("one job in, one outcome out");
-        let blob = msg::encode_outcome(&outcome, rng_state(&rng_after));
+        let blob = match self.codec.as_deref() {
+            Some(codec) => {
+                msg::encode_outcome_coded(&outcome, rng_state(&rng_after), codec, &self.global)
+            }
+            None => msg::encode_outcome(&outcome, rng_state(&rng_after)),
+        };
         let chunk_bytes = self.cfg.transport.chunk_bytes.max(1);
         let chunks: Vec<&[u8]> = blob.chunks(chunk_bytes).collect();
         let total = chunks.len() as u32;

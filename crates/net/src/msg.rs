@@ -13,7 +13,7 @@
 //! have produced.
 
 use seafl_core::checkpoint::{BinReader, BinWriter, CodecError};
-use seafl_core::TrainOutcome;
+use seafl_core::{TrainOutcome, UpdateCodec};
 use seafl_sim::rng::{rng_state, SimRngState};
 
 /// One application message.
@@ -213,6 +213,59 @@ pub fn decode_outcome(bytes: &[u8]) -> Result<(TrainOutcome, SimRngState), Codec
     Ok((TrainOutcome { snapshots, epoch_losses }, rng))
 }
 
+/// Serialize a training outcome through an active update codec: each
+/// snapshot travels as the codec's encoded blob against `reference` (the
+/// generation-`g` global model both sides hold bit-identically), so the
+/// compressed representation is what actually crosses the socket.
+///
+/// The decoder must use the same codec and the same reference
+/// ([`decode_outcome_coded`]); the config-hash handshake guarantees codec
+/// agreement, and the server's model ring supplies the reference for the
+/// echoed generation. Because the server's decode *is* the lossy
+/// projection, outcomes that cross the wire coded are never re-projected
+/// at the engine seam (`CodecTransferStats::coded`).
+pub fn encode_outcome_coded(
+    outcome: &TrainOutcome,
+    rng: SimRngState,
+    codec: &dyn UpdateCodec,
+    reference: &[f32],
+) -> Vec<u8> {
+    let mut w = BinWriter::new();
+    w.usize(outcome.snapshots.len());
+    for snap in &outcome.snapshots {
+        w.section(&codec.encode(reference, snap));
+    }
+    w.vec_f32(&outcome.epoch_losses);
+    write_rng_state(&mut w, rng);
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_outcome_coded`]. Returns the decoded (projected)
+/// outcome plus the raw/encoded byte tallies for this upload (raw = 4
+/// bytes per decoded coordinate, encoded = blob bytes on the wire — the
+/// same accounting rule the engine's codec seam uses for local slots).
+pub fn decode_outcome_coded(
+    bytes: &[u8],
+    codec: &dyn UpdateCodec,
+    reference: &[f32],
+) -> Result<(TrainOutcome, SimRngState, u64, u64), CodecError> {
+    let mut r = BinReader::new(bytes);
+    let n = r.usize()?;
+    let (mut raw, mut encoded) = (0u64, 0u64);
+    let mut snapshots = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let blob = r.section()?;
+        encoded += blob.len() as u64;
+        let snap = codec.decode(reference, blob)?;
+        raw += 4 * snap.len() as u64;
+        snapshots.push(snap);
+    }
+    let epoch_losses = r.vec_f32()?;
+    let rng = read_rng_state(&mut r)?;
+    r.finish()?;
+    Ok((TrainOutcome { snapshots, epoch_losses }, rng, raw, encoded))
+}
+
 /// Split a model's parameters into little-endian byte chunks of at most
 /// `chunk_bytes` each (at least one chunk, even for an empty model).
 pub fn params_to_chunks(params: &[f32], chunk_bytes: usize) -> Vec<Vec<u8>> {
@@ -295,6 +348,32 @@ mod tests {
         assert_eq!(rng, rng_sample());
         // -0.0 must survive as -0.0 (bitwise, not numeric, identity).
         assert_eq!(back.snapshots[0][1].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn coded_outcome_roundtrips_and_counts_bytes() {
+        use seafl_core::{GenDelta, TopK};
+        let reference = vec![0.25f32; 6];
+        let outcome = TrainOutcome {
+            snapshots: vec![vec![0.25, 9.0, 0.25, -0.0, 0.25, 0.25]],
+            epoch_losses: vec![0.4],
+        };
+        // Lossless codec: decode reproduces the outcome bit-exactly.
+        let blob = encode_outcome_coded(&outcome, rng_sample(), &GenDelta, &reference);
+        let (back, rng, raw, encoded) = decode_outcome_coded(&blob, &GenDelta, &reference).unwrap();
+        assert_eq!(back, outcome);
+        assert_eq!(rng, rng_sample());
+        assert_eq!(raw, 4 * 6);
+        assert!(encoded > 0 && (encoded as usize) < blob.len());
+        // Lossy codec: decode equals the codec's own projection.
+        let topk = TopK::new(1);
+        let blob = encode_outcome_coded(&outcome, rng_sample(), &topk, &reference);
+        let (back, _, _, _) = decode_outcome_coded(&blob, &topk, &reference).unwrap();
+        assert_eq!(back.snapshots[0], topk.project(&reference, &outcome.snapshots[0]));
+        // Wrong-length reference on decode is an error for GenDelta's
+        // packed mode, not a silent wrong answer.
+        let blob = encode_outcome_coded(&outcome, rng_sample(), &GenDelta, &reference);
+        assert!(decode_outcome_coded(&blob, &GenDelta, &reference[..3]).is_err());
     }
 
     #[test]

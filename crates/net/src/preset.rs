@@ -8,7 +8,7 @@
 //! the preset in one place makes that a function call instead of a
 //! convention.
 
-use seafl_core::{Algorithm, ExperimentConfig};
+use seafl_core::{Algorithm, CodecConfig, CodecStage, ExperimentConfig};
 use seafl_nn::ModelKind;
 use seafl_sim::FleetConfig;
 
@@ -29,6 +29,33 @@ pub fn algorithm_by_name(name: &str) -> Algorithm {
             "unknown algorithm {other:?} (try seafl, seafl2, fedbuff, fedasync, fedavg, fedstale)"
         ),
     }
+}
+
+/// Codec preset from its stable label (the `--codec` flag). Labels are
+/// `+`-separated stages with an optional trailing `ef` for error
+/// feedback: `identity`, `topk`, `int8`, `gendelta`, `topk+int8`,
+/// `topk+ef`, … Every loopback process must pass the same label — the
+/// codec config is part of the state hash, so a mismatch is caught at
+/// the handshake.
+pub fn codec_by_name(name: &str) -> Result<CodecConfig, String> {
+    let mut cfg = CodecConfig::default();
+    let parts: Vec<&str> = name.split('+').collect();
+    for (i, part) in parts.iter().enumerate() {
+        match *part {
+            "identity" => {}
+            "topk" => cfg.stages.push(CodecStage::TopK { k: 2048 }),
+            "int8" => cfg.stages.push(CodecStage::QuantInt8),
+            "gendelta" => cfg.stages.push(CodecStage::GenDelta),
+            "ef" if i == parts.len() - 1 && i > 0 => cfg.error_feedback = true,
+            other => {
+                return Err(format!(
+                    "unknown codec part {other:?} in {name:?} \
+                     (try identity, topk, int8, gendelta, topk+int8, topk+ef)"
+                ))
+            }
+        }
+    }
+    Ok(cfg)
 }
 
 /// Small fixed-length experiment every loopback process agrees on:
@@ -74,6 +101,30 @@ mod tests {
         b.transport.chunk_bytes = 1024;
         b.transport.loss.drop_prob = 0.3;
         assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn codec_labels_parse_and_roundtrip() {
+        assert!(codec_by_name("identity").unwrap().is_identity());
+        let topk = codec_by_name("topk").unwrap();
+        assert_eq!(topk.stages, vec![CodecStage::TopK { k: 2048 }]);
+        assert!(!topk.error_feedback);
+        let ef = codec_by_name("topk+ef").unwrap();
+        assert!(ef.error_feedback);
+        assert_eq!(ef.label(), "topk+ef");
+        let pipe = codec_by_name("topk+int8").unwrap();
+        assert_eq!(pipe.stages, vec![CodecStage::TopK { k: 2048 }, CodecStage::QuantInt8]);
+        assert!(codec_by_name("gendelta").unwrap().is_lossless());
+        assert!(codec_by_name("zstd").is_err());
+        assert!(codec_by_name("ef").is_err(), "bare ef has no stage to feed back for");
+    }
+
+    #[test]
+    fn codec_moves_the_preset_hash() {
+        let a = loopback_config(5, "seafl");
+        let mut b = loopback_config(5, "seafl");
+        b.codec = codec_by_name("topk").unwrap();
+        assert_ne!(a.state_hash(), b.state_hash());
     }
 
     #[test]

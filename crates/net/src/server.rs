@@ -19,7 +19,8 @@ use crate::msg::{self, Msg};
 use crate::transport::{Endpoint, NetListener, StreamTransport, Transport};
 use crate::NetError;
 use seafl_core::{
-    CohortTrainer, ExperimentConfig, NetIncident, RemoteJob, TrainOutcome, TransportConfig,
+    build_codec, CodecTransferStats, CohortTrainer, ExperimentConfig, ModelRing, NetIncident,
+    RemoteJob, TrainOutcome, TransportConfig, UpdateCodec,
 };
 use seafl_sim::rng::SimRngState;
 use std::collections::HashMap;
@@ -78,6 +79,17 @@ pub struct NetServer {
     stats: Arc<Mutex<NetStats>>,
     incidents: Vec<NetIncident>,
     generation: u64,
+    /// Wire codec, armed when [`seafl_core::CodecConfig::wire_active`]
+    /// holds for the experiment's codec config. `None` sends raw outcome
+    /// blobs (identity, or error-feedback configs whose residual state
+    /// lives server-side at the engine seam).
+    codec: Option<Box<dyn UpdateCodec>>,
+    /// Recent global models by generation: the decode reference for coded
+    /// uploads echoing that generation. Bounded; in practice depth 1,
+    /// since `train_cohort` is synchronous and stale uploads are dropped.
+    ring: ModelRing,
+    /// Per-cohort codec provenance and byte tallies for the engine seam.
+    codec_stats: CodecTransferStats,
 }
 
 type Slot = Option<(TrainOutcome, SimRngState)>;
@@ -102,6 +114,9 @@ impl NetServer {
             stats,
             incidents: Vec::new(),
             generation: 0,
+            codec: cfg.codec.wire_active().then(|| build_codec(&cfg.codec)),
+            ring: ModelRing::new(4),
+            codec_stats: CodecTransferStats::default(),
         })
     }
 
@@ -425,6 +440,29 @@ impl NetServer {
             .map(|p| p.expect("all parts present"))
             .collect::<Vec<_>>()
             .concat();
+        if let Some(codec) = self.codec.as_deref() {
+            // The decode against the generation's model IS the codec's
+            // lossy projection — this slot must not be re-projected at
+            // the engine seam (exactly-once application).
+            let Some(reference) = self.ring.get(generation) else {
+                eprintln!("seafl-server: no model for generation {generation}, dropping outcome");
+                return;
+            };
+            match msg::decode_outcome_coded(&blob, codec, reference) {
+                Ok((outcome, rng, raw, encoded)) => {
+                    results[slot] = Some((outcome, rng));
+                    if let Some(c) = self.codec_stats.coded.get_mut(slot) {
+                        *c = true;
+                    }
+                    self.codec_stats.bytes_raw += raw;
+                    self.codec_stats.bytes_encoded += encoded;
+                }
+                Err(e) => eprintln!(
+                    "seafl-server: coded outcome for client {client_id} failed to decode: {e}"
+                ),
+            }
+            return;
+        }
         match msg::decode_outcome(&blob) {
             Ok((outcome, rng)) => results[slot] = Some((outcome, rng)),
             Err(e) => {
@@ -531,8 +569,13 @@ impl CohortTrainer for NetServer {
         self.generation += 1;
         let gen = self.generation;
         let mut results: Vec<Slot> = jobs.iter().map(|_| None).collect();
+        self.codec_stats =
+            CodecTransferStats { coded: vec![false; jobs.len()], bytes_raw: 0, bytes_encoded: 0 };
         if jobs.is_empty() {
             return results;
+        }
+        if self.codec.is_some() {
+            self.ring.push(gen, global.to_vec());
         }
         for w in &mut self.workers {
             w.chunks.clear();
@@ -579,6 +622,10 @@ impl CohortTrainer for NetServer {
 
     fn drain_incidents(&mut self) -> Vec<NetIncident> {
         std::mem::take(&mut self.incidents)
+    }
+
+    fn drain_codec_stats(&mut self) -> CodecTransferStats {
+        std::mem::take(&mut self.codec_stats)
     }
 
     fn shutdown(&mut self) {

@@ -218,6 +218,93 @@ fn uds_clean_fleet_matches_simulator_trace() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Two TCP workers with the top-k codec armed, under mild seeded loss:
+/// compressed update blobs cross the socket, yet the run must end on the
+/// in-process engine's exact model digest for the same codec config —
+/// client-side wire encoding and the engine's local-slot projection are
+/// the same single application of the codec. The report's byte counters
+/// must show real compression (encoded < raw).
+#[test]
+fn tcp_lossy_codec_fleet_matches_in_process_digest() {
+    let seed = 41;
+    let mut cfg = loopback_config(seed, "seafl");
+    cfg.codec = seafl_net::preset::codec_by_name("topk").unwrap();
+    let sim = run_experiment(&cfg);
+    assert!(
+        sim.codec_bytes_encoded < sim.codec_bytes_raw,
+        "top-k must compress in-process too ({} vs {})",
+        sim.codec_bytes_encoded,
+        sim.codec_bytes_raw
+    );
+    let dir = scratch_dir("codec");
+    let addr = dir.join("server.addr");
+    let report_path = dir.join("server.report");
+
+    let server = spawn(
+        SERVER,
+        &args(&[
+            "--listen",
+            "tcp://127.0.0.1:0",
+            "--workers",
+            "2",
+            "--seed",
+            "41",
+            "--algorithm",
+            "seafl",
+            "--codec",
+            "topk",
+            "--addr-file",
+            addr.to_str().unwrap(),
+            "--report-file",
+            report_path.to_str().unwrap(),
+            "--loss-drop",
+            "0.03",
+            "--loss-dup",
+            "0.03",
+        ]),
+    );
+    let mut clients = Vec::new();
+    for link in 0..2 {
+        let mut cl = args(&[
+            "--addr-file",
+            addr.to_str().unwrap(),
+            "--seed",
+            "41",
+            "--algorithm",
+            "seafl",
+            "--codec",
+            "topk",
+            "--loss-drop",
+            "0.05",
+        ]);
+        cl.push("--link".into());
+        cl.push(link.to_string());
+        clients.push(spawn(CLIENT, &cl));
+    }
+    for (i, c) in clients.into_iter().enumerate() {
+        let status = wait_timeout(c, &format!("client {i}"), 300);
+        assert!(status.success(), "client {i} exited with {status}");
+    }
+    let status = wait_timeout(server, "server", 300);
+    assert!(status.success(), "server exited with {status}");
+
+    let report = read_report(&report_path);
+    assert_eq!(report["codec"], "topk");
+    assert_eq!(
+        report["model_digest"],
+        format!("{:016x}", sim.model_digest),
+        "coded wire run must end on the in-process engine's exact model bits"
+    );
+    assert_eq!(report_u64(&report, "rounds"), sim.rounds);
+    assert_eq!(report_u64(&report, "codec_bytes_raw"), sim.codec_bytes_raw);
+    assert_eq!(report_u64(&report, "codec_bytes_encoded"), sim.codec_bytes_encoded);
+    assert!(
+        report_u64(&report, "codec_bytes_encoded") < report_u64(&report, "codec_bytes_raw"),
+        "compressed bytes must actually be smaller on the wire"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A worker that accepts an assignment and then dies without replying:
 /// the idle timeout must quarantine it, its jobs must fail over (to the
 /// surviving worker or the server's local pool), and the run must still

@@ -66,6 +66,20 @@ fn readme_attack_overlay() {
              result.screened_clients.len(), d.recall);
 }
 
+fn readme_codec_bytes_to_accuracy() {
+    use seafl::core::{run_experiment, Algorithm, CodecConfig, CodecStage, ExperimentConfig};
+
+    let mut config = ExperimentConfig::quick(1, Algorithm::seafl(10, 5, Some(10)));
+    config.codec = CodecConfig {
+        stages: vec![CodecStage::TopK { k: 2048 }], // keep the 2048 largest movers per update
+        error_feedback: true,                       // accumulate + re-send what top-k dropped
+    };
+    let result = run_experiment(&config);
+    let ratio = result.codec_bytes_encoded as f64 / result.codec_bytes_raw as f64;
+    println!("upload bytes to 70% accuracy: {:?} (compression ratio {:.3})",
+             result.bytes_to_accuracy(0.70), ratio);
+}
+
 // ----- OBSERVABILITY.md -----
 
 fn observability_modes() {
